@@ -1,0 +1,37 @@
+//! B2 — Closure collection cost (Sec. 4.3.1): proto-environment collection
+//! plus resumption, scaling in the number of livelits and in the size of
+//! the environment at the invocation site.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use livelit_bench::{bench_phi, deep_scope_invocation, many_invocations};
+
+fn bench_livelit_count(c: &mut Criterion) {
+    let phi = bench_phi(&[]);
+    let mut group = c.benchmark_group("closure_collection/livelits");
+    for n in [1usize, 4, 16, 64] {
+        let program = many_invocations(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &program, |b, p| {
+            b.iter(|| hazel::core::collect(&phi, p).expect("collects"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_env_size(c: &mut Criterion) {
+    let phi = bench_phi(&[]);
+    let mut group = c.benchmark_group("closure_collection/env_size");
+    for n in [1usize, 16, 64, 256] {
+        let program = deep_scope_invocation(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &program, |b, p| {
+            b.iter(|| hazel::core::collect(&phi, p).expect("collects"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_livelit_count, bench_env_size
+}
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! B9 — The `Exp` encoding isomorphism (Sec. 4.2.1): encode/decode
+//! round-trip throughput versus program size, for both schemes — the
+//! string scheme (default) and the recursive-sum structural scheme — as an
+//! ablation of the DESIGN.md encoding decision.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use livelit_bench::sized_program;
+
+fn bench_encoding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encoding");
+    for target in [100usize, 1000, 5000] {
+        let program = sized_program(11, target);
+        let actual = program.size();
+        let encoded = hazel::core::encoding::encode(&program);
+        group.bench_with_input(BenchmarkId::new("encode", actual), &program, |b, p| {
+            b.iter(|| hazel::core::encoding::encode(p));
+        });
+        group.bench_with_input(BenchmarkId::new("decode", actual), &encoded, |b, d| {
+            b.iter(|| hazel::core::encoding::decode(d).expect("decodes"));
+        });
+        // Structural-scheme ablation at the small size only: without
+        // hash-consing, structural encodings carry the (large) unrolled
+        // recursive sum type at every node, so encoding is orders of
+        // magnitude slower — the measured justification for the text
+        // scheme being the default (see DESIGN.md and EXPERIMENTS.md B9).
+        if target == 100 {
+            let structural = hazel::core::encoding_structural::encode(&program);
+            group.bench_with_input(
+                BenchmarkId::new("encode_structural", actual),
+                &program,
+                |b, p| {
+                    b.iter(|| hazel::core::encoding_structural::encode(p));
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new("decode_structural", actual),
+                &structural,
+                |b, d| {
+                    b.iter(|| hazel::core::encoding_structural::decode(d).expect("decodes"));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_encoding
+}
+criterion_main!(benches);

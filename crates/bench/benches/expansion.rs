@@ -1,0 +1,38 @@
+//! B1 — Typed livelit expansion cost (Sec. 4.2): scaling in the number of
+//! invocations and in the number of splices per invocation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hazel::prelude::*;
+use livelit_bench::{bench_phi, many_invocations, wide_invocation};
+
+fn bench_invocations(c: &mut Criterion) {
+    let phi = bench_phi(&[]);
+    let mut group = c.benchmark_group("expansion/invocations");
+    for n in [1usize, 4, 16, 64, 256] {
+        let program = many_invocations(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &program, |b, p| {
+            b.iter(|| expand_typed(&phi, &Ctx::empty(), p).expect("expands"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_splices(c: &mut Criterion) {
+    let widths = [1usize, 4, 16, 64];
+    let phi = bench_phi(&widths);
+    let mut group = c.benchmark_group("expansion/splices");
+    for k in widths {
+        let program = wide_invocation(k, 0);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &program, |b, p| {
+            b.iter(|| expand_typed(&phi, &Ctx::empty(), p).expect("expands"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_invocations, bench_splices
+}
+criterion_main!(benches);

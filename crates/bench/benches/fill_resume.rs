@@ -1,0 +1,31 @@
+//! B3 — Fill-and-resume vs. re-evaluation from scratch (Sec. 4.3.2): "If
+//! the editor has already performed environment collection, then it can
+//! simply continue from where it left off" — this bench quantifies the
+//! saving as the pre-livelit computation grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use livelit_bench::{bench_phi, expensive_then_livelit};
+
+fn bench_fill_resume(c: &mut Criterion) {
+    let phi = bench_phi(&[]);
+    let mut group = c.benchmark_group("fill_resume");
+    for n in [100i64, 400, 1600] {
+        let program = expensive_then_livelit(n);
+        // The collection is done once per edit; resuming reuses it.
+        let collection = hazel::core::collect(&phi, &program).expect("collects");
+        group.bench_with_input(BenchmarkId::new("resume", n), &collection, |b, coll| {
+            b.iter(|| coll.resume_result().expect("resumes"))
+        });
+        group.bench_with_input(BenchmarkId::new("full_reeval", n), &program, |b, p| {
+            b.iter(|| hazel::core::cc::eval_full(&phi, p, 4_000_000).expect("evaluates"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(12);
+    targets = bench_fill_resume
+}
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! B7 — Grading case study end-to-end (Fig. 1c): full edit-pipeline latency
+//! (typed expansion, closure collection, fill-and-resume, view
+//! recomputation) as the class grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hazel::lang::parse::parse_uexp;
+use hazel::lang::value::iv;
+use hazel::prelude::*;
+use hazel::std::dataframe::DataframeModel;
+use hazel::std::grading::grading_prelude;
+
+fn grading_doc(students: usize) -> (LivelitRegistry, Document) {
+    let mut registry = LivelitRegistry::new();
+    hazel::std::register_all(&mut registry);
+    let program = parse_uexp(
+        "let grades = ?0 in \
+         let averages = compute_weighted_averages grades [Float| 1., 1.] in \
+         let cutoffs = (.A 86., .B 76., .C 67., .D 48.) in \
+         format_for_university (assign_grades averages cutoffs)",
+    )
+    .expect("parses");
+    let mut doc = Document::new(&registry, grading_prelude(), program).expect("doc");
+    doc.fill_hole_with_livelit(&registry, HoleName(0), "$dataframe", vec![])
+        .expect("fill");
+    for _ in 0..2 {
+        doc.dispatch(HoleName(0), &iv::record([("add_col", IExp::Unit)]))
+            .expect("col");
+    }
+    for _ in 0..students {
+        doc.dispatch(HoleName(0), &iv::record([("add_row", IExp::Unit)]))
+            .expect("row");
+    }
+    let m = DataframeModel::from_value(doc.instance(HoleName(0)).unwrap().model()).expect("model");
+    for (ri, (key, cells)) in m.rows.iter().enumerate() {
+        doc.edit_splice(HoleName(0), *key, UExp::Str(format!("student{ri}")))
+            .expect("key");
+        for (ci, cell) in cells.iter().enumerate() {
+            doc.edit_splice(
+                HoleName(0),
+                *cell,
+                UExp::Float(50.0 + ((ri * 7 + ci * 13) % 50) as f64),
+            )
+            .expect("cell");
+        }
+    }
+    (registry, doc)
+}
+
+fn bench_grading(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grading_e2e");
+    group.sample_size(10);
+    for students in [5usize, 20, 50] {
+        let (registry, doc) = grading_doc(students);
+        group.bench_with_input(BenchmarkId::from_parameter(students), &students, |b, _| {
+            b.iter(|| hazel::editor::run(&registry, &doc).expect("pipeline"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_grading
+}
+criterion_main!(benches);

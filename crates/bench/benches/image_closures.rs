@@ -1,0 +1,53 @@
+//! B8 — Multi-closure collection for the image-filter preset (Fig. 2):
+//! closure-collection cost as the preset is mapped over more photos (one
+//! closure per application), plus the cost of rendering the preview under
+//! a selected closure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hazel::lang::parse::parse_uexp;
+use hazel::prelude::*;
+
+fn photo_program(n: usize) -> UExp {
+    let urls: Vec<String> = (0..n).map(|i| format!("\"img://photo{i}\"")).collect();
+    parse_uexp(&format!(
+        "let classic_look = fun url : Str -> \
+           $basic_adjustments@0{{(.contrast 1, .brightness 2)}}(\
+             url : Str; 10 : Int; 5 : Int) in \
+         let photos = [Str| {}] in \
+         (fix go : (List(Str) -> List((.w Int, .h Int, .px List(Int)))) -> \
+          fun urls : List(Str) -> \
+          lcase urls \
+          | [] -> [(.w Int, .h Int, .px List(Int))|] \
+          | u :: rest -> classic_look u :: go rest \
+          end) photos",
+        urls.join(", ")
+    ))
+    .expect("parses")
+}
+
+fn bench_image_closures(c: &mut Criterion) {
+    let mut registry = LivelitRegistry::new();
+    hazel::std::register_all(&mut registry);
+    let phi = registry.phi();
+
+    let mut group = c.benchmark_group("image_closures");
+    group.sample_size(10);
+    for n in [1usize, 2, 4, 8] {
+        let program = photo_program(n);
+        group.bench_with_input(BenchmarkId::new("collect", n), &program, |b, p| {
+            b.iter(|| {
+                let collection = hazel::core::collect(&phi, p).expect("collects");
+                assert_eq!(collection.envs_for(HoleName(0)).len(), n);
+                collection
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_image_closures
+}
+criterion_main!(benches);

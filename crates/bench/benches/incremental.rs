@@ -1,0 +1,63 @@
+//! B10 — Incremental engine vs. full pipeline on model-only edits
+//! (Sec. 4.3.2 operationalized in the editor): the cost of one slider drag
+//! as the surrounding program's evaluation work grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hazel::editor::IncrementalEngine;
+use hazel::lang::parse::parse_uexp;
+use hazel::lang::value::iv;
+use hazel::prelude::*;
+
+fn doc_with_work(n: i64) -> (LivelitRegistry, Document) {
+    let mut registry = LivelitRegistry::new();
+    hazel::std::register_all(&mut registry);
+    let program = parse_uexp(&format!(
+        "let v = $slider@0{{10}}(0 : Int; 100 : Int) in \
+         let heavy = (fix go : (Int -> Int) -> fun k : Int -> \
+            if k <= 0 then 0 else k + go (k - 1)) {n} in \
+         v + heavy"
+    ))
+    .expect("parses");
+    let doc = Document::new(&registry, vec![], program).expect("doc");
+    (registry, doc)
+}
+
+fn bench_incremental(c: &mut Criterion) {
+    let mut group = c.benchmark_group("incremental_drag");
+    group.sample_size(10);
+    for n in [100i64, 400, 1600] {
+        let (registry, mut doc) = doc_with_work(n);
+        // Warm the cache.
+        let mut engine = IncrementalEngine::new();
+        engine.run(&registry, &doc).expect("pipeline");
+
+        let mut value = 10i64;
+        group.bench_with_input(BenchmarkId::new("incremental", n), &n, |b, _| {
+            b.iter(|| {
+                value = (value + 1) % 100;
+                doc.dispatch(HoleName(0), &iv::record([("set", iv::int(value))]))
+                    .expect("drag");
+                let out = engine.run(&registry, &doc).expect("fast path");
+                criterion::black_box(out.result.clone());
+            });
+        });
+
+        let (registry, mut doc) = doc_with_work(n);
+        group.bench_with_input(BenchmarkId::new("full", n), &n, |b, _| {
+            b.iter(|| {
+                value = (value + 1) % 100;
+                doc.dispatch(HoleName(0), &iv::record([("set", iv::int(value))]))
+                    .expect("drag");
+                hazel::editor::run(&registry, &doc).expect("full pipeline")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_incremental
+}
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! B6 — Character-count layout (Sec. 5.3): pretty-printing cost versus
+//! program size and width budget.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use livelit_bench::sized_program;
+
+fn bench_layout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("layout");
+    for target in [100usize, 1000, 5000] {
+        let program = sized_program(7, target);
+        let actual = program.size();
+        for width in [40usize, 120] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("width{width}"), actual),
+                &program,
+                |b, p| {
+                    b.iter(|| hazel::lang::pretty::print_eexp(p, width));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_layout
+}
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! B4 — Live splice evaluation latency (Secs. 2.5, 3.2.3): `eval_splice`
+//! under closures of growing environment size — the per-keystroke cost a
+//! livelit view pays for liveness.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hazel::prelude::*;
+use livelit_bench::{bench_phi, deep_scope_invocation};
+
+fn bench_live_eval(c: &mut Criterion) {
+    let phi = bench_phi(&[]);
+    let mut group = c.benchmark_group("live_eval/env_size");
+    for n in [1usize, 16, 64, 256] {
+        let program = deep_scope_invocation(n);
+        let collection = hazel::core::collect(&phi, &program).expect("collects");
+        let splice = UExp::Bin(
+            BinOp::Add,
+            Box::new(UExp::Var(Var::new(format!("x{}", n - 1)))),
+            Box::new(UExp::Int(1)),
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                hazel::core::eval_splice(&phi, &collection, HoleName(0), 0, &splice, &Typ::Int)
+                    .expect("live eval")
+                    .expect("closure available")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_live_eval
+}
+criterion_main!(benches);

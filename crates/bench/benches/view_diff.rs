@@ -1,0 +1,32 @@
+//! B5 — View diffing (Sec. 3.2.4): "the system then performs a diff between
+//! the old and new view" — cost versus tree size and edit locality.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use livelit_bench::{sized_view, sized_view_edited};
+
+fn bench_diff(c: &mut Criterion) {
+    let mut group = c.benchmark_group("view_diff");
+    for n in [10usize, 100, 1000] {
+        let old = sized_view(n);
+        let same = old.clone();
+        let edited = sized_view_edited(n, n / 2);
+        group.bench_with_input(BenchmarkId::new("identical", n), &n, |b, _| {
+            b.iter(|| hazel::mvu::diff(&old, &same));
+        });
+        group.bench_with_input(BenchmarkId::new("one_edit", n), &n, |b, _| {
+            b.iter(|| hazel::mvu::diff(&old, &edited));
+        });
+        group.bench_with_input(BenchmarkId::new("apply_one_edit", n), &n, |b, _| {
+            let patches = hazel::mvu::diff(&old, &edited);
+            b.iter(|| hazel::mvu::apply(&old, &patches));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_diff
+}
+criterion_main!(benches);

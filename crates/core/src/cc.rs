@@ -1,0 +1,647 @@
+//! Closure collection: live feedback for livelits (Sec. 4.3).
+//!
+//! To evaluate splices live, a livelit needs the run-time environments that
+//! reach its invocation. These are gathered in two phases:
+//!
+//! 1. **Proto-environment collection** (Sec. 4.3.1): generate the
+//!    *cc-expansion*, where each livelit expands to an empty hole applied to
+//!    its splices (the hole stands in for the parameterized expansion); on
+//!    the side, build the cc-context Ω mapping each livelit hole to the
+//!    elaboration of its parameterized expansion. Evaluating the
+//!    cc-expansion leaves a hole closure — an environment — wherever a
+//!    livelit's value was needed.
+//!
+//! 2. **Closure resumption** (Sec. 4.3.2): proto-environments may contain
+//!    proto-closures for *other* livelit holes (e.g. `averages` in Fig. 1c
+//!    depends on the `$dataframe` hole), so fill every livelit hole in each
+//!    collected environment with its parameterized expansion from Ω
+//!    (`fillΩ`, Def. 4.6) and resume evaluation of closed entries
+//!    (Def. 4.7).
+//!
+//! The same fill-and-resume step applied to the evaluated cc-expansion
+//! itself computes the final program result without re-evaluating from
+//! scratch — Theorem 4.9 (post-collection resumption) says this equals full
+//! expansion followed by evaluation, and the executable form of that theorem
+//! lives in the integration test suite.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use hazel_lang::elab::elab_syn;
+use hazel_lang::eval::{fill, resume_sigma, run_on_big_stack, EvalError, Evaluator, DEFAULT_FUEL};
+use hazel_lang::external::{CaseArm, EExp};
+use hazel_lang::ident::HoleName;
+use hazel_lang::internal::{IExp, Sigma};
+use hazel_lang::typ::Typ;
+use hazel_lang::typing::{syn, Ctx, Delta, TypeError};
+use hazel_lang::unexpanded::UExp;
+
+use crate::def::LivelitCtx;
+use crate::expansion::{expand, expand_invocation, ExpandError};
+
+/// The cc-context Ω: maps each livelit hole to the elaboration of its
+/// parameterized expansion, `u ↩ d_pexpansion`.
+#[derive(Debug, Clone, Default)]
+pub struct Omega {
+    map: BTreeMap<HoleName, OmegaEntry>,
+}
+
+/// One Ω entry.
+#[derive(Debug, Clone)]
+pub struct OmegaEntry {
+    /// The elaborated, closed parameterized expansion `d_pexpansion`.
+    pub pexpansion: IExp,
+    /// Its curried type `{τi} → τ_expand`.
+    pub full_ty: Typ,
+    /// The expansion type `τ_expand`.
+    pub expansion_ty: Typ,
+}
+
+impl Omega {
+    /// The livelit holes in this context.
+    pub fn holes(&self) -> impl Iterator<Item = HoleName> + '_ {
+        self.map.keys().copied()
+    }
+
+    /// Looks up an entry.
+    pub fn get(&self, u: HoleName) -> Option<&OmegaEntry> {
+        self.map.get(&u)
+    }
+
+    /// Whether `u` is a livelit hole.
+    pub fn contains(&self, u: HoleName) -> bool {
+        self.map.contains_key(&u)
+    }
+
+    /// The number of livelit holes.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether there are no livelit holes.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// `fillΩ(d)` (Def. 4.6): fills every livelit hole in `d` with its
+    /// parameterized expansion.
+    ///
+    /// Ω entries are closed, so order does not matter and filling amounts to
+    /// syntactic replacement (plus realization of each closure's recorded
+    /// environment, which is vacuous on closed terms).
+    pub fn fill(&self, d: &IExp) -> IExp {
+        let mut out = d.clone();
+        for (u, entry) in &self.map {
+            out = fill(&out, *u, &entry.pexpansion);
+        }
+        out
+    }
+
+    /// `fillΩ(σ)` on an environment (Def. 4.6, clause 1).
+    pub fn fill_sigma(&self, sigma: &Sigma) -> Sigma {
+        sigma.map_codomain(|d| self.fill(d))
+    }
+}
+
+/// A closure-collection failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CollectError {
+    /// A livelit failed to expand.
+    Expand(ExpandError),
+    /// The cc-expansion failed to type check or elaborate.
+    Type(TypeError),
+    /// Evaluation of the cc-expansion (or a resumption) failed.
+    Eval(EvalError),
+}
+
+impl fmt::Display for CollectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CollectError::Expand(e) => write!(f, "{e}"),
+            CollectError::Type(e) => write!(f, "{e}"),
+            CollectError::Eval(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CollectError {}
+
+impl From<ExpandError> for CollectError {
+    fn from(e: ExpandError) -> CollectError {
+        CollectError::Expand(e)
+    }
+}
+
+impl From<TypeError> for CollectError {
+    fn from(e: TypeError) -> CollectError {
+        CollectError::Type(e)
+    }
+}
+
+impl From<EvalError> for CollectError {
+    fn from(e: EvalError) -> CollectError {
+        CollectError::Eval(e)
+    }
+}
+
+/// The cc-expansion judgement `Φ; Γ ⊢cc ê ⇝ e : τ ⊣ Ω` (rewriting core).
+///
+/// Livelit invocations become `(⦇⦈u : {τi} → τ_expand) {ei}` — an empty hole
+/// (ascribed at the parameterized-expansion type so the bidirectional
+/// checker records `u :: τ[Γ]`) applied to the cc-expanded splices — while
+/// Ω collects `u ↩ d_pexpansion`.
+///
+/// # Errors
+///
+/// See [`ExpandError`]; every premise of `ELivelit` still runs, so all of
+/// its failure modes are reported here too.
+pub fn cc_expand(phi: &LivelitCtx, e: &UExp, omega: &mut Omega) -> Result<EExp, ExpandError> {
+    match e {
+        UExp::Livelit(ap) => {
+            let pe = expand_invocation(phi, ap)?;
+            let (d_pexpansion, _, _) =
+                elab_syn(&Ctx::empty(), &pe.pexpansion).map_err(ExpandError::Type)?;
+            omega.map.insert(
+                ap.hole,
+                OmegaEntry {
+                    pexpansion: d_pexpansion,
+                    full_ty: pe.full_ty.clone(),
+                    expansion_ty: pe.expansion_ty.clone(),
+                },
+            );
+            let mut out = EExp::Asc(Box::new(EExp::EmptyHole(ap.hole)), pe.full_ty);
+            for splice in &ap.splices {
+                let expanded = cc_expand(phi, &splice.exp, omega)?;
+                out = EExp::Ap(Box::new(out), Box::new(expanded));
+            }
+            Ok(out)
+        }
+        UExp::Var(x) => Ok(EExp::Var(x.clone())),
+        UExp::Lam(x, t, b) => Ok(EExp::Lam(
+            x.clone(),
+            t.clone(),
+            Box::new(cc_expand(phi, b, omega)?),
+        )),
+        UExp::Ap(a, b) => Ok(EExp::Ap(
+            Box::new(cc_expand(phi, a, omega)?),
+            Box::new(cc_expand(phi, b, omega)?),
+        )),
+        UExp::Let(x, t, a, b) => Ok(EExp::Let(
+            x.clone(),
+            t.clone(),
+            Box::new(cc_expand(phi, a, omega)?),
+            Box::new(cc_expand(phi, b, omega)?),
+        )),
+        UExp::Fix(x, t, b) => Ok(EExp::Fix(
+            x.clone(),
+            t.clone(),
+            Box::new(cc_expand(phi, b, omega)?),
+        )),
+        UExp::Int(n) => Ok(EExp::Int(*n)),
+        UExp::Float(x) => Ok(EExp::Float(*x)),
+        UExp::Bool(b) => Ok(EExp::Bool(*b)),
+        UExp::Str(s) => Ok(EExp::Str(s.clone())),
+        UExp::Unit => Ok(EExp::Unit),
+        UExp::Bin(op, a, b) => Ok(EExp::Bin(
+            *op,
+            Box::new(cc_expand(phi, a, omega)?),
+            Box::new(cc_expand(phi, b, omega)?),
+        )),
+        UExp::If(c, t, e2) => Ok(EExp::If(
+            Box::new(cc_expand(phi, c, omega)?),
+            Box::new(cc_expand(phi, t, omega)?),
+            Box::new(cc_expand(phi, e2, omega)?),
+        )),
+        UExp::Tuple(fields) => Ok(EExp::Tuple(
+            fields
+                .iter()
+                .map(|(l, fe)| Ok((l.clone(), cc_expand(phi, fe, omega)?)))
+                .collect::<Result<_, ExpandError>>()?,
+        )),
+        UExp::Proj(inner, l) => Ok(EExp::Proj(
+            Box::new(cc_expand(phi, inner, omega)?),
+            l.clone(),
+        )),
+        UExp::Inj(t, l, inner) => Ok(EExp::Inj(
+            t.clone(),
+            l.clone(),
+            Box::new(cc_expand(phi, inner, omega)?),
+        )),
+        UExp::Case(scrut, arms) => Ok(EExp::Case(
+            Box::new(cc_expand(phi, scrut, omega)?),
+            arms.iter()
+                .map(|arm| {
+                    Ok(CaseArm {
+                        label: arm.label.clone(),
+                        var: arm.var.clone(),
+                        body: cc_expand(phi, &arm.body, omega)?,
+                    })
+                })
+                .collect::<Result<_, ExpandError>>()?,
+        )),
+        UExp::Nil(t) => Ok(EExp::Nil(t.clone())),
+        UExp::Cons(a, b) => Ok(EExp::Cons(
+            Box::new(cc_expand(phi, a, omega)?),
+            Box::new(cc_expand(phi, b, omega)?),
+        )),
+        UExp::ListCase(scrut, nil, h, t, cons) => Ok(EExp::ListCase(
+            Box::new(cc_expand(phi, scrut, omega)?),
+            Box::new(cc_expand(phi, nil, omega)?),
+            h.clone(),
+            t.clone(),
+            Box::new(cc_expand(phi, cons, omega)?),
+        )),
+        UExp::Roll(t, inner) => Ok(EExp::Roll(
+            t.clone(),
+            Box::new(cc_expand(phi, inner, omega)?),
+        )),
+        UExp::Unroll(inner) => Ok(EExp::Unroll(Box::new(cc_expand(phi, inner, omega)?))),
+        UExp::Asc(inner, t) => Ok(EExp::Asc(
+            Box::new(cc_expand(phi, inner, omega)?),
+            t.clone(),
+        )),
+        UExp::EmptyHole(u) => Ok(EExp::EmptyHole(*u)),
+        UExp::NonEmptyHole(u, inner) => Ok(EExp::NonEmptyHole(
+            *u,
+            Box::new(cc_expand(phi, inner, omega)?),
+        )),
+    }
+}
+
+/// The result of running closure collection on a program.
+#[derive(Debug, Clone)]
+pub struct Collection {
+    /// The cc-expansion `e_cc`.
+    pub cc_exp: EExp,
+    /// Its type.
+    pub ty: Typ,
+    /// The hole context of the cc-expansion, including every livelit hole's
+    /// invocation-site typing context — the Γ used to type splices during
+    /// live evaluation.
+    pub delta: Delta,
+    /// The cc-context Ω.
+    pub omega: Omega,
+    /// The evaluated cc-expansion (proto-closures live in here).
+    pub proto_result: IExp,
+    /// The collected, resumed environments per livelit hole (Def. 4.8):
+    /// `envs(ê; u) = {resume(fillΩ(σ)) | σ ∈ protoenvs(ê; u)}`.
+    ///
+    /// A livelit with no entry (or an empty list) had no closures collected
+    /// — e.g. it sits in a branch that was not taken or a function that was
+    /// never applied (Sec. 4.3.2's discussion).
+    pub envs: BTreeMap<HoleName, Vec<Sigma>>,
+    /// Evaluation fuel used for collection and resumption.
+    fuel: u64,
+}
+
+impl Collection {
+    /// The environments collected for livelit hole `u` (Def. 4.8). Empty if
+    /// none were collected.
+    pub fn envs_for(&self, u: HoleName) -> &[Sigma] {
+        self.envs.get(&u).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Recomputes the collected environments after Ω changed (a livelit
+    /// *model* changed, so its parameterized expansion changed) without
+    /// re-running cc-expansion or its evaluation — the incremental
+    /// fast path of Sec. 4.3.2. Callers must have replaced [`Self::omega`]
+    /// already.
+    ///
+    /// # Errors
+    ///
+    /// Propagates resumption errors.
+    pub fn refresh_after_omega_change(&mut self) -> Result<(), EvalError> {
+        self.envs = collect_envs(&self.proto_result, &self.omega, self.fuel)?;
+        Ok(())
+    }
+
+    /// Computes the final result of the *full* program by filling the
+    /// remaining livelit holes in the evaluated cc-expansion and resuming
+    /// (Sec. 4.3.2: "it can simply continue from where it left off") —
+    /// avoiding re-expansion and re-evaluation from scratch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors from resumption.
+    pub fn resume_result(&self) -> Result<IExp, EvalError> {
+        let filled = self.omega.fill(&self.proto_result);
+        // The program is closed, so resumption is ordinary evaluation.
+        run_on_big_stack(|| Evaluator::with_fuel(self.fuel).eval(&filled))
+    }
+}
+
+/// Runs both phases of closure collection on a closed program (Defs. 4.5 and
+/// 4.8) with the given evaluation fuel.
+///
+/// # Errors
+///
+/// See [`CollectError`].
+pub fn collect_with_fuel(
+    phi: &LivelitCtx,
+    program: &UExp,
+    fuel: u64,
+) -> Result<Collection, CollectError> {
+    // Phase 1: cc-expand, type, elaborate, evaluate.
+    let mut omega = Omega::default();
+    let cc_exp = cc_expand(phi, program, &mut omega)?;
+    let (ty, _) = syn(&Ctx::empty(), &cc_exp)?;
+    let (d_cc, _, delta) = elab_syn(&Ctx::empty(), &cc_exp)?;
+    let proto_result = run_on_big_stack(|| Evaluator::with_fuel(fuel).eval(&d_cc))?;
+
+    let envs = collect_envs(&proto_result, &omega, fuel)?;
+
+    Ok(Collection {
+        cc_exp,
+        ty,
+        delta,
+        omega,
+        proto_result,
+        envs,
+        fuel,
+    })
+}
+
+/// Proto-environment collection plus resumption (Defs. 4.5–4.8): gathers
+/// every livelit hole's environments from an evaluated cc-expansion, as a
+/// set (duplicate environments — the same stuck closure substituted into
+/// several positions — collapse to one), then fills with Ω and resumes.
+fn collect_envs(
+    proto_result: &IExp,
+    omega: &Omega,
+    fuel: u64,
+) -> Result<BTreeMap<HoleName, Vec<Sigma>>, EvalError> {
+    let mut proto_envs: BTreeMap<HoleName, Vec<Sigma>> = BTreeMap::new();
+    for (u, sigma) in proto_result.hole_closures() {
+        if omega.contains(u) {
+            let entry = proto_envs.entry(u).or_default();
+            if !entry.iter().any(|s| s == sigma) {
+                entry.push(sigma.clone());
+            }
+        }
+    }
+    let mut envs = BTreeMap::new();
+    for (u, sigmas) in proto_envs {
+        let mut resumed = Vec::with_capacity(sigmas.len());
+        for sigma in sigmas {
+            let filled = omega.fill_sigma(&sigma);
+            resumed.push(run_on_big_stack(|| resume_sigma(&filled, fuel))?);
+        }
+        envs.insert(u, resumed);
+    }
+    Ok(envs)
+}
+
+/// [`collect_with_fuel`] with the default fuel budget.
+///
+/// # Errors
+///
+/// See [`CollectError`].
+pub fn collect(phi: &LivelitCtx, program: &UExp) -> Result<Collection, CollectError> {
+    collect_with_fuel(phi, program, DEFAULT_FUEL)
+}
+
+/// Evaluates the fully expanded program from scratch — the baseline that
+/// [`Collection::resume_result`] avoids. Used by Theorem 4.9 tests and the
+/// fill-and-resume benchmark.
+///
+/// # Errors
+///
+/// See [`CollectError`].
+pub fn eval_full(phi: &LivelitCtx, program: &UExp, fuel: u64) -> Result<IExp, CollectError> {
+    let expanded = expand(phi, program)?;
+    let (d, _, _) = elab_syn(&Ctx::empty(), &expanded)?;
+    Ok(run_on_big_stack(|| Evaluator::with_fuel(fuel).eval(&d))?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::def::LivelitDef;
+    use hazel_lang::build::*;
+    use hazel_lang::ident::{LivelitName, Var};
+    use hazel_lang::unexpanded::{LivelitAp, Splice};
+    use hazel_lang::value::iv;
+
+    fn const_livelit(name: &str, value: i64) -> LivelitDef {
+        LivelitDef::native(name, vec![], Typ::Int, Typ::Unit, move |_| Ok(int(value)))
+    }
+
+    /// A livelit with one Int splice expanding to `fun s -> s * 2`.
+    fn doubler() -> LivelitDef {
+        LivelitDef::native("$double", vec![], Typ::Int, Typ::Unit, |_| {
+            Ok(lam("s", Typ::Int, mul(var("s"), int(2))))
+        })
+    }
+
+    fn invoke(name: &str, hole: u64, splices: Vec<Splice>) -> UExp {
+        UExp::Livelit(Box::new(LivelitAp {
+            name: LivelitName::new(name),
+            model: IExp::Unit,
+            splices,
+            hole: HoleName(hole),
+        }))
+    }
+
+    fn ulet(x: &str, def: UExp, body: UExp) -> UExp {
+        UExp::Let(Var::new(x), None, Box::new(def), Box::new(body))
+    }
+
+    #[test]
+    fn cc_expansion_replaces_livelits_with_holes() {
+        let mut phi = LivelitCtx::new();
+        phi.define(const_livelit("$seven", 7)).unwrap();
+        let program = invoke("$seven", 0, vec![]);
+        let mut omega = Omega::default();
+        let cc = cc_expand(&phi, &program, &mut omega).unwrap();
+        assert!(matches!(cc, EExp::Asc(ref inner, _) if matches!(**inner, EExp::EmptyHole(_))));
+        assert_eq!(omega.len(), 1);
+        assert!(omega.contains(HoleName(0)));
+    }
+
+    #[test]
+    fn collection_gathers_environment_at_invocation() {
+        // let q1_max = 36 in let grades = $double(q1_max) in grades + 1
+        let mut phi = LivelitCtx::new();
+        phi.define(doubler()).unwrap();
+        let program = ulet(
+            "q1_max",
+            UExp::Int(36),
+            ulet(
+                "grades",
+                invoke(
+                    "$double",
+                    0,
+                    vec![Splice::new(UExp::Var(Var::new("q1_max")), Typ::Int)],
+                ),
+                UExp::Bin(
+                    hazel_lang::BinOp::Add,
+                    Box::new(UExp::Var(Var::new("grades"))),
+                    Box::new(UExp::Int(1)),
+                ),
+            ),
+        );
+        let collection = collect(&phi, &program).unwrap();
+        let envs = collection.envs_for(HoleName(0));
+        assert_eq!(envs.len(), 1, "one closure for the one invocation");
+        // The environment recorded q1_max = 36, usable for live splice eval.
+        assert_eq!(envs[0].get(&Var::new("q1_max")), Some(&iv::int(36)));
+    }
+
+    #[test]
+    fn resume_result_matches_full_evaluation() {
+        // Theorem 4.9 on an example.
+        let mut phi = LivelitCtx::new();
+        phi.define(doubler()).unwrap();
+        let program = ulet(
+            "x",
+            UExp::Int(10),
+            UExp::Bin(
+                hazel_lang::BinOp::Add,
+                Box::new(invoke(
+                    "$double",
+                    0,
+                    vec![Splice::new(UExp::Var(Var::new("x")), Typ::Int)],
+                )),
+                Box::new(UExp::Int(1)),
+            ),
+        );
+        let collection = collect(&phi, &program).unwrap();
+        let resumed = collection.resume_result().unwrap();
+        let full = eval_full(&phi, &program, DEFAULT_FUEL).unwrap();
+        assert_eq!(resumed, full);
+        assert_eq!(resumed, IExp::Int(21));
+    }
+
+    #[test]
+    fn dependent_livelits_need_resumption() {
+        // Fig. 1c's structure: the second livelit's environment depends on
+        // the first livelit's value. After proto-collection the entry is
+        // indeterminate; resumption fills and resumes it.
+        let mut phi = LivelitCtx::new();
+        phi.define(const_livelit("$grades", 80)).unwrap();
+        phi.define(doubler()).unwrap();
+        // let grades = $grades in let averages = grades + 5 in
+        //   $double(averages)
+        let program = ulet(
+            "grades",
+            invoke("$grades", 0, vec![]),
+            ulet(
+                "averages",
+                UExp::Bin(
+                    hazel_lang::BinOp::Add,
+                    Box::new(UExp::Var(Var::new("grades"))),
+                    Box::new(UExp::Int(5)),
+                ),
+                invoke(
+                    "$double",
+                    1,
+                    vec![Splice::new(UExp::Var(Var::new("averages")), Typ::Int)],
+                ),
+            ),
+        );
+        let collection = collect(&phi, &program).unwrap();
+        let envs = collection.envs_for(HoleName(1));
+        assert_eq!(envs.len(), 1);
+        // Without resumption, `averages` would be indeterminate (blocked on
+        // the $grades hole). After fill + resume it is 85.
+        assert_eq!(envs[0].get(&Var::new("averages")), Some(&iv::int(85)));
+        // And `grades` resumed to the $grades expansion value.
+        assert_eq!(envs[0].get(&Var::new("grades")), Some(&iv::int(80)));
+    }
+
+    #[test]
+    fn multiple_closures_from_function_application() {
+        // Fig. 2's structure: a livelit inside a function applied twice
+        // yields two closures, one per call.
+        let mut phi = LivelitCtx::new();
+        phi.define(doubler()).unwrap();
+        // let f = fun url : Int -> $double(url) in f 1 + f 2
+        let program = ulet(
+            "f",
+            UExp::Lam(
+                Var::new("url"),
+                Typ::Int,
+                Box::new(invoke(
+                    "$double",
+                    0,
+                    vec![Splice::new(UExp::Var(Var::new("url")), Typ::Int)],
+                )),
+            ),
+            UExp::Bin(
+                hazel_lang::BinOp::Add,
+                Box::new(UExp::Ap(
+                    Box::new(UExp::Var(Var::new("f"))),
+                    Box::new(UExp::Int(1)),
+                )),
+                Box::new(UExp::Ap(
+                    Box::new(UExp::Var(Var::new("f"))),
+                    Box::new(UExp::Int(2)),
+                )),
+            ),
+        );
+        let collection = collect(&phi, &program).unwrap();
+        let envs = collection.envs_for(HoleName(0));
+        assert_eq!(envs.len(), 2, "one closure per call");
+        let urls: Vec<Option<&IExp>> = envs.iter().map(|s| s.get(&Var::new("url"))).collect();
+        assert!(urls.contains(&Some(&iv::int(1))));
+        assert!(urls.contains(&Some(&iv::int(2))));
+    }
+
+    #[test]
+    fn livelit_in_unapplied_function_collects_no_closures() {
+        let mut phi = LivelitCtx::new();
+        phi.define(doubler()).unwrap();
+        // let f = fun x : Int -> $double(x) in 0   — f never applied.
+        let program = ulet(
+            "f",
+            UExp::Lam(
+                Var::new("x"),
+                Typ::Int,
+                Box::new(invoke(
+                    "$double",
+                    0,
+                    vec![Splice::new(UExp::Var(Var::new("x")), Typ::Int)],
+                )),
+            ),
+            UExp::Int(0),
+        );
+        let collection = collect(&phi, &program).unwrap();
+        assert!(collection.envs_for(HoleName(0)).is_empty());
+    }
+
+    #[test]
+    fn untaken_branch_collects_no_closures() {
+        let mut phi = LivelitCtx::new();
+        phi.define(const_livelit("$seven", 7)).unwrap();
+        let program = UExp::If(
+            Box::new(UExp::Bool(false)),
+            Box::new(invoke("$seven", 0, vec![])),
+            Box::new(UExp::Int(1)),
+        );
+        let collection = collect(&phi, &program).unwrap();
+        assert!(collection.envs_for(HoleName(0)).is_empty());
+        assert_eq!(collection.resume_result().unwrap(), IExp::Int(1));
+    }
+
+    #[test]
+    fn delta_records_invocation_site_context() {
+        let mut phi = LivelitCtx::new();
+        phi.define(doubler()).unwrap();
+        let program = ulet(
+            "x",
+            UExp::Int(3),
+            invoke(
+                "$double",
+                0,
+                vec![Splice::new(UExp::Var(Var::new("x")), Typ::Int)],
+            ),
+        );
+        let collection = collect(&phi, &program).unwrap();
+        let hyp = collection
+            .delta
+            .get(HoleName(0))
+            .expect("livelit hole in Δ");
+        assert_eq!(hyp.ctx.get(&Var::new("x")), Some(&Typ::Int));
+        assert_eq!(hyp.ty, Typ::arrow(Typ::Int, Typ::Int));
+    }
+}

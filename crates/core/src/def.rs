@@ -1,0 +1,295 @@
+//! Livelit definitions and livelit contexts Φ (Sec. 4.2.1).
+//!
+//! A livelit definition `livelit $a at τ_expand {τ_model; d_expand}`
+//! comprises the livelit's name, its declared parameter types (Sec. 2.4.1),
+//! its expansion type, its model type, and its expansion function. The
+//! expansion function may be written *in the object language* (an internal
+//! expression of type `τ_model → Exp`, as in the calculus) or *natively* in
+//! Rust — mirroring Hazel's OCaml/JavaScript "primitive livelits"
+//! (Sec. 5.1).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use hazel_lang::external::EExp;
+use hazel_lang::ident::LivelitName;
+use hazel_lang::internal::IExp;
+use hazel_lang::internal_typing::check_internal;
+use hazel_lang::typ::Typ;
+use hazel_lang::typing::{Ctx, Delta, TypeError};
+
+/// Which `Exp` reflection scheme an object-language expansion function
+/// produces (Sec. 4.2.1: "any scheme is sufficient").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EncodingScheme {
+    /// Surface-syntax strings (`Exp = Str`); see [`crate::encoding`].
+    Text,
+    /// The recursive-sum encoding; see [`crate::encoding_structural`].
+    Structural,
+}
+
+impl EncodingScheme {
+    /// The object-language `Exp` type for this scheme.
+    pub fn exp_typ(self) -> Typ {
+        match self {
+            EncodingScheme::Text => crate::encoding::exp_typ(),
+            EncodingScheme::Structural => crate::encoding_structural::exp_typ(),
+        }
+    }
+}
+
+/// The signature of a native expansion function.
+pub type NativeExpandFn = Arc<dyn Fn(&IExp) -> Result<EExp, String> + Send + Sync>;
+
+/// The expansion function of a livelit definition.
+#[derive(Clone)]
+pub enum ExpandFn {
+    /// `d_expand` in the calculus: a closed internal expression of type
+    /// `τ_model → Exp`, evaluated by the object-language evaluator and then
+    /// decoded (premises 3–4 of `ELivelit`). The scheme selects which `Exp`
+    /// encoding the function produces.
+    Object(IExp, EncodingScheme),
+    /// A native expansion function, trusted to return the parameterized
+    /// expansion directly (it is still validated at every invocation site,
+    /// premise 5 — Hazel likewise "does not statically check the definition
+    /// of expand", Sec. 3.2.5).
+    Native(NativeExpandFn),
+}
+
+impl fmt::Debug for ExpandFn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExpandFn::Object(d, scheme) => f.debug_tuple("Object").field(d).field(scheme).finish(),
+            ExpandFn::Native(_) => f.write_str("Native(<fn>)"),
+        }
+    }
+}
+
+/// A livelit definition.
+#[derive(Debug, Clone)]
+pub struct LivelitDef {
+    /// The livelit's name, `$a`.
+    pub name: LivelitName,
+    /// Declared parameter types, e.g. `(min : Int) (max : Int)` for
+    /// `$slider`. Parameters are passed as the leading splices of every
+    /// invocation ("parameters operate like splices", Sec. 2.4.1).
+    pub param_tys: Vec<Typ>,
+    /// The expansion type `τ_expand`.
+    pub expansion_ty: Typ,
+    /// The model type `τ_model`. Must be a first-order (serializable) type.
+    pub model_ty: Typ,
+    /// The expansion function.
+    pub expand: ExpandFn,
+}
+
+impl LivelitDef {
+    /// Creates a definition with a native expansion function.
+    pub fn native(
+        name: impl Into<LivelitName>,
+        param_tys: Vec<Typ>,
+        expansion_ty: Typ,
+        model_ty: Typ,
+        expand: impl Fn(&IExp) -> Result<EExp, String> + Send + Sync + 'static,
+    ) -> LivelitDef {
+        LivelitDef {
+            name: name.into(),
+            param_tys,
+            expansion_ty,
+            model_ty,
+            expand: ExpandFn::Native(Arc::new(expand)),
+        }
+    }
+
+    /// Creates a definition with an object-language expansion function
+    /// producing text-encoded expansions.
+    pub fn object(
+        name: impl Into<LivelitName>,
+        param_tys: Vec<Typ>,
+        expansion_ty: Typ,
+        model_ty: Typ,
+        d_expand: IExp,
+    ) -> LivelitDef {
+        LivelitDef {
+            name: name.into(),
+            param_tys,
+            expansion_ty,
+            model_ty,
+            expand: ExpandFn::Object(d_expand, EncodingScheme::Text),
+        }
+    }
+
+    /// Creates a definition with an object-language expansion function
+    /// producing structurally encoded expansions (the recursive-sum `Exp`).
+    pub fn object_structural(
+        name: impl Into<LivelitName>,
+        param_tys: Vec<Typ>,
+        expansion_ty: Typ,
+        model_ty: Typ,
+        d_expand: IExp,
+    ) -> LivelitDef {
+        LivelitDef {
+            name: name.into(),
+            param_tys,
+            expansion_ty,
+            model_ty,
+            expand: ExpandFn::Object(d_expand, EncodingScheme::Structural),
+        }
+    }
+
+    /// Checks this definition's contribution to livelit context
+    /// well-formedness (Def. 4.3): `⊢ d_expand : τ_model → Exp`.
+    ///
+    /// Native expansion functions are trusted at definition time (they are
+    /// validated at each invocation site instead, exactly as Hazel treats
+    /// `expand`, Sec. 3.2.5).
+    ///
+    /// # Errors
+    ///
+    /// Returns the type error for an ill-typed object-language expansion
+    /// function.
+    pub fn check_well_formed(&self) -> Result<(), TypeError> {
+        match &self.expand {
+            ExpandFn::Object(d, scheme) => check_internal(
+                &Delta::empty(),
+                &Ctx::empty(),
+                d,
+                &Typ::arrow(self.model_ty.clone(), scheme.exp_typ()),
+            ),
+            ExpandFn::Native(_) => Ok(()),
+        }
+    }
+
+    /// The full splice type list for an invocation: parameters first, then
+    /// `n_model_splices` model-managed splices of the given types.
+    pub fn splice_typs<'a>(
+        &'a self,
+        model_splice_tys: impl IntoIterator<Item = &'a Typ>,
+    ) -> Vec<&'a Typ> {
+        self.param_tys.iter().chain(model_splice_tys).collect()
+    }
+}
+
+/// A livelit context Φ: the set of livelit definitions in scope.
+#[derive(Debug, Clone, Default)]
+pub struct LivelitCtx {
+    defs: BTreeMap<LivelitName, LivelitDef>,
+}
+
+impl LivelitCtx {
+    /// The empty livelit context.
+    pub fn new() -> LivelitCtx {
+        LivelitCtx::default()
+    }
+
+    /// Adds a definition, checking well-formedness (Def. 4.3).
+    ///
+    /// # Errors
+    ///
+    /// Returns the type error if the definition's object-language expansion
+    /// function is ill-typed.
+    pub fn define(&mut self, def: LivelitDef) -> Result<(), TypeError> {
+        def.check_well_formed()?;
+        self.defs.insert(def.name.clone(), def);
+        Ok(())
+    }
+
+    /// Looks up a livelit by name (premise 1 of `ELivelit`).
+    pub fn get(&self, name: &LivelitName) -> Option<&LivelitDef> {
+        self.defs.get(name)
+    }
+
+    /// Iterates over definitions in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&LivelitName, &LivelitDef)> {
+        self.defs.iter()
+    }
+
+    /// The number of definitions.
+    pub fn len(&self) -> usize {
+        self.defs.len()
+    }
+
+    /// Whether the context is empty.
+    pub fn is_empty(&self) -> bool {
+        self.defs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::encode;
+    use hazel_lang::build;
+    use hazel_lang::ident::Var;
+
+    fn color_ty() -> Typ {
+        Typ::prod([
+            (hazel_lang::Label::new("r"), Typ::Int),
+            (hazel_lang::Label::new("g"), Typ::Int),
+            (hazel_lang::Label::new("b"), Typ::Int),
+            (hazel_lang::Label::new("a"), Typ::Int),
+        ])
+    }
+
+    #[test]
+    fn native_definition_is_well_formed() {
+        let def = LivelitDef::native("$color", vec![], color_ty(), Typ::Unit, |_| {
+            Ok(build::int(0))
+        });
+        assert!(def.check_well_formed().is_ok());
+    }
+
+    #[test]
+    fn object_definition_checked_against_model_to_exp() {
+        // fun m : Unit -> "42"  — a constant expansion function.
+        let good = LivelitDef::object(
+            "$answer",
+            vec![],
+            Typ::Int,
+            Typ::Unit,
+            IExp::Lam(Var::new("m"), Typ::Unit, Box::new(encode(&build::int(42)))),
+        );
+        assert!(good.check_well_formed().is_ok());
+
+        // fun m : Unit -> 42  — returns Int, not Exp.
+        let bad = LivelitDef::object(
+            "$broken",
+            vec![],
+            Typ::Int,
+            Typ::Unit,
+            IExp::Lam(Var::new("m"), Typ::Unit, Box::new(IExp::Int(42))),
+        );
+        assert!(bad.check_well_formed().is_err());
+    }
+
+    #[test]
+    fn context_define_and_lookup() {
+        let mut phi = LivelitCtx::new();
+        phi.define(LivelitDef::native(
+            "$slider",
+            vec![Typ::Int, Typ::Int],
+            Typ::Int,
+            Typ::Unit,
+            |_| Ok(build::int(0)),
+        ))
+        .unwrap();
+        assert_eq!(phi.len(), 1);
+        let def = phi.get(&LivelitName::new("slider")).expect("defined");
+        assert_eq!(def.param_tys.len(), 2);
+        assert!(phi.get(&LivelitName::new("nope")).is_none());
+    }
+
+    #[test]
+    fn ill_formed_definition_rejected_by_context() {
+        let mut phi = LivelitCtx::new();
+        let bad = LivelitDef::object(
+            "$broken",
+            vec![],
+            Typ::Int,
+            Typ::Unit,
+            IExp::Int(3), // not a function at all
+        );
+        assert!(phi.define(bad).is_err());
+        assert!(phi.is_empty());
+    }
+}

@@ -1,0 +1,124 @@
+//! The `Exp` reflection encoding: `e ↓ d` and `d ↑ e` (Sec. 4.2.1).
+//!
+//! Livelit expansion functions have type `τ_model → Exp`, where `Exp` is "a
+//! type whose values isomorphically encode external expressions. ... Any
+//! scheme is sufficient, so we leave it as a matter of implementation."
+//!
+//! Our scheme encodes an external expression as its canonical surface-syntax
+//! string: `Exp = Str` in the object language. The isomorphism is mediated
+//! by the pretty printer (encoding) and the parser (decoding), both from
+//! `hazel-lang`; the round-trip property is tested here and under proptest
+//! in the integration suite. The alternative structural scheme (a recursive
+//! sum with one arm per expression form, cf. Wyvern TSLs) is sketched in
+//! DESIGN.md; the string scheme was chosen because it keeps object-language
+//! expansion functions writable with the string primitives the core
+//! language already has (`^` concatenation).
+
+use hazel_lang::external::EExp;
+use hazel_lang::internal::IExp;
+use hazel_lang::parse::{parse_eexp, ParseError};
+use hazel_lang::pretty::print_eexp;
+use hazel_lang::typ::Typ;
+
+/// The object-language type of encoded external expressions.
+///
+/// `Def. 4.3` (livelit context well-formedness) checks expansion functions
+/// against `τ_model → Exp` with this `Exp`.
+pub fn exp_typ() -> Typ {
+    Typ::Str
+}
+
+/// The encoding judgement `e ↓ d`: encodes an external expression as an
+/// internal value of type [`exp_typ`].
+pub fn encode(e: &EExp) -> IExp {
+    IExp::Str(print_eexp(e, usize::MAX))
+}
+
+/// A decoding failure: the alleged encoding was not a string or did not
+/// parse.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DecodeError {
+    /// The encoded value was not a string value of type `Exp`.
+    NotAnEncoding,
+    /// The encoded string failed to parse as an external expression.
+    Malformed(ParseError),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::NotAnEncoding => write!(f, "encoded expansion is not a string value"),
+            DecodeError::Malformed(e) => write!(f, "encoded expansion failed to decode: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// The decoding judgement `d ↑ e`: decodes an internal value back to the
+/// external expression it encodes.
+///
+/// The paper notes "the isomorphism between encodings and external
+/// expressions ensures that decoding cannot fail" — for values *produced by*
+/// [`encode`]. Native and object-language expansion functions can produce
+/// arbitrary strings, so decoding is fallible here and a decode failure is
+/// reported as an expansion failure (a non-empty hole in Hazel, Sec. 5.1).
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] if `d` is not a string or does not parse.
+pub fn decode(d: &IExp) -> Result<EExp, DecodeError> {
+    match d {
+        IExp::Str(src) => parse_eexp(src).map_err(DecodeError::Malformed),
+        _ => Err(DecodeError::NotAnEncoding),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hazel_lang::build::*;
+    use hazel_lang::typ::Typ;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let samples = [
+            int(42),
+            lams(
+                [
+                    ("r", Typ::Int),
+                    ("g", Typ::Int),
+                    ("b", Typ::Int),
+                    ("a", Typ::Int),
+                ],
+                tuple([var("r"), var("g"), var("b"), var("a")]),
+            ),
+            elet("x", float(1.5), fadd(var("x"), float(2.0))),
+            record([("r", int(57)), ("g", int(107))]),
+            list(Typ::Float, [float(1.0), float(2.0)]),
+        ];
+        for e in &samples {
+            let d = encode(e);
+            assert_eq!(decode(&d).as_ref(), Ok(e), "roundtrip failed for {e:?}");
+        }
+    }
+
+    #[test]
+    fn encoding_has_exp_typ() {
+        let d = encode(&int(1));
+        assert!(hazel_lang::value::value_has_typ(&d, &exp_typ()));
+    }
+
+    #[test]
+    fn decode_rejects_non_strings() {
+        assert_eq!(decode(&IExp::Int(3)), Err(DecodeError::NotAnEncoding));
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(matches!(
+            decode(&IExp::Str("fun fun fun".into())),
+            Err(DecodeError::Malformed(_))
+        ));
+    }
+}

@@ -1,0 +1,468 @@
+//! The structural `Exp` encoding: the paper's sketched alternative scheme.
+//!
+//! "The simplest approach is to define Exp as a recursive sum type, with
+//! one arm for each form of external expression (cf. [Wyvern TSLs])."
+//! (Sec. 4.2.1.) This module implements exactly that: [`exp_typ`] is an
+//! iso-recursive sum with one arm per [`EExp`] form, and encode/decode
+//! mediate the isomorphism through `roll`/`inj` values. Types occurring in
+//! annotations are carried as their surface syntax (type-level reflection
+//! is orthogonal to the expression encoding).
+//!
+//! The string scheme in [`crate::encoding`] remains the default — it keeps
+//! object-language expansion functions writable with just `^` — but this
+//! scheme lets them *pattern-match* on expansions, exercises the recursive
+//! types of the calculus at scale, and is benchmarked against the string
+//! scheme in the `encoding` bench (ablation for the DESIGN.md decision).
+
+use hazel_lang::external::{CaseArm, EExp};
+use hazel_lang::ident::{HoleName, Label, TVar, Var};
+use hazel_lang::internal::IExp;
+use hazel_lang::ops::BinOp;
+use hazel_lang::parse::parse_typ;
+use hazel_lang::typ::Typ;
+use hazel_lang::value::iv;
+
+use crate::encoding::DecodeError;
+
+/// The arm labels of the `Exp` sum, with their payload *shapes*.
+const T: &str = "e";
+
+fn tvar() -> Typ {
+    Typ::Var(TVar::new(T))
+}
+
+fn arm_payloads() -> Vec<(Label, Typ)> {
+    let t = tvar();
+    let s = Typ::Str;
+    vec![
+        (Label::new("EVar"), s.clone()),
+        // (var, annotation type as surface syntax, body)
+        (
+            Label::new("ELam"),
+            Typ::tuple([s.clone(), s.clone(), t.clone()]),
+        ),
+        (Label::new("EAp"), Typ::tuple([t.clone(), t.clone()])),
+        // (var, annotation or "" for none, def, body)
+        (
+            Label::new("ELet"),
+            Typ::tuple([s.clone(), s.clone(), t.clone(), t.clone()]),
+        ),
+        (
+            Label::new("EFix"),
+            Typ::tuple([s.clone(), s.clone(), t.clone()]),
+        ),
+        (Label::new("EInt"), Typ::Int),
+        (Label::new("EFloat"), Typ::Float),
+        (Label::new("EBool"), Typ::Bool),
+        (Label::new("EStr"), s.clone()),
+        (Label::new("EUnit"), Typ::Unit),
+        // (operator symbol, lhs, rhs)
+        (
+            Label::new("EBin"),
+            Typ::tuple([s.clone(), t.clone(), t.clone()]),
+        ),
+        (
+            Label::new("EIf"),
+            Typ::tuple([t.clone(), t.clone(), t.clone()]),
+        ),
+        // fields: list of (label, subexpression)
+        (
+            Label::new("ETuple"),
+            Typ::list(Typ::tuple([s.clone(), t.clone()])),
+        ),
+        (Label::new("EProj"), Typ::tuple([t.clone(), s.clone()])),
+        // (sum type as syntax, arm label, payload)
+        (
+            Label::new("EInj"),
+            Typ::tuple([s.clone(), s.clone(), t.clone()]),
+        ),
+        // (scrutinee, arms: list of (label, var, body))
+        (
+            Label::new("ECase"),
+            Typ::tuple([
+                t.clone(),
+                Typ::list(Typ::tuple([s.clone(), s.clone(), t.clone()])),
+            ]),
+        ),
+        (Label::new("ENil"), s.clone()),
+        (Label::new("ECons"), Typ::tuple([t.clone(), t.clone()])),
+        (
+            Label::new("ELCase"),
+            Typ::tuple([t.clone(), t.clone(), s.clone(), s.clone(), t.clone()]),
+        ),
+        (Label::new("ERoll"), Typ::tuple([s.clone(), t.clone()])),
+        (Label::new("EUnroll"), t.clone()),
+        (Label::new("EAsc"), Typ::tuple([t.clone(), s.clone()])),
+        (Label::new("EHole"), Typ::Int),
+        (Label::new("ENEHole"), Typ::tuple([Typ::Int, t])),
+    ]
+}
+
+/// The structural `Exp` type: `μe. [.EVar Str | .ELam (Str, Str, 'e) | ...]`
+/// — one arm per external expression form.
+///
+/// The type (and its one-step unrolling) appear at every `roll`/`inj` node
+/// of an encoding, so both are constructed once and cloned from a cache.
+pub fn exp_typ() -> Typ {
+    static CACHE: std::sync::OnceLock<Typ> = std::sync::OnceLock::new();
+    CACHE
+        .get_or_init(|| Typ::rec(T, Typ::Sum(arm_payloads())))
+        .clone()
+}
+
+fn unrolled_exp_typ() -> Typ {
+    static CACHE: std::sync::OnceLock<Typ> = std::sync::OnceLock::new();
+    CACHE
+        .get_or_init(|| exp_typ().unroll().expect("exp_typ is recursive"))
+        .clone()
+}
+
+fn field_list_typ() -> Typ {
+    static CACHE: std::sync::OnceLock<Typ> = std::sync::OnceLock::new();
+    CACHE
+        .get_or_init(|| Typ::tuple([Typ::Str, exp_typ()]))
+        .clone()
+}
+
+fn case_arm_list_typ() -> Typ {
+    static CACHE: std::sync::OnceLock<Typ> = std::sync::OnceLock::new();
+    CACHE
+        .get_or_init(|| Typ::tuple([Typ::Str, Typ::Str, exp_typ()]))
+        .clone()
+}
+
+fn inj(label: &str, payload: IExp) -> IExp {
+    IExp::Roll(
+        exp_typ(),
+        Box::new(IExp::Inj(
+            unrolled_exp_typ(),
+            Label::new(label),
+            Box::new(payload),
+        )),
+    )
+}
+
+fn typ_str(t: &Typ) -> IExp {
+    IExp::Str(t.to_string())
+}
+
+/// The encoding judgement `e ↓ d` for the structural scheme.
+pub fn encode(e: &EExp) -> IExp {
+    match e {
+        EExp::Var(x) => inj("EVar", IExp::Str(x.as_str().into())),
+        EExp::Lam(x, t, b) => inj(
+            "ELam",
+            iv::tuple([IExp::Str(x.as_str().into()), typ_str(t), encode(b)]),
+        ),
+        EExp::Ap(a, b) => inj("EAp", iv::tuple([encode(a), encode(b)])),
+        EExp::Let(x, ann, a, b) => inj(
+            "ELet",
+            iv::tuple([
+                IExp::Str(x.as_str().into()),
+                IExp::Str(ann.as_ref().map(Typ::to_string).unwrap_or_default()),
+                encode(a),
+                encode(b),
+            ]),
+        ),
+        EExp::Fix(x, t, b) => inj(
+            "EFix",
+            iv::tuple([IExp::Str(x.as_str().into()), typ_str(t), encode(b)]),
+        ),
+        EExp::Int(n) => inj("EInt", IExp::Int(*n)),
+        EExp::Float(x) => inj("EFloat", IExp::Float(*x)),
+        EExp::Bool(b) => inj("EBool", IExp::Bool(*b)),
+        EExp::Str(s) => inj("EStr", IExp::Str(s.clone())),
+        EExp::Unit => inj("EUnit", IExp::Unit),
+        EExp::Bin(op, a, b) => inj(
+            "EBin",
+            iv::tuple([IExp::Str(op.symbol().into()), encode(a), encode(b)]),
+        ),
+        EExp::If(c, t, e2) => inj("EIf", iv::tuple([encode(c), encode(t), encode(e2)])),
+        EExp::Tuple(fields) => inj(
+            "ETuple",
+            iv::list(
+                field_list_typ(),
+                fields
+                    .iter()
+                    .map(|(l, fe)| iv::tuple([IExp::Str(l.as_str().into()), encode(fe)])),
+            ),
+        ),
+        EExp::Proj(e2, l) => inj(
+            "EProj",
+            iv::tuple([encode(e2), IExp::Str(l.as_str().into())]),
+        ),
+        EExp::Inj(t, l, e2) => inj(
+            "EInj",
+            iv::tuple([typ_str(t), IExp::Str(l.as_str().into()), encode(e2)]),
+        ),
+        EExp::Case(scrut, arms) => inj(
+            "ECase",
+            iv::tuple([
+                encode(scrut),
+                iv::list(
+                    case_arm_list_typ(),
+                    arms.iter().map(|arm| {
+                        iv::tuple([
+                            IExp::Str(arm.label.as_str().into()),
+                            IExp::Str(arm.var.as_str().into()),
+                            encode(&arm.body),
+                        ])
+                    }),
+                ),
+            ]),
+        ),
+        EExp::Nil(t) => inj("ENil", typ_str(t)),
+        EExp::Cons(a, b) => inj("ECons", iv::tuple([encode(a), encode(b)])),
+        EExp::ListCase(scrut, nil, h, t, cons) => inj(
+            "ELCase",
+            iv::tuple([
+                encode(scrut),
+                encode(nil),
+                IExp::Str(h.as_str().into()),
+                IExp::Str(t.as_str().into()),
+                encode(cons),
+            ]),
+        ),
+        EExp::Roll(t, e2) => inj("ERoll", iv::tuple([typ_str(t), encode(e2)])),
+        EExp::Unroll(e2) => inj("EUnroll", encode(e2)),
+        EExp::Asc(e2, t) => inj("EAsc", iv::tuple([encode(e2), typ_str(t)])),
+        EExp::EmptyHole(u) => inj("EHole", IExp::Int(u.0 as i64)),
+        EExp::NonEmptyHole(u, e2) => inj("ENEHole", iv::tuple([IExp::Int(u.0 as i64), encode(e2)])),
+    }
+}
+
+fn bad() -> DecodeError {
+    DecodeError::NotAnEncoding
+}
+
+fn get_str(d: &IExp) -> Result<String, DecodeError> {
+    d.as_str().map(str::to_owned).ok_or_else(bad)
+}
+
+fn get_typ(d: &IExp) -> Result<Typ, DecodeError> {
+    let src = get_str(d)?;
+    parse_typ(&src).map_err(DecodeError::Malformed)
+}
+
+fn field(d: &IExp, i: usize) -> Result<&IExp, DecodeError> {
+    d.field(&Label::positional(i)).ok_or_else(bad)
+}
+
+fn get_hole(d: &IExp) -> Result<HoleName, DecodeError> {
+    match d.as_int() {
+        Some(n) if n >= 0 => Ok(HoleName(n as u64)),
+        _ => Err(bad()),
+    }
+}
+
+/// The decoding judgement `d ↑ e` for the structural scheme.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] if `d` is not a value of the [`exp_typ`] shape.
+pub fn decode(d: &IExp) -> Result<EExp, DecodeError> {
+    let IExp::Roll(_, inner) = d else {
+        return Err(bad());
+    };
+    let IExp::Inj(_, label, payload) = inner.as_ref() else {
+        return Err(bad());
+    };
+    let p = payload.as_ref();
+    Ok(match label.as_str() {
+        "EVar" => EExp::Var(Var::new(get_str(p)?)),
+        "ELam" => EExp::Lam(
+            Var::new(get_str(field(p, 0)?)?),
+            get_typ(field(p, 1)?)?,
+            Box::new(decode(field(p, 2)?)?),
+        ),
+        "EAp" => EExp::Ap(
+            Box::new(decode(field(p, 0)?)?),
+            Box::new(decode(field(p, 1)?)?),
+        ),
+        "ELet" => {
+            let ann_src = get_str(field(p, 1)?)?;
+            let ann = if ann_src.is_empty() {
+                None
+            } else {
+                Some(parse_typ(&ann_src).map_err(DecodeError::Malformed)?)
+            };
+            EExp::Let(
+                Var::new(get_str(field(p, 0)?)?),
+                ann,
+                Box::new(decode(field(p, 2)?)?),
+                Box::new(decode(field(p, 3)?)?),
+            )
+        }
+        "EFix" => EExp::Fix(
+            Var::new(get_str(field(p, 0)?)?),
+            get_typ(field(p, 1)?)?,
+            Box::new(decode(field(p, 2)?)?),
+        ),
+        "EInt" => EExp::Int(p.as_int().ok_or_else(bad)?),
+        "EFloat" => EExp::Float(p.as_float().ok_or_else(bad)?),
+        "EBool" => EExp::Bool(p.as_bool().ok_or_else(bad)?),
+        "EStr" => EExp::Str(get_str(p)?),
+        "EUnit" => EExp::Unit,
+        "EBin" => {
+            let symbol = get_str(field(p, 0)?)?;
+            let op = BinOp::ALL
+                .into_iter()
+                .find(|op| op.symbol() == symbol)
+                .ok_or_else(bad)?;
+            EExp::Bin(
+                op,
+                Box::new(decode(field(p, 1)?)?),
+                Box::new(decode(field(p, 2)?)?),
+            )
+        }
+        "EIf" => EExp::If(
+            Box::new(decode(field(p, 0)?)?),
+            Box::new(decode(field(p, 1)?)?),
+            Box::new(decode(field(p, 2)?)?),
+        ),
+        "ETuple" => EExp::Tuple(
+            p.list_elements()
+                .ok_or_else(bad)?
+                .iter()
+                .map(|pair| {
+                    Ok((
+                        Label::new(get_str(field(pair, 0)?)?),
+                        decode(field(pair, 1)?)?,
+                    ))
+                })
+                .collect::<Result<_, DecodeError>>()?,
+        ),
+        "EProj" => EExp::Proj(
+            Box::new(decode(field(p, 0)?)?),
+            Label::new(get_str(field(p, 1)?)?),
+        ),
+        "EInj" => EExp::Inj(
+            get_typ(field(p, 0)?)?,
+            Label::new(get_str(field(p, 1)?)?),
+            Box::new(decode(field(p, 2)?)?),
+        ),
+        "ECase" => EExp::Case(
+            Box::new(decode(field(p, 0)?)?),
+            field(p, 1)?
+                .list_elements()
+                .ok_or_else(bad)?
+                .iter()
+                .map(|arm| {
+                    Ok(CaseArm {
+                        label: Label::new(get_str(field(arm, 0)?)?),
+                        var: Var::new(get_str(field(arm, 1)?)?),
+                        body: decode(field(arm, 2)?)?,
+                    })
+                })
+                .collect::<Result<_, DecodeError>>()?,
+        ),
+        "ENil" => EExp::Nil(get_typ(p)?),
+        "ECons" => EExp::Cons(
+            Box::new(decode(field(p, 0)?)?),
+            Box::new(decode(field(p, 1)?)?),
+        ),
+        "ELCase" => EExp::ListCase(
+            Box::new(decode(field(p, 0)?)?),
+            Box::new(decode(field(p, 1)?)?),
+            Var::new(get_str(field(p, 2)?)?),
+            Var::new(get_str(field(p, 3)?)?),
+            Box::new(decode(field(p, 4)?)?),
+        ),
+        "ERoll" => EExp::Roll(get_typ(field(p, 0)?)?, Box::new(decode(field(p, 1)?)?)),
+        "EUnroll" => EExp::Unroll(Box::new(decode(p)?)),
+        "EAsc" => EExp::Asc(Box::new(decode(field(p, 0)?)?), get_typ(field(p, 1)?)?),
+        "EHole" => EExp::EmptyHole(get_hole(p)?),
+        "ENEHole" => EExp::NonEmptyHole(get_hole(field(p, 0)?)?, Box::new(decode(field(p, 1)?)?)),
+        _ => return Err(bad()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hazel_lang::build::*;
+    use hazel_lang::value::value_has_typ;
+
+    fn samples() -> Vec<EExp> {
+        vec![
+            int(42),
+            float(-2.5),
+            string("hi"),
+            unit(),
+            var("x"),
+            lams(
+                [("r", Typ::Int), ("g", Typ::Int)],
+                record([("r", var("r")), ("g", var("g"))]),
+            ),
+            elet_ty("x", Typ::Int, hole(3), add(var("x"), int(1))),
+            ite(boolean(true), int(1), int(2)),
+            case(
+                hazel_lang::build::inj(
+                    Typ::sum([
+                        (Label::new("Some"), Typ::Int),
+                        (Label::new("None"), Typ::Unit),
+                    ]),
+                    "Some",
+                    int(5),
+                ),
+                [("Some", "n", var("n")), ("None", "w", int(0))],
+            ),
+            list(Typ::Float, [float(1.0), float(2.0)]),
+            lcase(nil(Typ::Int), int(0), "h", "t", var("h")),
+            asc(hole(9), Typ::Bool),
+            EExp::NonEmptyHole(HoleName(7), Box::new(boolean(true))),
+            bin(BinOp::Concat, string("a"), string("b")),
+        ]
+    }
+
+    #[test]
+    fn roundtrip_on_samples() {
+        for e in samples() {
+            let d = encode(&e);
+            assert_eq!(decode(&d).as_ref(), Ok(&e), "roundtrip failed for {e:?}");
+        }
+    }
+
+    #[test]
+    fn encodings_inhabit_the_recursive_sum() {
+        let ty = exp_typ();
+        for e in samples() {
+            let d = encode(&e);
+            assert!(
+                value_has_typ(&d, &ty),
+                "encoding of {e:?} is not a value of μe.[...]"
+            );
+        }
+    }
+
+    #[test]
+    fn exp_typ_is_closed_and_recursive() {
+        let ty = exp_typ();
+        assert!(ty.is_closed());
+        assert!(matches!(ty, Typ::Rec(..)));
+        // One arm per external expression form (24).
+        let unrolled = ty.unroll().unwrap();
+        match unrolled {
+            Typ::Sum(arms) => assert_eq!(arms.len(), 24),
+            other => panic!("expected sum, got {other}"),
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode(&IExp::Int(3)).is_err());
+        assert!(decode(&super::inj("ENoSuchArm", IExp::Unit)).is_err());
+        // Wrong payload shape.
+        assert!(decode(&super::inj("EInt", IExp::Bool(true))).is_err());
+    }
+
+    #[test]
+    fn agrees_with_string_scheme() {
+        // Both schemes mediate the same isomorphism.
+        for e in samples() {
+            let via_structural = decode(&encode(&e)).unwrap();
+            let via_string = crate::encoding::decode(&crate::encoding::encode(&e)).unwrap();
+            assert_eq!(via_structural, via_string);
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Edit actions over documents: a replayable, serializable edit-session
+//! layer.
+//!
+//! The paper does not formally model edit actions ("we focus on a single
+//! snapshot of the editor state. We leave an action semantics for livelits
+//! ... as future work", Sec. 4.2.2). This module provides the pragmatic
+//! layer an editor needs meanwhile: every state-changing operation on a
+//! [`Document`] is reified as an [`EditAction`] value — serializable, since
+//! models and actions are object-language values — so whole sessions can be
+//! recorded, persisted, and replayed deterministically.
+
+use serde::{Deserialize, Serialize};
+
+use hazel_lang::ident::{HoleName, LivelitName};
+use hazel_lang::unexpanded::UExp;
+use hazel_lang::IExp;
+use livelit_mvu::splice::SpliceRef;
+
+use crate::doc::{DocError, Document};
+use crate::registry::LivelitRegistry;
+
+/// One editor-level edit action.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EditAction {
+    /// Fill the empty hole `at` with a livelit (the code-completion action
+    /// of Fig. 1a/1b).
+    FillHole {
+        /// The hole to fill.
+        at: HoleName,
+        /// The livelit (or abbreviation) to invoke.
+        livelit: LivelitName,
+        /// Additional parameter expressions beyond any abbreviation prefix.
+        params: Vec<UExp>,
+    },
+    /// Dispatch a GUI action to the livelit at `at` (clicks, drags, ...).
+    Dispatch {
+        /// The livelit's hole.
+        at: HoleName,
+        /// The action value, as the livelit's view would emit it.
+        action: IExp,
+    },
+    /// Edit a splice's contents through its embedded editor / formula bar.
+    EditSplice {
+        /// The livelit's hole.
+        at: HoleName,
+        /// The splice to edit.
+        splice: SpliceRef,
+        /// The new spliced expression.
+        contents: UExp,
+    },
+    /// Select which collected closure the livelit sees (Fig. 2's toggle).
+    SelectClosure {
+        /// The livelit's hole.
+        at: HoleName,
+        /// The closure index.
+        index: usize,
+    },
+    /// Push an edited result value back into the livelit (Sec. 7).
+    PushResult {
+        /// The livelit's hole.
+        at: HoleName,
+        /// The desired expansion value.
+        value: IExp,
+    },
+}
+
+/// A recorded edit session.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EditScript {
+    /// The actions, in order.
+    pub actions: Vec<EditAction>,
+}
+
+impl EditScript {
+    /// An empty script.
+    pub fn new() -> EditScript {
+        EditScript::default()
+    }
+
+    /// Appends an action.
+    pub fn push(&mut self, action: EditAction) {
+        self.actions.push(action);
+    }
+
+    /// The number of recorded actions.
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// Whether the script is empty.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+}
+
+/// A replay failure: which action failed, and how.
+#[derive(Debug)]
+pub struct ReplayError {
+    /// Index of the failing action within the script.
+    pub index: usize,
+    /// The underlying document error.
+    pub error: Box<DocError>,
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "edit action {} failed: {}", self.index, self.error)
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+/// Applies one edit action to a document.
+///
+/// # Errors
+///
+/// See [`DocError`].
+pub fn apply_action(
+    registry: &LivelitRegistry,
+    doc: &mut Document,
+    action: &EditAction,
+) -> Result<(), DocError> {
+    match action {
+        EditAction::FillHole {
+            at,
+            livelit,
+            params,
+        } => doc.fill_hole_with_livelit(registry, *at, livelit.clone(), params.clone()),
+        EditAction::Dispatch { at, action } => doc.dispatch(*at, action),
+        EditAction::EditSplice {
+            at,
+            splice,
+            contents,
+        } => doc.edit_splice(*at, *splice, contents.clone()),
+        EditAction::SelectClosure { at, index } => doc.select_closure(*at, *index),
+        EditAction::PushResult { at, value } => {
+            doc.push_result(*at, value)?;
+            Ok(())
+        }
+    }
+}
+
+/// Replays a whole script against a document, stopping at the first
+/// failure.
+///
+/// # Errors
+///
+/// Returns the index and cause of the first failing action; actions before
+/// it have been applied.
+pub fn replay(
+    registry: &LivelitRegistry,
+    doc: &mut Document,
+    script: &EditScript,
+) -> Result<(), ReplayError> {
+    for (index, action) in script.actions.iter().enumerate() {
+        apply_action(registry, doc, action).map_err(|error| ReplayError {
+            index,
+            error: Box::new(error),
+        })?;
+    }
+    Ok(())
+}
+
+/// A document wrapper that records every edit it applies — the
+/// session-recording side of the replay facility.
+pub struct Recorder<'a> {
+    registry: &'a LivelitRegistry,
+    /// The document being edited.
+    pub doc: &'a mut Document,
+    /// The recorded script.
+    pub script: EditScript,
+}
+
+impl<'a> Recorder<'a> {
+    /// Starts recording edits to `doc`.
+    pub fn new(registry: &'a LivelitRegistry, doc: &'a mut Document) -> Recorder<'a> {
+        Recorder {
+            registry,
+            doc,
+            script: EditScript::new(),
+        }
+    }
+
+    /// Applies and records an action.
+    ///
+    /// # Errors
+    ///
+    /// Failed actions are not recorded.
+    pub fn apply(&mut self, action: EditAction) -> Result<(), DocError> {
+        apply_action(self.registry, self.doc, &action)?;
+        self.script.push(action);
+        Ok(())
+    }
+
+    /// Finishes recording, returning the script.
+    pub fn finish(self) -> EditScript {
+        self.script
+    }
+}

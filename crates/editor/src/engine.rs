@@ -1,0 +1,210 @@
+//! The live programming engine: the edit → feedback pipeline (Sec. 5.1).
+//!
+//! After every edit, Hazel re-runs: typed expansion → elaboration →
+//! evaluation with closure collection → livelit view computation. Every
+//! editor state is semantically meaningful; livelit failure modes are
+//! marked with non-empty holes so "erroneous expressions ... do not prevent
+//! other parts of the program from evaluating" (Sec. 2.4.1).
+
+use std::collections::BTreeMap;
+
+use hazel_lang::external::EExp;
+use hazel_lang::ident::HoleName;
+use hazel_lang::internal::IExp;
+use hazel_lang::typ::Typ;
+use hazel_lang::unexpanded::UExp;
+use livelit_core::cc::{collect_with_fuel, CollectError, Collection};
+use livelit_core::def::LivelitCtx;
+use livelit_core::expansion::{expand_invocation, expand_typed, ExpandError};
+use livelit_mvu::html::Html;
+use livelit_mvu::livelit::{Action, CmdError};
+
+use crate::doc::{DocError, Document};
+use crate::registry::LivelitRegistry;
+
+/// Default evaluation fuel for the interactive pipeline.
+pub const ENGINE_FUEL: u64 = 4_000_000;
+
+/// A livelit error marked during the pre-pass, attributed to the invocation
+/// (hole) it arose at.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MarkedError {
+    /// The livelit hole whose invocation failed.
+    pub hole: HoleName,
+    /// The failure.
+    pub error: ExpandError,
+}
+
+/// Everything the editor needs to refresh the display after an edit.
+#[derive(Debug, Clone)]
+pub struct EngineOutput {
+    /// The full expansion of the (marked) program.
+    pub expansion: EExp,
+    /// Its type.
+    pub ty: Typ,
+    /// The closure collection (cc-expansion, Ω, environments per livelit).
+    pub collection: Collection,
+    /// The final program result, computed by fill-and-resume from the
+    /// collection (Sec. 4.3.2) — not by re-evaluating from scratch.
+    pub result: IExp,
+    /// Livelit failures marked as non-empty holes during the pre-pass.
+    pub errors: Vec<MarkedError>,
+    /// The computed view for each livelit instance, under its selected
+    /// closure.
+    pub views: BTreeMap<HoleName, Html<Action>>,
+    /// View-computation failures, displayed in place of the GUI (not
+    /// semantic errors, Sec. 5.1).
+    pub view_errors: BTreeMap<HoleName, CmdError>,
+}
+
+/// An engine failure (the program itself is broken in a way error-marking
+/// cannot absorb).
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// Expansion/typing/evaluation of the (marked) program failed.
+    Collect(CollectError),
+    /// A document operation failed.
+    Doc(DocError),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Collect(e) => write!(f, "{e}"),
+            EngineError::Doc(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<CollectError> for EngineError {
+    fn from(e: CollectError) -> EngineError {
+        EngineError::Collect(e)
+    }
+}
+
+impl From<DocError> for EngineError {
+    fn from(e: DocError) -> EngineError {
+        EngineError::Doc(e)
+    }
+}
+
+/// Marks failing livelit invocations with empty holes (at their invocation
+/// hole name) so the rest of the program still evaluates, returning the
+/// marked program and the errors. This implements the non-empty-hole error
+/// marking of Sec. 5.1 for the `ELivelit` failure modes.
+pub fn mark_livelit_errors(phi: &LivelitCtx, program: &UExp) -> (UExp, Vec<MarkedError>) {
+    let mut errors = Vec::new();
+    let marked = program.map(&mut |e| match e {
+        UExp::Livelit(ap) => match expand_invocation(phi, &ap) {
+            Ok(pe) => {
+                // Keep the invocation, but remember its type for the
+                // fallback hole if a *splice* fails later: not needed —
+                // splice failures are their own invocations' failures.
+                let _ = pe;
+                UExp::Livelit(ap)
+            }
+            Err(error) => {
+                errors.push(MarkedError {
+                    hole: ap.hole,
+                    error,
+                });
+                // Replace the invocation with an ascribed hole at the
+                // expansion type when known, so the surrounding program
+                // still types; otherwise a bare hole.
+                match phi.get(&ap.name) {
+                    Some(def) => {
+                        UExp::Asc(Box::new(UExp::EmptyHole(ap.hole)), def.expansion_ty.clone())
+                    }
+                    None => UExp::EmptyHole(ap.hole),
+                }
+            }
+        },
+        other => other,
+    });
+    (marked, errors)
+}
+
+/// Runs the full pipeline on a document.
+///
+/// # Errors
+///
+/// Returns [`EngineError`] when the program is broken beyond error-marking
+/// (ill-typed outside livelits, diverging, ...).
+pub fn run(registry: &LivelitRegistry, doc: &Document) -> Result<EngineOutput, EngineError> {
+    run_with_fuel(registry, doc, ENGINE_FUEL)
+}
+
+/// [`run`] with an explicit fuel budget.
+///
+/// # Errors
+///
+/// See [`run`].
+pub fn run_with_fuel(
+    registry: &LivelitRegistry,
+    doc: &Document,
+    fuel: u64,
+) -> Result<EngineOutput, EngineError> {
+    let phi = registry.phi();
+    let program = doc.full_program();
+
+    // Pre-pass: absorb livelit failures into holes.
+    let (marked, errors) = mark_livelit_errors(&phi, &program);
+
+    // Full expansion (for display/inspection, Sec. 2.2's toggle).
+    let (expansion, ty, _delta) = expand_typed(&phi, &hazel_lang::typing::Ctx::empty(), &marked)
+        .map_err(CollectError::Expand)?;
+
+    // Closure collection over the marked program.
+    let collection = collect_with_fuel(&phi, &marked, fuel)?;
+
+    // Final result by fill-and-resume (Sec. 4.3.2).
+    let result = collection.resume_result().map_err(CollectError::Eval)?;
+
+    let mut output = EngineOutput {
+        expansion,
+        ty,
+        collection,
+        result,
+        errors,
+        views: BTreeMap::new(),
+        view_errors: BTreeMap::new(),
+    };
+    recompute_views(registry, doc, &mut output, fuel);
+    Ok(output)
+}
+
+/// Recomputes each livelit's view under its selected closure, in place.
+/// Used by both the full pipeline and the incremental fast path (views
+/// depend on models and environments, which both may have changed).
+pub(crate) fn recompute_views(
+    registry: &LivelitRegistry,
+    doc: &Document,
+    output: &mut EngineOutput,
+    fuel: u64,
+) {
+    let phi = registry.phi();
+    output.views.clear();
+    output.view_errors.clear();
+    for u in doc.livelit_holes() {
+        let Some(instance) = doc.instance(u) else {
+            continue;
+        };
+        let envs = output.collection.envs_for(u);
+        let gamma = output
+            .collection
+            .delta
+            .get(u)
+            .map(|hyp| hyp.ctx.clone())
+            .unwrap_or_else(|| doc.prelude_ctx());
+        match instance.view(&phi, &gamma, envs, fuel) {
+            Ok(view) => {
+                output.views.insert(u, view);
+            }
+            Err(e) => {
+                output.view_errors.insert(u, e);
+            }
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! The incremental engine: fill-and-resume as an editor service.
+//!
+//! Sec. 4.3.2: "If the editor has already performed environment collection,
+//! then it can simply continue from where it left off by filling and
+//! resuming the remaining top-level livelit holes." The cc-expansion — and
+//! therefore the collected proto-result and environments — depends only on
+//! the program *skeleton* (code, splices, types), not on livelit models:
+//! models enter the pipeline solely through the parameterized expansions
+//! gathered in Ω. So an edit that changes only models (a slider drag, a
+//! paddle drag, a palette click) can reuse the cached proto-result and
+//! merely rebuild Ω before filling and resuming.
+//!
+//! [`IncrementalEngine::run`] detects this case by comparing model-erased
+//! skeletons and falls back to the full pipeline otherwise.
+
+use hazel_lang::internal::IExp;
+use hazel_lang::unexpanded::{LivelitAp, UExp};
+use livelit_core::cc::{cc_expand, CollectError, Omega};
+use livelit_core::expansion::expand_invocation;
+
+use crate::doc::Document;
+use crate::engine::{run_with_fuel, EngineError, EngineOutput, ENGINE_FUEL};
+use crate::registry::LivelitRegistry;
+
+/// Erases livelit models (and, transitively, nothing else) from a program,
+/// producing the skeleton that determines the cc-expansion.
+fn skeleton(e: &UExp) -> UExp {
+    e.map(&mut |e| match e {
+        UExp::Livelit(ap) => UExp::Livelit(Box::new(LivelitAp {
+            name: ap.name.clone(),
+            model: IExp::Unit,
+            splices: ap.splices,
+            hole: ap.hole,
+        })),
+        other => other,
+    })
+}
+
+/// An engine that caches closure collection across edits and re-runs only
+/// fill-and-resume when an edit touched nothing but livelit models.
+pub struct IncrementalEngine {
+    fuel: u64,
+    cached: Option<Cached>,
+    /// Statistics: how many runs took the incremental path.
+    pub incremental_hits: usize,
+    /// Statistics: how many runs re-collected from scratch.
+    pub full_runs: usize,
+}
+
+struct Cached {
+    skeleton: UExp,
+    output: EngineOutput,
+}
+
+impl IncrementalEngine {
+    /// Creates an engine with the default fuel budget.
+    pub fn new() -> IncrementalEngine {
+        IncrementalEngine::with_fuel(ENGINE_FUEL)
+    }
+
+    /// Creates an engine with an explicit fuel budget.
+    pub fn with_fuel(fuel: u64) -> IncrementalEngine {
+        IncrementalEngine {
+            fuel,
+            cached: None,
+            incremental_hits: 0,
+            full_runs: 0,
+        }
+    }
+
+    /// Runs the pipeline, incrementally when possible.
+    ///
+    /// # Errors
+    ///
+    /// See [`EngineError`].
+    pub fn run(
+        &mut self,
+        registry: &LivelitRegistry,
+        doc: &Document,
+    ) -> Result<&EngineOutput, EngineError> {
+        let program = doc.full_program();
+        let current_skeleton = skeleton(&program);
+
+        let reusable = self
+            .cached
+            .as_ref()
+            .is_some_and(|c| c.skeleton == current_skeleton && c.output.errors.is_empty());
+
+        if reusable {
+            // Fast path: rebuild Ω from the current models (premises 1–5 of
+            // ELivelit per invocation), reuse the evaluated cc-expansion,
+            // and fill-and-resume.
+            let phi = registry.phi();
+            let mut omega = Omega::default();
+            match cc_expand(&phi, &program, &mut omega) {
+                Ok(_) => {
+                    // The displayed full expansion also depends on models;
+                    // recompute it (cheap relative to evaluation — see B1).
+                    let (expansion, ty, _) = livelit_core::expansion::expand_typed(
+                        &phi,
+                        &hazel_lang::typing::Ctx::empty(),
+                        &program,
+                    )
+                    .map_err(CollectError::Expand)?;
+                    let cached = self.cached.as_mut().expect("checked above");
+                    let mut output = cached.output.clone();
+                    output.expansion = expansion;
+                    output.ty = ty;
+                    output.collection.omega = omega;
+                    // Re-resume environments under the fresh Ω.
+                    match output.collection.refresh_after_omega_change() {
+                        Ok(()) => {}
+                        Err(e) => return Err(EngineError::Collect(e.into())),
+                    }
+                    match output.collection.resume_result() {
+                        Ok(result) => {
+                            output.result = result;
+                            // Views depend on models and environments;
+                            // recompute them.
+                            crate::engine::recompute_views(registry, doc, &mut output, self.fuel);
+                            cached.output = output;
+                            self.incremental_hits += 1;
+                            return Ok(&self.cached.as_ref().expect("set above").output);
+                        }
+                        Err(e) => return Err(EngineError::Collect(CollectError::Eval(e))),
+                    }
+                }
+                Err(_) => {
+                    // A model change broke expansion (e.g. an ill-typed
+                    // model): fall through to the full path, which marks
+                    // the error.
+                }
+            }
+        }
+
+        // Full path.
+        let output = run_with_fuel(registry, doc, self.fuel)?;
+        self.full_runs += 1;
+        self.cached = Some(Cached {
+            skeleton: current_skeleton,
+            output,
+        });
+        Ok(&self.cached.as_ref().expect("just set").output)
+    }
+
+    /// Drops the cache (e.g. when the registry changes).
+    pub fn invalidate(&mut self) {
+        self.cached = None;
+    }
+}
+
+impl Default for IncrementalEngine {
+    fn default() -> IncrementalEngine {
+        IncrementalEngine::new()
+    }
+}
+
+/// Verifies an invocation's premises without building anything — used by
+/// tests to characterize the fast path's per-invocation cost.
+///
+/// # Errors
+///
+/// See [`livelit_core::expansion::ExpandError`].
+pub fn revalidate_invocation(
+    registry: &LivelitRegistry,
+    ap: &LivelitAp,
+) -> Result<(), livelit_core::expansion::ExpandError> {
+    expand_invocation(&registry.phi(), ap).map(|_| ())
+}

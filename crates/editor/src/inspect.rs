@@ -1,0 +1,60 @@
+//! Cursor inspection: the typing information Hazel shows as the cursor
+//! moves.
+//!
+//! - "Hazel displays the information in the livelit declaration when the
+//!   cursor is on the livelit's name, just as it displays typing
+//!   information in other situations" (Sec. 2.3) — [`describe_livelit`].
+//! - "The livelit provides an expected type for each splice when it is
+//!   created. ... Hazel displays and uses the expected type when the cursor
+//!   is on the splice" (Sec. 2.4.2) — [`describe_splice`].
+
+use hazel_lang::ident::{HoleName, LivelitName};
+use livelit_mvu::splice::SpliceRef;
+
+use crate::doc::Document;
+use crate::registry::LivelitRegistry;
+
+/// The declaration summary shown when the cursor is on a livelit's name:
+/// `livelit $slider (Int) (Int) at Int`, plus the abbreviation chain when
+/// the name is an abbreviation.
+pub fn describe_livelit(registry: &LivelitRegistry, name: &LivelitName) -> Option<String> {
+    let (livelit, prefix) = registry.resolve(name).ok()??;
+    let params = livelit
+        .param_tys()
+        .iter()
+        .map(|t| format!("({t})"))
+        .collect::<Vec<_>>()
+        .join(" ");
+    let head = if params.is_empty() {
+        format!("livelit {} at {}", livelit.name(), livelit.expansion_ty())
+    } else {
+        format!(
+            "livelit {} {params} at {}",
+            livelit.name(),
+            livelit.expansion_ty()
+        )
+    };
+    if name == &livelit.name() {
+        Some(head)
+    } else {
+        Some(format!(
+            "{name} = {} applied to {} parameter(s) — {head}",
+            livelit.name(),
+            prefix.len(),
+        ))
+    }
+}
+
+/// The expected-type summary shown when the cursor is on a splice of the
+/// livelit at `hole`: `splice s2 of $color : Int = baseline + 50`.
+pub fn describe_splice(doc: &Document, hole: HoleName, splice: SpliceRef) -> Option<String> {
+    let instance = doc.instance(hole)?;
+    let info = instance.store().get(splice)?;
+    let role = if info.is_param { "parameter" } else { "splice" };
+    Some(format!(
+        "{role} {splice} of {} : {} = {}",
+        instance.name(),
+        info.ty,
+        hazel_lang::pretty::print_uexp(&info.content, 60),
+    ))
+}

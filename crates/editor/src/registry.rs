@@ -1,0 +1,105 @@
+//! The livelit registry: implementations and abbreviations in scope.
+//!
+//! "Providers define livelits in libraries. Clients invoke livelits by
+//! name" — decentralized extensibility (Sec. 1.2). The registry is the
+//! editor's library path: it maps names to [`Livelit`] implementations,
+//! resolves abbreviations, and derives the calculus-level livelit context Φ
+//! used by expansion and closure collection.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use hazel_lang::ident::LivelitName;
+use hazel_lang::unexpanded::UExp;
+use livelit_core::def::LivelitCtx;
+use livelit_mvu::abbrev::{AbbrevCtx, AbbrevError};
+use livelit_mvu::host::def_for;
+use livelit_mvu::livelit::Livelit;
+
+/// A resolved livelit: the base implementation and the prefix of applied
+/// parameter expressions contributed by abbreviations.
+pub type Resolved = (Arc<dyn Livelit>, Vec<UExp>);
+
+/// A registry of livelit implementations and abbreviations.
+#[derive(Default, Clone)]
+pub struct LivelitRegistry {
+    impls: BTreeMap<LivelitName, Arc<dyn Livelit>>,
+    abbrevs: AbbrevCtx,
+}
+
+impl LivelitRegistry {
+    /// An empty registry.
+    pub fn new() -> LivelitRegistry {
+        LivelitRegistry::default()
+    }
+
+    /// Registers a livelit implementation under its own name.
+    pub fn register(&mut self, livelit: Arc<dyn Livelit>) {
+        self.impls.insert(livelit.name(), livelit);
+    }
+
+    /// Defines an abbreviation `let $name = $base e1 ... ek in ...`
+    /// (partial parameter application, Sec. 2.4.1).
+    pub fn define_abbrev(
+        &mut self,
+        name: impl Into<LivelitName>,
+        base: impl Into<LivelitName>,
+        applied: Vec<UExp>,
+    ) {
+        self.abbrevs.define(name, base, applied);
+    }
+
+    /// Looks up an implementation by (unabbreviated) name.
+    pub fn get(&self, name: &LivelitName) -> Option<&Arc<dyn Livelit>> {
+        self.impls.get(name)
+    }
+
+    /// Resolves a possibly-abbreviated name to its base implementation and
+    /// the prefix of applied parameter expressions.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` for abbreviation cycles; `Ok(None)` when the base name
+    /// is not registered.
+    pub fn resolve(&self, name: &LivelitName) -> Result<Option<Resolved>, AbbrevError> {
+        let (base, prefix) = self.abbrevs.resolve(name)?;
+        Ok(self.impls.get(&base).map(|l| (Arc::clone(l), prefix)))
+    }
+
+    /// Derives the livelit context Φ for the calculus: one definition per
+    /// registered implementation.
+    pub fn phi(&self) -> LivelitCtx {
+        let mut phi = LivelitCtx::new();
+        for livelit in self.impls.values() {
+            // def_for produces a well-formed native definition; native
+            // definitions are trusted at definition time (Sec. 3.2.5), so
+            // this cannot fail.
+            phi.define(def_for(livelit))
+                .expect("native definitions are well-formed by construction");
+        }
+        phi
+    }
+
+    /// Iterates over registered implementations in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&LivelitName, &Arc<dyn Livelit>)> {
+        self.impls.iter()
+    }
+
+    /// The number of registered implementations.
+    pub fn len(&self) -> usize {
+        self.impls.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.impls.is_empty()
+    }
+}
+
+impl std::fmt::Debug for LivelitRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LivelitRegistry")
+            .field("impls", &self.impls.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}

@@ -1,0 +1,68 @@
+//! Text-editor integration (Sec. 5.2).
+//!
+//! "Livelits do not require the use of a structure editor. ... Interactions
+//! with this GUI cause the serialized model in the text buffer to be
+//! changed, which updates the view." Programs — livelit invocations
+//! included — serialize to plain text in the `$name@u{model}(splice : τ;
+//! ...)` syntax and parse back, so a syntax-recognizing text editor can host
+//! the same GUIs.
+
+use hazel_lang::parse::{parse_uexp, ParseError};
+use hazel_lang::pretty::print_uexp;
+
+use crate::doc::{DocError, Document, PreludeBinding};
+use crate::registry::LivelitRegistry;
+
+/// A buffer-load failure.
+#[derive(Debug)]
+pub enum BufferError {
+    /// The buffer does not parse.
+    Parse(ParseError),
+    /// The parsed program could not be instantiated as a document.
+    Doc(DocError),
+}
+
+impl std::fmt::Display for BufferError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BufferError::Parse(e) => write!(f, "{e}"),
+            BufferError::Doc(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for BufferError {}
+
+impl From<ParseError> for BufferError {
+    fn from(e: ParseError) -> BufferError {
+        BufferError::Parse(e)
+    }
+}
+
+impl From<DocError> for BufferError {
+    fn from(e: DocError) -> BufferError {
+        BufferError::Doc(e)
+    }
+}
+
+/// Serializes a document's program to a text buffer at the given width.
+/// Only the models and splices of livelit invocations are persisted — the
+/// expansions are regenerated on load (Sec. 3.2.5).
+pub fn save_buffer(doc: &Document, width: usize) -> String {
+    print_uexp(doc.program(), width)
+}
+
+/// Parses a text buffer into a live document, restoring a livelit instance
+/// for every serialized invocation.
+///
+/// # Errors
+///
+/// See [`BufferError`].
+pub fn load_buffer(
+    registry: &LivelitRegistry,
+    prelude: Vec<PreludeBinding>,
+    buffer: &str,
+) -> Result<Document, BufferError> {
+    let program = parse_uexp(buffer)?;
+    Ok(Document::new(registry, prelude, program)?)
+}

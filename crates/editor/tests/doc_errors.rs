@@ -1,0 +1,135 @@
+//! Document-level error paths and bookkeeping.
+
+use hazel_editor::{DocError, Document, LivelitRegistry};
+use hazel_lang::parse::parse_uexp;
+use hazel_lang::unexpanded::{LivelitAp, UExp};
+use hazel_lang::{HoleName, IExp, LivelitName, Typ};
+
+fn std_registry() -> LivelitRegistry {
+    let mut registry = LivelitRegistry::new();
+    livelit_std::register_all(&mut registry);
+    registry
+}
+
+#[test]
+fn unknown_livelit_in_program_is_rejected_at_open() {
+    let registry = std_registry();
+    let program = parse_uexp("$ghost@0{()}").unwrap();
+    match Document::new(&registry, vec![], program) {
+        Err(DocError::UnknownLivelit(name)) => {
+            assert_eq!(name, LivelitName::new("$ghost"));
+        }
+        other => panic!("expected UnknownLivelit, got {other:?}"),
+    }
+}
+
+#[test]
+fn duplicate_livelit_holes_rejected() {
+    let registry = std_registry();
+    // Two invocations sharing hole 0.
+    let inv = || {
+        UExp::Livelit(Box::new(LivelitAp {
+            name: LivelitName::new("$checkbox"),
+            model: IExp::Bool(false),
+            splices: vec![],
+            hole: HoleName(0),
+        }))
+    };
+    let program = UExp::Tuple(vec![
+        (hazel_lang::Label::positional(0), inv()),
+        (hazel_lang::Label::positional(1), inv()),
+    ]);
+    assert!(matches!(
+        Document::new(&registry, vec![], program),
+        Err(DocError::DuplicateHole(HoleName(0)))
+    ));
+}
+
+#[test]
+fn abbreviation_cycles_rejected() {
+    let mut registry = std_registry();
+    registry.define_abbrev("$a", "$b", vec![]);
+    registry.define_abbrev("$b", "$a", vec![]);
+    let program = parse_uexp("$a@0{()}").unwrap();
+    assert!(matches!(
+        Document::new(&registry, vec![], program),
+        Err(DocError::AbbrevCycle(_))
+    ));
+}
+
+#[test]
+fn operations_on_missing_instances_fail_cleanly() {
+    let registry = std_registry();
+    let mut doc = Document::new(&registry, vec![], parse_uexp("1 + 1").unwrap()).unwrap();
+    assert!(matches!(
+        doc.dispatch(HoleName(5), &IExp::Unit),
+        Err(DocError::NoInstance(HoleName(5)))
+    ));
+    assert!(matches!(
+        doc.select_closure(HoleName(5), 0),
+        Err(DocError::NoInstance(_))
+    ));
+    assert!(matches!(
+        doc.push_result(HoleName(5), &IExp::Int(1)),
+        Err(DocError::NoInstance(_))
+    ));
+    assert!(matches!(
+        doc.edit_splice(HoleName(5), livelit_mvu::SpliceRef(0), UExp::Int(1)),
+        Err(DocError::NoInstance(_))
+    ));
+}
+
+#[test]
+fn fill_hole_with_unknown_name_fails() {
+    let registry = std_registry();
+    let mut doc = Document::new(
+        &registry,
+        vec![],
+        UExp::Asc(Box::new(UExp::EmptyHole(HoleName(0))), Typ::Int),
+    )
+    .unwrap();
+    assert!(matches!(
+        doc.fill_hole_with_livelit(&registry, HoleName(0), "$nope", vec![]),
+        Err(DocError::UnknownLivelit(_))
+    ));
+    // The hole is still there, fillable with a real livelit.
+    doc.fill_hole_with_livelit(&registry, HoleName(0), "$percent", vec![])
+        .unwrap();
+    assert!(doc.instance(HoleName(0)).is_some());
+}
+
+#[test]
+fn fresh_hole_names_do_not_collide() {
+    let registry = std_registry();
+    let mut doc = Document::new(&registry, vec![], parse_uexp("(?3, ?7)").unwrap()).unwrap();
+    let u1 = doc.fresh_hole();
+    let u2 = doc.fresh_hole();
+    assert!(u1.0 > 7);
+    assert_ne!(u1, u2);
+}
+
+#[test]
+fn livelit_holes_listed_in_order() {
+    let registry = std_registry();
+    let program = parse_uexp("($checkbox@4{true}, $slider@2{1}(0 : Int; 9 : Int))").unwrap();
+    let doc = Document::new(&registry, vec![], program).unwrap();
+    assert_eq!(doc.livelit_holes(), vec![HoleName(2), HoleName(4)]);
+    assert!(doc.sync_errors().is_empty());
+}
+
+#[test]
+fn restore_rejects_corrupt_persisted_state() {
+    // A persisted $slider invocation whose splice count disagrees with its
+    // model: restoration fails with a clear error.
+    let registry = std_registry();
+    let program = UExp::Livelit(Box::new(LivelitAp {
+        name: LivelitName::new("$slider"),
+        model: IExp::Int(5),
+        splices: vec![], // should be two parameter splices
+        hole: HoleName(0),
+    }));
+    assert!(matches!(
+        Document::new(&registry, vec![], program),
+        Err(DocError::Cmd(_))
+    ));
+}

@@ -1,0 +1,60 @@
+//! Cursor-inspection tests (Secs. 2.3, 2.4.2).
+
+use hazel_editor::inspect::{describe_livelit, describe_splice};
+use hazel_editor::{Document, LivelitRegistry};
+use hazel_lang::ident::{HoleName, LivelitName};
+use livelit_mvu::splice::SpliceRef;
+
+use hazel_lang::parse::parse_uexp;
+
+fn registry() -> LivelitRegistry {
+    let mut registry = LivelitRegistry::new();
+    livelit_std::register_all(&mut registry);
+    registry
+}
+
+#[test]
+fn describes_declarations() {
+    let registry = registry();
+    assert_eq!(
+        describe_livelit(&registry, &LivelitName::new("$slider")).unwrap(),
+        "livelit $slider (Int) (Int) at Int"
+    );
+    assert_eq!(
+        describe_livelit(&registry, &LivelitName::new("$checkbox")).unwrap(),
+        "livelit $checkbox at Bool"
+    );
+    // Abbreviations report their chain.
+    let percent = describe_livelit(&registry, &LivelitName::new("$percent")).unwrap();
+    assert!(
+        percent.contains("$percent = $slider applied to 2 parameter(s)"),
+        "{percent}"
+    );
+    assert!(describe_livelit(&registry, &LivelitName::new("$nope")).is_none());
+}
+
+#[test]
+fn describes_splices() {
+    let registry = registry();
+    let program = parse_uexp(
+        "let baseline = 57 in \
+         $slider@0{5}(baseline : Int; 100 : Int)",
+    )
+    .unwrap();
+    let doc = Document::new(&registry, vec![], program).unwrap();
+    let text = describe_splice(&doc, HoleName(0), SpliceRef(0)).unwrap();
+    assert_eq!(text, "parameter s0 of $slider : Int = baseline");
+    assert!(describe_splice(&doc, HoleName(0), SpliceRef(9)).is_none());
+    assert!(describe_splice(&doc, HoleName(7), SpliceRef(0)).is_none());
+}
+
+#[test]
+fn describes_grade_cutoffs_signature() {
+    let registry = registry();
+    // The Sec. 2.3 declaration display for $grade_cutoffs.
+    let text = describe_livelit(&registry, &LivelitName::new("$grade_cutoffs")).unwrap();
+    assert_eq!(
+        text,
+        "livelit $grade_cutoffs (List(Float)) at (.A Float, .B Float, .C Float, .D Float)"
+    );
+}

@@ -1,0 +1,285 @@
+//! A builder DSL for constructing external expressions in Rust code.
+//!
+//! The paper's livelit definitions use quasiquotation (`` `fun r g b a ->
+//! (r, g, b, a)` ``, Fig. 3) to construct expansions. Rust-native livelits
+//! get the same ergonomics two ways: this combinator DSL, or the full parser
+//! in [`crate::parse`]. These functions favor brevity over namespacing; the
+//! intended use is `use hazel_lang::build::*;`.
+
+use crate::external::{CaseArm, EExp};
+use crate::ident::{Label, Var};
+use crate::ops::BinOp;
+use crate::typ::Typ;
+
+/// A variable reference.
+pub fn var(x: &str) -> EExp {
+    EExp::Var(Var::new(x))
+}
+
+/// An integer literal.
+pub fn int(n: i64) -> EExp {
+    EExp::Int(n)
+}
+
+/// A float literal.
+pub fn float(x: f64) -> EExp {
+    EExp::Float(x)
+}
+
+/// A boolean literal.
+pub fn boolean(b: bool) -> EExp {
+    EExp::Bool(b)
+}
+
+/// A string literal.
+pub fn string(s: &str) -> EExp {
+    EExp::Str(s.to_owned())
+}
+
+/// The unit value.
+pub fn unit() -> EExp {
+    EExp::Unit
+}
+
+/// A lambda `fun x : τ -> body`.
+pub fn lam(x: &str, ty: Typ, body: EExp) -> EExp {
+    EExp::Lam(Var::new(x), ty, Box::new(body))
+}
+
+/// Nested lambdas `fun x1 : τ1 -> ... -> body` (the curried shape of
+/// parameterized expansions).
+pub fn lams<'a>(params: impl IntoIterator<Item = (&'a str, Typ)>, body: EExp) -> EExp {
+    let params: Vec<(&str, Typ)> = params.into_iter().collect();
+    params
+        .into_iter()
+        .rev()
+        .fold(body, |acc, (x, t)| lam(x, t, acc))
+}
+
+/// Application `f a`.
+pub fn ap(f: EExp, a: EExp) -> EExp {
+    EExp::Ap(Box::new(f), Box::new(a))
+}
+
+/// Curried application `f a1 a2 ...`.
+pub fn aps(f: EExp, args: impl IntoIterator<Item = EExp>) -> EExp {
+    args.into_iter().fold(f, ap)
+}
+
+/// An unannotated let binding `let x = def in body`.
+pub fn elet(x: &str, def: EExp, body: EExp) -> EExp {
+    EExp::Let(Var::new(x), None, Box::new(def), Box::new(body))
+}
+
+/// An annotated let binding `let x : τ = def in body`.
+pub fn elet_ty(x: &str, ty: Typ, def: EExp, body: EExp) -> EExp {
+    EExp::Let(Var::new(x), Some(ty), Box::new(def), Box::new(body))
+}
+
+/// A fixpoint `fix x : τ -> body`.
+pub fn fix(x: &str, ty: Typ, body: EExp) -> EExp {
+    EExp::Fix(Var::new(x), ty, Box::new(body))
+}
+
+/// A recursive function definition: `let rec f : τ = fun ... in body`,
+/// encoded as `let f = fix f : τ -> def in body`.
+pub fn letrec(f: &str, ty: Typ, def: EExp, body: EExp) -> EExp {
+    EExp::Let(
+        Var::new(f),
+        Some(ty.clone()),
+        Box::new(fix(f, ty, def)),
+        Box::new(body),
+    )
+}
+
+/// A binary operation.
+pub fn bin(op: BinOp, a: EExp, b: EExp) -> EExp {
+    EExp::Bin(op, Box::new(a), Box::new(b))
+}
+
+/// Integer addition.
+pub fn add(a: EExp, b: EExp) -> EExp {
+    bin(BinOp::Add, a, b)
+}
+
+/// Integer subtraction.
+pub fn sub(a: EExp, b: EExp) -> EExp {
+    bin(BinOp::Sub, a, b)
+}
+
+/// Integer multiplication.
+pub fn mul(a: EExp, b: EExp) -> EExp {
+    bin(BinOp::Mul, a, b)
+}
+
+/// Float addition `+.`.
+pub fn fadd(a: EExp, b: EExp) -> EExp {
+    bin(BinOp::FAdd, a, b)
+}
+
+/// Float multiplication `*.`.
+pub fn fmul(a: EExp, b: EExp) -> EExp {
+    bin(BinOp::FMul, a, b)
+}
+
+/// A conditional.
+pub fn ite(c: EExp, t: EExp, e: EExp) -> EExp {
+    EExp::If(Box::new(c), Box::new(t), Box::new(e))
+}
+
+/// A positional tuple `(e1, ..., en)` with labels `_0`, `_1`, ....
+pub fn tuple(fields: impl IntoIterator<Item = EExp>) -> EExp {
+    EExp::Tuple(
+        fields
+            .into_iter()
+            .enumerate()
+            .map(|(i, e)| (Label::positional(i), e))
+            .collect(),
+    )
+}
+
+/// A labeled tuple `(.l1 e1, ..., .ln en)`.
+pub fn record<'a>(fields: impl IntoIterator<Item = (&'a str, EExp)>) -> EExp {
+    EExp::Tuple(
+        fields
+            .into_iter()
+            .map(|(l, e)| (Label::new(l), e))
+            .collect(),
+    )
+}
+
+/// Projection `e.l`.
+pub fn proj(e: EExp, l: &str) -> EExp {
+    EExp::Proj(Box::new(e), Label::new(l))
+}
+
+/// Sum injection `inj[τ].C e`.
+pub fn inj(ty: Typ, arm: &str, e: EExp) -> EExp {
+    EExp::Inj(ty, Label::new(arm), Box::new(e))
+}
+
+/// Case analysis `case scrut | .C x -> body | ... end`.
+pub fn case<'a>(scrut: EExp, arms: impl IntoIterator<Item = (&'a str, &'a str, EExp)>) -> EExp {
+    EExp::Case(
+        Box::new(scrut),
+        arms.into_iter()
+            .map(|(l, x, body)| CaseArm {
+                label: Label::new(l),
+                var: Var::new(x),
+                body,
+            })
+            .collect(),
+    )
+}
+
+/// The empty list `nil[τ]`.
+pub fn nil(elem_ty: Typ) -> EExp {
+    EExp::Nil(elem_ty)
+}
+
+/// List cons `h :: t`.
+pub fn cons(h: EExp, t: EExp) -> EExp {
+    EExp::Cons(Box::new(h), Box::new(t))
+}
+
+/// A list literal `[e1, ..., en]` at the given element type.
+pub fn list(elem_ty: Typ, elems: impl IntoIterator<Item = EExp>) -> EExp {
+    let elems: Vec<EExp> = elems.into_iter().collect();
+    elems
+        .into_iter()
+        .rev()
+        .fold(nil(elem_ty), |acc, e| cons(e, acc))
+}
+
+/// List case analysis `lcase scrut | [] -> nil | h :: t -> cons end`.
+pub fn lcase(scrut: EExp, nil_body: EExp, h: &str, t: &str, cons_body: EExp) -> EExp {
+    EExp::ListCase(
+        Box::new(scrut),
+        Box::new(nil_body),
+        Var::new(h),
+        Var::new(t),
+        Box::new(cons_body),
+    )
+}
+
+/// Recursive-type introduction `roll[τ] e`.
+pub fn roll(ty: Typ, e: EExp) -> EExp {
+    EExp::Roll(ty, Box::new(e))
+}
+
+/// Recursive-type elimination `unroll e`.
+pub fn unroll(e: EExp) -> EExp {
+    EExp::Unroll(Box::new(e))
+}
+
+/// Type ascription `e : τ`.
+pub fn asc(e: EExp, ty: Typ) -> EExp {
+    EExp::Asc(Box::new(e), ty)
+}
+
+/// An empty hole with the given name.
+pub fn hole(u: u64) -> EExp {
+    EExp::EmptyHole(crate::ident::HoleName(u))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lams_curries_left_to_right() {
+        let e = lams([("a", Typ::Int), ("b", Typ::Bool)], var("a"));
+        match e {
+            EExp::Lam(a, Typ::Int, inner) => {
+                assert_eq!(a, Var::new("a"));
+                assert!(matches!(*inner, EExp::Lam(_, Typ::Bool, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn aps_applies_left_to_right() {
+        let e = aps(var("f"), [int(1), int(2)]);
+        // (f 1) 2
+        match e {
+            EExp::Ap(f1, two) => {
+                assert_eq!(*two, int(2));
+                assert!(matches!(*f1, EExp::Ap(..)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn list_builds_right_nested_cons() {
+        let e = list(Typ::Int, [int(1), int(2)]);
+        assert_eq!(e, cons(int(1), cons(int(2), nil(Typ::Int))));
+    }
+
+    #[test]
+    fn record_uses_given_labels() {
+        let e = record([("r", int(57)), ("g", int(107))]);
+        match e {
+            EExp::Tuple(fields) => {
+                assert_eq!(fields[0].0, Label::new("r"));
+                assert_eq!(fields[1].0, Label::new("g"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn letrec_wraps_definition_in_fix() {
+        let ty = Typ::arrow(Typ::Int, Typ::Int);
+        let e = letrec("f", ty.clone(), lam("n", Typ::Int, var("n")), var("f"));
+        match e {
+            EExp::Let(f, Some(t), def, _) => {
+                assert_eq!(f, Var::new("f"));
+                assert_eq!(t, ty);
+                assert!(matches!(*def, EExp::Fix(..)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

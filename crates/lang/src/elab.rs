@@ -1,0 +1,417 @@
+//! Elaboration of external expressions to internal expressions:
+//! `Γ ⊢ e ⇝ d : τ ⊣ Δ` (Sec. 4.1).
+//!
+//! The main purpose of elaboration is to initialize the substitution σ on
+//! each hole closure to the identity substitution `id(Γ)`, so that
+//! evaluation can then accumulate the substitutions that occur around the
+//! hole — the raw material of closure collection. Elaboration also erases
+//! `let` (to application) and ascription, leaving the evaluation-ready
+//! internal language.
+
+use crate::external::EExp;
+use crate::internal::{ICaseArm, IExp, Sigma};
+use crate::typ::Typ;
+use crate::typing::{Ctx, Delta, TypeError};
+
+/// Elaborates `e` in synthetic position: `Γ ⊢ e ⇝ d : τ ⊣ Δ`.
+///
+/// # Errors
+///
+/// Elaboration fails exactly when typing fails (Theorem 4.1, typed
+/// elaboration, says the converse: well-typed expressions always elaborate).
+pub fn elab_syn(ctx: &Ctx, e: &EExp) -> Result<(IExp, Typ, Delta), TypeError> {
+    let mut delta = Delta::empty();
+    let (d, ty) = syn_in(ctx, e, &mut delta)?;
+    Ok((d, ty, delta))
+}
+
+/// Elaborates `e` in analytic position against `τ`.
+///
+/// # Errors
+///
+/// Fails exactly when `ana` typing fails.
+pub fn elab_ana(ctx: &Ctx, e: &EExp, ty: &Typ) -> Result<(IExp, Delta), TypeError> {
+    let mut delta = Delta::empty();
+    let d = ana_in(ctx, e, ty, &mut delta)?;
+    Ok((d, delta))
+}
+
+fn id_sigma(ctx: &Ctx) -> Sigma {
+    Sigma::identity(ctx.vars())
+}
+
+fn syn_in(ctx: &Ctx, e: &EExp, delta: &mut Delta) -> Result<(IExp, Typ), TypeError> {
+    match e {
+        EExp::Var(x) => {
+            let ty = ctx
+                .get(x)
+                .cloned()
+                .ok_or_else(|| TypeError::UnboundVar(x.clone()))?;
+            Ok((IExp::Var(x.clone()), ty))
+        }
+        EExp::Lam(x, t, body) => {
+            let (d, body_ty) = syn_in(&ctx.extend(x.clone(), t.clone()), body, delta)?;
+            Ok((
+                IExp::Lam(x.clone(), t.clone(), Box::new(d)),
+                Typ::arrow(t.clone(), body_ty),
+            ))
+        }
+        EExp::Ap(f, a) => {
+            let (df, f_ty) = syn_in(ctx, f, delta)?;
+            match f_ty {
+                Typ::Arrow(dom, cod) => {
+                    let da = ana_in(ctx, a, &dom, delta)?;
+                    Ok((IExp::Ap(Box::new(df), Box::new(da)), *cod))
+                }
+                other => Err(TypeError::NotAFunction(other)),
+            }
+        }
+        EExp::Let(x, ann, def, body) => {
+            let (ddef, def_ty) = match ann {
+                Some(t) => (ana_in(ctx, def, t, delta)?, t.clone()),
+                None => syn_in(ctx, def, delta)?,
+            };
+            let (dbody, body_ty) = syn_in(&ctx.extend(x.clone(), def_ty.clone()), body, delta)?;
+            // let x = d1 in d2 elaborates to (fun x -> d2) d1, the standard
+            // erasure; evaluation is call-by-value either way.
+            Ok((
+                IExp::Ap(
+                    Box::new(IExp::Lam(x.clone(), def_ty, Box::new(dbody))),
+                    Box::new(ddef),
+                ),
+                body_ty,
+            ))
+        }
+        EExp::Fix(x, t, body) => {
+            let dbody = ana_in(&ctx.extend(x.clone(), t.clone()), body, t, delta)?;
+            Ok((IExp::Fix(x.clone(), t.clone(), Box::new(dbody)), t.clone()))
+        }
+        EExp::Int(n) => Ok((IExp::Int(*n), Typ::Int)),
+        EExp::Float(x) => Ok((IExp::Float(*x), Typ::Float)),
+        EExp::Bool(b) => Ok((IExp::Bool(*b), Typ::Bool)),
+        EExp::Str(s) => Ok((IExp::Str(s.clone()), Typ::Str)),
+        EExp::Unit => Ok((IExp::Unit, Typ::Unit)),
+        EExp::Bin(op, a, b) => {
+            let operand = op.operand_typ();
+            let da = ana_in(ctx, a, &operand, delta)?;
+            let db = ana_in(ctx, b, &operand, delta)?;
+            Ok((IExp::Bin(*op, Box::new(da), Box::new(db)), op.result_typ()))
+        }
+        EExp::If(c, t, e2) => {
+            let dc = ana_in(ctx, c, &Typ::Bool, delta)?;
+            let (dt, then_ty) = syn_in(ctx, t, delta)?;
+            let de = ana_in(ctx, e2, &then_ty, delta)?;
+            Ok((IExp::If(Box::new(dc), Box::new(dt), Box::new(de)), then_ty))
+        }
+        EExp::Tuple(fields) => {
+            let mut dfields = Vec::with_capacity(fields.len());
+            let mut tys = Vec::with_capacity(fields.len());
+            for (l, fe) in fields {
+                let (d, t) = syn_in(ctx, fe, delta)?;
+                dfields.push((l.clone(), d));
+                tys.push((l.clone(), t));
+            }
+            Ok((IExp::Tuple(dfields), Typ::Prod(tys)))
+        }
+        EExp::Proj(scrut, l) => {
+            let (d, scrut_ty) = syn_in(ctx, scrut, delta)?;
+            let field_ty = scrut_ty
+                .field(l)
+                .cloned()
+                .ok_or_else(|| TypeError::BadProjection(scrut_ty.clone(), l.clone()))?;
+            Ok((IExp::Proj(Box::new(d), l.clone()), field_ty))
+        }
+        EExp::Inj(sum_ty, l, payload) => {
+            let payload_ty = sum_ty
+                .arm(l)
+                .cloned()
+                .ok_or_else(|| TypeError::BadInjection(sum_ty.clone(), l.clone()))?;
+            let d = ana_in(ctx, payload, &payload_ty, delta)?;
+            Ok((
+                IExp::Inj(sum_ty.clone(), l.clone(), Box::new(d)),
+                sum_ty.clone(),
+            ))
+        }
+        EExp::Case(scrut, arms) => {
+            let (dscrut, scrut_ty) = syn_in(ctx, scrut, delta)?;
+            let mut darms = Vec::with_capacity(arms.len());
+            let mut result: Option<Typ> = None;
+            for arm in arms {
+                let payload_ty = arm_payload(&scrut_ty, &arm.label, arms.len())?;
+                let arm_ctx = ctx.extend(arm.var.clone(), payload_ty);
+                let dbody = match &result {
+                    None => {
+                        let (d, t) = syn_in(&arm_ctx, &arm.body, delta)?;
+                        result = Some(t);
+                        d
+                    }
+                    Some(t) => ana_in(&arm_ctx, &arm.body, t, delta)?,
+                };
+                darms.push(ICaseArm {
+                    label: arm.label.clone(),
+                    var: arm.var.clone(),
+                    body: dbody,
+                });
+            }
+            let result = result.ok_or(TypeError::CannotSynthesize("a case with no arms"))?;
+            Ok((IExp::Case(Box::new(dscrut), darms), result))
+        }
+        EExp::Nil(t) => Ok((IExp::Nil(t.clone()), Typ::list(t.clone()))),
+        EExp::Cons(h, t) => {
+            let (dh, h_ty) = syn_in(ctx, h, delta)?;
+            let list_ty = Typ::list(h_ty);
+            let dt = ana_in(ctx, t, &list_ty, delta)?;
+            Ok((IExp::Cons(Box::new(dh), Box::new(dt)), list_ty))
+        }
+        EExp::ListCase(scrut, nil, h, t, cons) => {
+            let (dscrut, scrut_ty) = syn_in(ctx, scrut, delta)?;
+            let elem_ty = match &scrut_ty {
+                Typ::List(elem) => (**elem).clone(),
+                other => return Err(TypeError::NotAList(other.clone())),
+            };
+            let (dnil, nil_ty) = syn_in(ctx, nil, delta)?;
+            let cons_ctx = ctx
+                .extend(h.clone(), elem_ty)
+                .extend(t.clone(), scrut_ty.clone());
+            let dcons = ana_in(&cons_ctx, cons, &nil_ty, delta)?;
+            Ok((
+                IExp::ListCase(
+                    Box::new(dscrut),
+                    Box::new(dnil),
+                    h.clone(),
+                    t.clone(),
+                    Box::new(dcons),
+                ),
+                nil_ty,
+            ))
+        }
+        EExp::Roll(rec_ty, body) => {
+            let unrolled = rec_ty
+                .unroll()
+                .ok_or_else(|| TypeError::NotRecursive(rec_ty.clone()))?;
+            let d = ana_in(ctx, body, &unrolled, delta)?;
+            Ok((IExp::Roll(rec_ty.clone(), Box::new(d)), rec_ty.clone()))
+        }
+        EExp::Unroll(body) => {
+            let (d, rec_ty) = syn_in(ctx, body, delta)?;
+            let unrolled = rec_ty.unroll().ok_or(TypeError::NotRecursive(rec_ty))?;
+            Ok((IExp::Unroll(Box::new(d)), unrolled))
+        }
+        EExp::Asc(inner, t) => {
+            let d = ana_in(ctx, inner, t, delta)?;
+            Ok((d, t.clone()))
+        }
+        EExp::EmptyHole(_) => Err(TypeError::CannotSynthesize("an empty hole")),
+        EExp::NonEmptyHole(_, _) => Err(TypeError::CannotSynthesize("a non-empty hole")),
+    }
+}
+
+fn ana_in(ctx: &Ctx, e: &EExp, expected: &Typ, delta: &mut Delta) -> Result<IExp, TypeError> {
+    match (e, expected) {
+        // Rule Elab-Hole: Γ ⊢ ⦇⦈u ⇝ ⦇⦈⟨u;id(Γ)⟩ : τ ⊣ u::τ[Γ]
+        (EExp::EmptyHole(u), _) => {
+            delta.insert(*u, expected.clone(), ctx.clone())?;
+            Ok(IExp::EmptyHole(*u, id_sigma(ctx)))
+        }
+        (EExp::NonEmptyHole(u, inner), _) => {
+            let (dinner, _inner_ty) = syn_in(ctx, inner, delta)?;
+            delta.insert(*u, expected.clone(), ctx.clone())?;
+            Ok(IExp::NonEmptyHole(*u, id_sigma(ctx), Box::new(dinner)))
+        }
+        (EExp::Lam(x, ann, body), Typ::Arrow(dom, cod)) => {
+            if ann != dom.as_ref() {
+                return Err(TypeError::Mismatch {
+                    expected: (**dom).clone(),
+                    found: ann.clone(),
+                });
+            }
+            let dbody = ana_in(&ctx.extend(x.clone(), ann.clone()), body, cod, delta)?;
+            Ok(IExp::Lam(x.clone(), ann.clone(), Box::new(dbody)))
+        }
+        (EExp::Let(x, ann, def, body), _) => {
+            let (ddef, def_ty) = match ann {
+                Some(t) => (ana_in(ctx, def, t, delta)?, t.clone()),
+                None => syn_in(ctx, def, delta)?,
+            };
+            let dbody = ana_in(
+                &ctx.extend(x.clone(), def_ty.clone()),
+                body,
+                expected,
+                delta,
+            )?;
+            Ok(IExp::Ap(
+                Box::new(IExp::Lam(x.clone(), def_ty, Box::new(dbody))),
+                Box::new(ddef),
+            ))
+        }
+        (EExp::If(c, t, e2), _) => {
+            let dc = ana_in(ctx, c, &Typ::Bool, delta)?;
+            let dt = ana_in(ctx, t, expected, delta)?;
+            let de = ana_in(ctx, e2, expected, delta)?;
+            Ok(IExp::If(Box::new(dc), Box::new(dt), Box::new(de)))
+        }
+        (EExp::Tuple(fields), Typ::Prod(expected_fields)) => {
+            if fields.len() != expected_fields.len()
+                || fields
+                    .iter()
+                    .zip(expected_fields)
+                    .any(|((l1, _), (l2, _))| l1 != l2)
+            {
+                return Err(TypeError::TupleShape {
+                    expected: expected.clone(),
+                });
+            }
+            let mut dfields = Vec::with_capacity(fields.len());
+            for ((l, fe), (_, ft)) in fields.iter().zip(expected_fields) {
+                dfields.push((l.clone(), ana_in(ctx, fe, ft, delta)?));
+            }
+            Ok(IExp::Tuple(dfields))
+        }
+        (EExp::Case(scrut, arms), _) => {
+            let (dscrut, scrut_ty) = syn_in(ctx, scrut, delta)?;
+            let mut darms = Vec::with_capacity(arms.len());
+            for arm in arms {
+                let payload_ty = arm_payload(&scrut_ty, &arm.label, arms.len())?;
+                let arm_ctx = ctx.extend(arm.var.clone(), payload_ty);
+                let dbody = ana_in(&arm_ctx, &arm.body, expected, delta)?;
+                darms.push(ICaseArm {
+                    label: arm.label.clone(),
+                    var: arm.var.clone(),
+                    body: dbody,
+                });
+            }
+            if darms.len() != sum_arity(&scrut_ty)? {
+                return Err(TypeError::InexhaustiveCase {
+                    scrutinee: scrut_ty,
+                });
+            }
+            Ok(IExp::Case(Box::new(dscrut), darms))
+        }
+        (EExp::ListCase(scrut, nil, h, t, cons), _) => {
+            let (dscrut, scrut_ty) = syn_in(ctx, scrut, delta)?;
+            let elem_ty = match &scrut_ty {
+                Typ::List(elem) => (**elem).clone(),
+                other => return Err(TypeError::NotAList(other.clone())),
+            };
+            let dnil = ana_in(ctx, nil, expected, delta)?;
+            let cons_ctx = ctx
+                .extend(h.clone(), elem_ty)
+                .extend(t.clone(), scrut_ty.clone());
+            let dcons = ana_in(&cons_ctx, cons, expected, delta)?;
+            Ok(IExp::ListCase(
+                Box::new(dscrut),
+                Box::new(dnil),
+                h.clone(),
+                t.clone(),
+                Box::new(dcons),
+            ))
+        }
+        (EExp::Nil(elem), Typ::List(expected_elem)) if elem == expected_elem.as_ref() => {
+            Ok(IExp::Nil(elem.clone()))
+        }
+        (EExp::Cons(h, t), Typ::List(elem)) => {
+            let dh = ana_in(ctx, h, elem, delta)?;
+            let dt = ana_in(ctx, t, expected, delta)?;
+            Ok(IExp::Cons(Box::new(dh), Box::new(dt)))
+        }
+        _ => {
+            let (d, found) = syn_in(ctx, e, delta)?;
+            if &found == expected {
+                Ok(d)
+            } else {
+                Err(TypeError::Mismatch {
+                    expected: expected.clone(),
+                    found,
+                })
+            }
+        }
+    }
+}
+
+fn sum_arity(scrut_ty: &Typ) -> Result<usize, TypeError> {
+    match scrut_ty {
+        Typ::Sum(arms) => Ok(arms.len()),
+        other => Err(TypeError::NotASum(other.clone())),
+    }
+}
+
+fn arm_payload(
+    scrut_ty: &Typ,
+    label: &crate::ident::Label,
+    n_arms: usize,
+) -> Result<Typ, TypeError> {
+    match scrut_ty {
+        Typ::Sum(arms) => {
+            if arms.len() != n_arms {
+                return Err(TypeError::InexhaustiveCase {
+                    scrutinee: scrut_ty.clone(),
+                });
+            }
+            arms.iter()
+                .find(|(l, _)| l == label)
+                .map(|(_, t)| t.clone())
+                .ok_or_else(|| TypeError::InexhaustiveCase {
+                    scrutinee: scrut_ty.clone(),
+                })
+        }
+        other => Err(TypeError::NotASum(other.clone())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::*;
+    use crate::ident::{HoleName, Var};
+
+    #[test]
+    fn elab_hole_gets_identity_substitution() {
+        // The paper's example: ⊢ (fun x -> ⦇⦈u) 5 ⇝ (fun x -> ⦇⦈⟨u;[x/x]⟩) 5
+        let e = ap(lam("x", Typ::Int, asc(hole(0), Typ::Int)), int(5));
+        let (d, ty, delta) = elab_syn(&Ctx::empty(), &e).unwrap();
+        assert_eq!(ty, Typ::Int);
+        assert_eq!(delta.get(HoleName(0)).unwrap().ty, Typ::Int);
+        // Find the hole closure and check its substitution is [x/x].
+        let closures = d.hole_closures();
+        assert_eq!(closures.len(), 1);
+        let (u, sigma) = &closures[0];
+        assert_eq!(*u, HoleName(0));
+        assert_eq!(sigma.get(&Var::new("x")), Some(&IExp::Var(Var::new("x"))));
+    }
+
+    #[test]
+    fn let_erases_to_application() {
+        let e = elet("x", int(1), var("x"));
+        let (d, ty, _) = elab_syn(&Ctx::empty(), &e).unwrap();
+        assert_eq!(ty, Typ::Int);
+        assert!(matches!(d, IExp::Ap(..)));
+    }
+
+    #[test]
+    fn ascription_is_erased() {
+        let e = asc(int(1), Typ::Int);
+        let (d, _, _) = elab_syn(&Ctx::empty(), &e).unwrap();
+        assert_eq!(d, IExp::Int(1));
+    }
+
+    #[test]
+    fn elaboration_fails_like_typing() {
+        assert!(elab_syn(&Ctx::empty(), &ap(int(1), int(2))).is_err());
+        assert!(elab_syn(&Ctx::empty(), &var("ghost")).is_err());
+    }
+
+    #[test]
+    fn hole_sigma_covers_whole_context() {
+        let e = elet(
+            "a",
+            int(1),
+            elet("b", boolean(true), asc(hole(0), Typ::Str)),
+        );
+        let (d, _, _) = elab_syn(&Ctx::empty(), &e).unwrap();
+        let closures = d.hole_closures();
+        let (_, sigma) = &closures[0];
+        assert_eq!(sigma.len(), 2);
+        assert!(sigma.get(&Var::new("a")).is_some());
+        assert!(sigma.get(&Var::new("b")).is_some());
+    }
+}

@@ -1,0 +1,300 @@
+//! External (expanded) expressions, `e` in Fig. 4.
+//!
+//! External expressions are the output of livelit expansion and the input to
+//! elaboration. They extend the pure simply-typed core with empty holes
+//! `⦇⦈u` and non-empty holes `⦇e⦈u` (the latter are the error markers Hazel
+//! uses for the `ELivelit` failure modes, Sec. 5.1; the calculus proper omits
+//! them but "these mechanisms are orthogonal to livelits and are included in
+//! our implementation", Sec. 4.1 — so they are included here too).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ident::{HoleName, Label, Var};
+use crate::ops::BinOp;
+use crate::typ::Typ;
+
+/// One arm of a `case` expression over a labeled sum: `.label x -> body`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CaseArm {
+    /// The sum constructor this arm matches.
+    pub label: Label,
+    /// The variable bound to the constructor's payload.
+    pub var: Var,
+    /// The arm body.
+    pub body: EExp,
+}
+
+/// An external (expanded) expression.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EExp {
+    /// A variable `x`.
+    Var(Var),
+    /// A lambda `fun x : τ -> e`.
+    Lam(Var, Typ, Box<EExp>),
+    /// Application `e1 e2`.
+    Ap(Box<EExp>, Box<EExp>),
+    /// A let binding `let x [: τ] = e1 in e2`. The annotation, when present,
+    /// switches the definition from synthesis to analysis (so holes can
+    /// appear on the right-hand side).
+    Let(Var, Option<Typ>, Box<EExp>, Box<EExp>),
+    /// A fixpoint `fix x : τ -> e`, for general recursion.
+    Fix(Var, Typ, Box<EExp>),
+    /// An integer literal.
+    Int(i64),
+    /// A floating-point literal.
+    Float(f64),
+    /// A boolean literal.
+    Bool(bool),
+    /// A string literal.
+    Str(String),
+    /// The unit value `()`.
+    Unit,
+    /// A primitive binary operation `e1 op e2`.
+    Bin(BinOp, Box<EExp>, Box<EExp>),
+    /// A conditional `if e1 then e2 else e3`.
+    If(Box<EExp>, Box<EExp>, Box<EExp>),
+    /// A labeled tuple `(.l1 e1, ..., .ln en)`; positional tuples use
+    /// synthesized labels `_0`, `_1`, ....
+    Tuple(Vec<(Label, EExp)>),
+    /// Projection `e.l` out of a labeled tuple.
+    Proj(Box<EExp>, Label),
+    /// Injection `inj[τ].C e` into the sum type `τ` at arm `C`.
+    Inj(Typ, Label, Box<EExp>),
+    /// Case analysis on a labeled sum:
+    /// `case e | .C1 x1 -> e1 | ... end`.
+    Case(Box<EExp>, Vec<CaseArm>),
+    /// The empty list `nil[τ]` at element type `τ`.
+    Nil(Typ),
+    /// List cons `e1 :: e2`.
+    Cons(Box<EExp>, Box<EExp>),
+    /// Case analysis on a list:
+    /// `lcase e | [] -> e1 | h :: t -> e2 end`.
+    ListCase(Box<EExp>, Box<EExp>, Var, Var, Box<EExp>),
+    /// Introduction for an iso-recursive type: `roll[μ(t.τ)] e`.
+    Roll(Typ, Box<EExp>),
+    /// Elimination for an iso-recursive type: `unroll e`.
+    Unroll(Box<EExp>),
+    /// Type ascription `e : τ`; gives analytic positions a synthesizable
+    /// wrapper.
+    Asc(Box<EExp>, Typ),
+    /// An empty hole `⦇⦈u`.
+    EmptyHole(HoleName),
+    /// A non-empty hole `⦇e⦈u`: an error marker wrapping an erroneous
+    /// expression so the rest of the program can still be evaluated
+    /// (Sec. 5.1).
+    NonEmptyHole(HoleName, Box<EExp>),
+}
+
+impl EExp {
+    /// The free expression variables of this expression.
+    pub fn free_vars(&self) -> BTreeSet<Var> {
+        let mut out = BTreeSet::new();
+        self.collect_free_vars(&mut Vec::new(), &mut out);
+        out
+    }
+
+    fn collect_free_vars(&self, bound: &mut Vec<Var>, out: &mut BTreeSet<Var>) {
+        use EExp::*;
+        match self {
+            Var(x) => {
+                if !bound.contains(x) {
+                    out.insert(x.clone());
+                }
+            }
+            Lam(x, _, body) | Fix(x, _, body) => {
+                bound.push(x.clone());
+                body.collect_free_vars(bound, out);
+                bound.pop();
+            }
+            Ap(a, b) | Bin(_, a, b) | Cons(a, b) => {
+                a.collect_free_vars(bound, out);
+                b.collect_free_vars(bound, out);
+            }
+            Let(x, _, def, body) => {
+                def.collect_free_vars(bound, out);
+                bound.push(x.clone());
+                body.collect_free_vars(bound, out);
+                bound.pop();
+            }
+            Int(_) | Float(_) | Bool(_) | Str(_) | Unit | Nil(_) | EmptyHole(_) => {}
+            If(c, t, e) => {
+                c.collect_free_vars(bound, out);
+                t.collect_free_vars(bound, out);
+                e.collect_free_vars(bound, out);
+            }
+            Tuple(fields) => {
+                for (_, e) in fields {
+                    e.collect_free_vars(bound, out);
+                }
+            }
+            Proj(e, _) | Inj(_, _, e) | Roll(_, e) | Unroll(e) | Asc(e, _) | NonEmptyHole(_, e) => {
+                e.collect_free_vars(bound, out);
+            }
+            Case(scrut, arms) => {
+                scrut.collect_free_vars(bound, out);
+                for arm in arms {
+                    bound.push(arm.var.clone());
+                    arm.body.collect_free_vars(bound, out);
+                    bound.pop();
+                }
+            }
+            ListCase(scrut, nil, h, t, cons) => {
+                scrut.collect_free_vars(bound, out);
+                nil.collect_free_vars(bound, out);
+                bound.push(h.clone());
+                bound.push(t.clone());
+                cons.collect_free_vars(bound, out);
+                bound.pop();
+                bound.pop();
+            }
+        }
+    }
+
+    /// Whether this expression has no free variables.
+    ///
+    /// Rule `ELivelit` (premise 5) requires parameterized expansions to be
+    /// closed — this is the context-independence check.
+    pub fn is_closed(&self) -> bool {
+        self.free_vars().is_empty()
+    }
+
+    /// All hole names occurring in this expression, in traversal order.
+    pub fn hole_names(&self) -> Vec<HoleName> {
+        let mut out = Vec::new();
+        self.visit(&mut |e| {
+            if let EExp::EmptyHole(u) | EExp::NonEmptyHole(u, _) = e {
+                out.push(*u);
+            }
+        });
+        out
+    }
+
+    /// Calls `f` on this expression and every subexpression, pre-order.
+    pub fn visit(&self, f: &mut impl FnMut(&EExp)) {
+        use EExp::*;
+        f(self);
+        match self {
+            Var(_) | Int(_) | Float(_) | Bool(_) | Str(_) | Unit | Nil(_) | EmptyHole(_) => {}
+            Lam(_, _, e)
+            | Fix(_, _, e)
+            | Proj(e, _)
+            | Inj(_, _, e)
+            | Roll(_, e)
+            | Unroll(e)
+            | Asc(e, _)
+            | NonEmptyHole(_, e) => e.visit(f),
+            Ap(a, b) | Bin(_, a, b) | Cons(a, b) => {
+                a.visit(f);
+                b.visit(f);
+            }
+            Let(_, _, a, b) => {
+                a.visit(f);
+                b.visit(f);
+            }
+            If(c, t, e) => {
+                c.visit(f);
+                t.visit(f);
+                e.visit(f);
+            }
+            Tuple(fields) => {
+                for (_, e) in fields {
+                    e.visit(f);
+                }
+            }
+            Case(scrut, arms) => {
+                scrut.visit(f);
+                for arm in arms {
+                    arm.body.visit(f);
+                }
+            }
+            ListCase(scrut, nil, _, _, cons) => {
+                scrut.visit(f);
+                nil.visit(f);
+                cons.visit(f);
+            }
+        }
+    }
+
+    /// The number of AST nodes, used for workload characterization in the
+    /// benchmark harness.
+    pub fn size(&self) -> usize {
+        let mut n = 0;
+        self.visit(&mut |_| n += 1);
+        n
+    }
+}
+
+impl fmt::Display for EExp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::pretty::print_eexp(self, 80))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::*;
+
+    #[test]
+    fn free_vars_of_open_term() {
+        // fun r -> (r, g) has free var g but not r
+        let e = lam("r", Typ::Int, tuple([var("r"), var("g")]));
+        assert_eq!(e.free_vars(), BTreeSet::from([Var::new("g")]));
+        assert!(!e.is_closed());
+    }
+
+    #[test]
+    fn let_binds_only_in_body() {
+        let e = elet("x", var("x"), var("x"));
+        // the definition's x is free; the body's x is bound
+        assert_eq!(e.free_vars(), BTreeSet::from([Var::new("x")]));
+    }
+
+    #[test]
+    fn case_arms_bind_their_vars() {
+        let e = case(var("s"), [("Some", "v", var("v")), ("None", "w", var("z"))]);
+        assert_eq!(
+            e.free_vars(),
+            BTreeSet::from([Var::new("s"), Var::new("z")])
+        );
+    }
+
+    #[test]
+    fn list_case_binds_head_and_tail() {
+        let e = lcase(var("xs"), int(0), "h", "t", ap(var("f"), var("h")));
+        assert_eq!(
+            e.free_vars(),
+            BTreeSet::from([Var::new("xs"), Var::new("f")])
+        );
+    }
+
+    #[test]
+    fn hole_names_collected_in_order() {
+        let e = tuple([hole(2), hole(7)]);
+        assert_eq!(e.hole_names(), vec![HoleName(2), HoleName(7)]);
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        assert_eq!(int(1).size(), 1);
+        assert_eq!(add(int(1), int(2)).size(), 3);
+    }
+
+    #[test]
+    fn closed_parameterized_expansion() {
+        // fun r g b a -> (r, g, b, a)  — the Fig. 3 expansion — is closed.
+        let e = lams(
+            [
+                ("r", Typ::Int),
+                ("g", Typ::Int),
+                ("b", Typ::Int),
+                ("a", Typ::Int),
+            ],
+            tuple([var("r"), var("g"), var("b"), var("a")]),
+        );
+        assert!(e.is_closed());
+    }
+}

@@ -1,0 +1,254 @@
+//! The value / indeterminate / final classification of internal
+//! expressions (Sec. 4.1, following Hazelnut Live).
+//!
+//! Evaluation of a well-typed closed expression produces a *final*
+//! expression: either a *value* (fully determined) or an *indeterminate*
+//! expression — one that cannot be further evaluated because a hole blocks
+//! a critical position. Theorem 4.2 (preservation) is stated in terms of
+//! this classification, and livelit `Result`s distinguish `Val` from
+//! `Indet` along exactly this line (Sec. 3.2.3).
+//!
+//! The classification is computed in a single pass ([`classify`]); the
+//! individual predicates are wrappers. (Naively mutually recursive
+//! `is_value`/`is_indet` predicates are exponential on deeply nested
+//! indeterminate forms, which arise routinely in stuck arithmetic chains.)
+
+use crate::internal::IExp;
+
+/// The classification of an internal expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Classification {
+    /// A value: fully evaluated, no holes in any position.
+    Value,
+    /// Indeterminate: irreducible, but blocked on (or built around) a hole.
+    Indet,
+    /// Not final: evaluation has work left to do here.
+    Unfinished,
+}
+
+use Classification::*;
+
+impl Classification {
+    fn is_final(self) -> bool {
+        matches!(self, Value | Indet)
+    }
+}
+
+/// Classifies `d` as a value, an indeterminate expression, or unfinished,
+/// in one pass.
+pub fn classify(d: &IExp) -> Classification {
+    use IExp::*;
+    match d {
+        Lam(..) | Int(_) | Float(_) | Bool(_) | Str(_) | Unit | Nil(_) => Value,
+        EmptyHole(..) => Indet,
+        NonEmptyHole(_, _, inner) => {
+            if classify(inner).is_final() {
+                Indet
+            } else {
+                Unfinished
+            }
+        }
+        // Application is stuck when the function position is indeterminate
+        // (it cannot be a lambda value) and the argument is final.
+        Ap(f, a) => {
+            if classify(f) == Indet && !matches!(f.as_ref(), Lam(..)) && classify(a).is_final() {
+                Indet
+            } else {
+                Unfinished
+            }
+        }
+        Bin(_, a, b) => {
+            let (ca, cb) = (classify(a), classify(b));
+            if ca.is_final() && cb.is_final() && (ca == Indet || cb == Indet) {
+                Indet
+            } else {
+                Unfinished
+            }
+        }
+        If(c, _, _) => {
+            if classify(c) == Indet && !matches!(c.as_ref(), Bool(_)) {
+                Indet
+            } else {
+                Unfinished
+            }
+        }
+        Tuple(fields) => {
+            let mut out = Value;
+            for (_, e) in fields {
+                match classify(e) {
+                    Value => {}
+                    Indet => out = Indet,
+                    Unfinished => return Unfinished,
+                }
+            }
+            out
+        }
+        Proj(scrut, _) => {
+            if classify(scrut) == Indet && !matches!(scrut.as_ref(), Tuple(_)) {
+                Indet
+            } else {
+                Unfinished
+            }
+        }
+        Inj(_, _, e) | Roll(_, e) => classify(e),
+        Case(scrut, _) => {
+            if classify(scrut) == Indet && !matches!(scrut.as_ref(), Inj(..)) {
+                Indet
+            } else {
+                Unfinished
+            }
+        }
+        Cons(h, t) => {
+            let (ch, ct) = (classify(h), classify(t));
+            if ch == Value && ct == Value {
+                Value
+            } else if ch.is_final() && ct.is_final() {
+                Indet
+            } else {
+                Unfinished
+            }
+        }
+        ListCase(scrut, ..) => {
+            if classify(scrut) == Indet && !matches!(scrut.as_ref(), Nil(_) | Cons(..)) {
+                Indet
+            } else {
+                Unfinished
+            }
+        }
+        Unroll(e) => {
+            if classify(e) == Indet && !matches!(e.as_ref(), Roll(..)) {
+                Indet
+            } else {
+                Unfinished
+            }
+        }
+        Var(_) | Fix(..) => Unfinished,
+    }
+}
+
+/// Whether `d` is a value: fully evaluated with no holes in any position.
+pub fn is_value(d: &IExp) -> bool {
+    classify(d) == Value
+}
+
+/// Whether `d` is indeterminate: irreducible, but blocked on (or built
+/// around) a hole.
+pub fn is_indet(d: &IExp) -> bool {
+    classify(d) == Indet
+}
+
+/// Whether `d` is final: a value or indeterminate.
+pub fn is_final(d: &IExp) -> bool {
+    classify(d).is_final()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ident::{HoleName, Label, Var};
+    use crate::internal::Sigma;
+    use crate::ops::BinOp;
+    use crate::typ::Typ;
+
+    fn hole() -> IExp {
+        IExp::EmptyHole(HoleName(0), Sigma::empty())
+    }
+
+    #[test]
+    fn literals_and_lambdas_are_values() {
+        assert!(is_value(&IExp::Int(3)));
+        assert!(is_value(&IExp::Lam(
+            Var::new("x"),
+            Typ::Int,
+            Box::new(IExp::Var(Var::new("x")))
+        )));
+        assert!(is_value(&IExp::Nil(Typ::Int)));
+        assert!(!is_indet(&IExp::Int(3)));
+    }
+
+    #[test]
+    fn holes_are_indet_not_values() {
+        assert!(is_indet(&hole()));
+        assert!(!is_value(&hole()));
+        assert!(is_final(&hole()));
+    }
+
+    #[test]
+    fn binop_around_hole_is_indet() {
+        let d = IExp::Bin(BinOp::Add, Box::new(IExp::Int(1)), Box::new(hole()));
+        assert!(is_indet(&d));
+        assert!(is_final(&d));
+        assert!(!is_value(&d));
+    }
+
+    #[test]
+    fn tuple_with_indet_component_is_indet_but_final() {
+        let d = IExp::Tuple(vec![
+            (Label::positional(0), IExp::Int(1)),
+            (Label::positional(1), hole()),
+        ]);
+        assert!(is_indet(&d));
+        assert!(is_final(&d));
+    }
+
+    #[test]
+    fn unevaluated_redex_is_not_final() {
+        // (fun x -> x) 1 is neither a value nor indeterminate.
+        let redex = IExp::Ap(
+            Box::new(IExp::Lam(
+                Var::new("x"),
+                Typ::Int,
+                Box::new(IExp::Var(Var::new("x"))),
+            )),
+            Box::new(IExp::Int(1)),
+        );
+        assert!(!is_final(&redex));
+        assert_eq!(classify(&redex), Classification::Unfinished);
+    }
+
+    #[test]
+    fn application_of_hole_to_value_is_indet() {
+        let d = IExp::Ap(Box::new(hole()), Box::new(IExp::Int(1)));
+        assert!(is_indet(&d));
+    }
+
+    #[test]
+    fn cons_with_hole_tail_is_indet_final() {
+        let d = IExp::Cons(Box::new(IExp::Int(1)), Box::new(hole()));
+        assert!(is_indet(&d));
+        assert!(is_final(&d));
+    }
+
+    #[test]
+    fn if_on_hole_is_indet_with_unevaluated_branches() {
+        let branch = IExp::Ap(
+            Box::new(IExp::Lam(
+                Var::new("x"),
+                Typ::Int,
+                Box::new(IExp::Var(Var::new("x"))),
+            )),
+            Box::new(IExp::Int(1)),
+        );
+        let d = IExp::If(Box::new(hole()), Box::new(branch.clone()), Box::new(branch));
+        assert!(is_indet(&d));
+    }
+
+    #[test]
+    fn non_empty_hole_around_value_is_indet() {
+        let d = IExp::NonEmptyHole(HoleName(1), Sigma::empty(), Box::new(IExp::Bool(true)));
+        assert!(is_indet(&d));
+        assert!(is_final(&d));
+    }
+
+    #[test]
+    fn deep_stuck_chain_classifies_in_linear_time() {
+        // A 4_000-deep stuck Add chain: exponential classification would
+        // never terminate here.
+        let mut d = hole();
+        for i in 0..4_000 {
+            d = IExp::Bin(BinOp::Add, Box::new(d), Box::new(IExp::Int(i)));
+        }
+        assert!(is_indet(&d));
+        assert!(!is_value(&d));
+    }
+}

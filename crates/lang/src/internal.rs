@@ -1,0 +1,701 @@
+//! Internal expressions, `d` in Fig. 4, and hole-closure substitutions `σ`.
+//!
+//! The internal language is where evaluation happens. Its distinguishing
+//! feature is that holes carry *closures*: an internal hole `⦇⦈⟨u;σ⟩` pairs
+//! the hole name with a substitution σ that accumulates the substitutions
+//! that occur around the hole during evaluation (Sec. 4.1). Those recorded
+//! environments are exactly what closure collection (Sec. 4.3) harvests to
+//! power live splice evaluation.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ident::{HoleName, Label, Var};
+use crate::ops::BinOp;
+use crate::typ::Typ;
+
+/// A finite substitution `σ = [d1/x1, ..., dn/xn]` attached to a hole
+/// closure.
+///
+/// Elaboration initializes each hole's substitution to the identity
+/// substitution `id(Γ)`; evaluation then records each surrounding
+/// substitution by mapping it over the codomain (Sec. 4.1).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Sigma(pub BTreeMap<Var, IExp>);
+
+impl Sigma {
+    /// The empty substitution.
+    pub fn empty() -> Sigma {
+        Sigma(BTreeMap::new())
+    }
+
+    /// The identity substitution `id(Γ)` mapping each variable of `Γ` to
+    /// itself.
+    pub fn identity<'a>(vars: impl IntoIterator<Item = &'a Var>) -> Sigma {
+        Sigma(
+            vars.into_iter()
+                .map(|x| (x.clone(), IExp::Var(x.clone())))
+                .collect(),
+        )
+    }
+
+    /// Looks up the recorded value for `x`.
+    pub fn get(&self, x: &Var) -> Option<&IExp> {
+        self.0.get(x)
+    }
+
+    /// The number of entries.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the substitution has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Iterates over entries in variable order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Var, &IExp)> {
+        self.0.iter()
+    }
+
+    /// Applies this substitution to `d` *simultaneously*.
+    ///
+    /// This realizes the delayed substitutions of a hole closure, as in the
+    /// hole-filling operation `⟦d1/u⟧d2` (Sec. 4.3.2): "the environment on
+    /// each of these closures is applied to d1 as a substitution".
+    pub fn apply(&self, d: &IExp) -> IExp {
+        d.subst_all(&self.0)
+    }
+
+    /// Maps a function over the codomain, preserving the domain.
+    ///
+    /// This is how evaluation records a substitution `[d/x]` in a hole
+    /// closure, and how `fillΩ` and `resume` act on proto-environments
+    /// (Defs. 4.6 and 4.7).
+    pub fn map_codomain(&self, mut f: impl FnMut(&IExp) -> IExp) -> Sigma {
+        Sigma(self.0.iter().map(|(x, d)| (x.clone(), f(d))).collect())
+    }
+}
+
+impl FromIterator<(Var, IExp)> for Sigma {
+    fn from_iter<I: IntoIterator<Item = (Var, IExp)>>(iter: I) -> Sigma {
+        Sigma(iter.into_iter().collect())
+    }
+}
+
+/// One arm of an internal `case` expression.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ICaseArm {
+    /// The sum constructor this arm matches.
+    pub label: Label,
+    /// The variable bound to the payload.
+    pub var: Var,
+    /// The arm body.
+    pub body: IExp,
+}
+
+/// An internal expression.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum IExp {
+    /// A variable `x`.
+    Var(Var),
+    /// A lambda `fun x : τ -> d`.
+    Lam(Var, Typ, Box<IExp>),
+    /// Application `d1 d2`.
+    Ap(Box<IExp>, Box<IExp>),
+    /// A fixpoint `fix x : τ -> d`.
+    Fix(Var, Typ, Box<IExp>),
+    /// An integer literal.
+    Int(i64),
+    /// A floating-point literal.
+    Float(f64),
+    /// A boolean literal.
+    Bool(bool),
+    /// A string literal.
+    Str(String),
+    /// The unit value.
+    Unit,
+    /// A primitive binary operation.
+    Bin(BinOp, Box<IExp>, Box<IExp>),
+    /// A conditional.
+    If(Box<IExp>, Box<IExp>, Box<IExp>),
+    /// A labeled tuple.
+    Tuple(Vec<(Label, IExp)>),
+    /// Projection out of a labeled tuple.
+    Proj(Box<IExp>, Label),
+    /// Injection into sum type `τ` at the given arm.
+    Inj(Typ, Label, Box<IExp>),
+    /// Case analysis on a labeled sum.
+    Case(Box<IExp>, Vec<ICaseArm>),
+    /// The empty list at the given element type.
+    Nil(Typ),
+    /// List cons.
+    Cons(Box<IExp>, Box<IExp>),
+    /// Case analysis on a list.
+    ListCase(Box<IExp>, Box<IExp>, Var, Var, Box<IExp>),
+    /// Recursive-type introduction.
+    Roll(Typ, Box<IExp>),
+    /// Recursive-type elimination.
+    Unroll(Box<IExp>),
+    /// An empty hole closure `⦇⦈⟨u;σ⟩`.
+    EmptyHole(HoleName, Sigma),
+    /// A non-empty hole closure `⦇d⦈⟨u;σ⟩` marking an erroneous
+    /// subexpression.
+    NonEmptyHole(HoleName, Sigma, Box<IExp>),
+}
+
+impl IExp {
+    /// The free variables of this expression.
+    ///
+    /// Variables in a hole closure's substitution codomain are free
+    /// (the domain is not a binder — it names outer variables already
+    /// substituted away).
+    pub fn free_vars(&self) -> BTreeSet<Var> {
+        let mut out = BTreeSet::new();
+        self.collect_free_vars(&mut Vec::new(), &mut out);
+        out
+    }
+
+    fn collect_free_vars(&self, bound: &mut Vec<Var>, out: &mut BTreeSet<Var>) {
+        use IExp::*;
+        match self {
+            Var(x) => {
+                if !bound.contains(x) {
+                    out.insert(x.clone());
+                }
+            }
+            Lam(x, _, body) | Fix(x, _, body) => {
+                bound.push(x.clone());
+                body.collect_free_vars(bound, out);
+                bound.pop();
+            }
+            Ap(a, b) | Bin(_, a, b) | Cons(a, b) => {
+                a.collect_free_vars(bound, out);
+                b.collect_free_vars(bound, out);
+            }
+            Int(_) | Float(_) | Bool(_) | Str(_) | Unit | Nil(_) => {}
+            If(c, t, e) => {
+                c.collect_free_vars(bound, out);
+                t.collect_free_vars(bound, out);
+                e.collect_free_vars(bound, out);
+            }
+            Tuple(fields) => {
+                for (_, e) in fields {
+                    e.collect_free_vars(bound, out);
+                }
+            }
+            Proj(e, _) | Inj(_, _, e) | Roll(_, e) | Unroll(e) => e.collect_free_vars(bound, out),
+            Case(scrut, arms) => {
+                scrut.collect_free_vars(bound, out);
+                for arm in arms {
+                    bound.push(arm.var.clone());
+                    arm.body.collect_free_vars(bound, out);
+                    bound.pop();
+                }
+            }
+            ListCase(scrut, nil, h, t, cons) => {
+                scrut.collect_free_vars(bound, out);
+                nil.collect_free_vars(bound, out);
+                bound.push(h.clone());
+                bound.push(t.clone());
+                cons.collect_free_vars(bound, out);
+                bound.pop();
+                bound.pop();
+            }
+            EmptyHole(_, sigma) => {
+                for (_, d) in sigma.iter() {
+                    d.collect_free_vars(bound, out);
+                }
+            }
+            NonEmptyHole(_, sigma, d) => {
+                for (_, e) in sigma.iter() {
+                    e.collect_free_vars(bound, out);
+                }
+                d.collect_free_vars(bound, out);
+            }
+        }
+    }
+
+    /// Whether this expression has no free variables.
+    pub fn is_closed(&self) -> bool {
+        self.free_vars().is_empty()
+    }
+
+    /// Single capture-avoiding substitution `[d/x]self`.
+    ///
+    /// Substitution into a hole closure does not descend "into the hole":
+    /// it is recorded by mapping over the closure's substitution codomain,
+    /// which is exactly how evaluation accumulates the environment the
+    /// paper's closure collection later harvests.
+    pub fn subst(&self, x: &Var, d: &IExp) -> IExp {
+        let mut map = BTreeMap::new();
+        map.insert(x.clone(), d.clone());
+        self.subst_all(&map)
+    }
+
+    /// Simultaneous capture-avoiding substitution.
+    pub fn subst_all(&self, map: &BTreeMap<Var, IExp>) -> IExp {
+        if map.is_empty() {
+            return self.clone();
+        }
+        // Precompute the free variables of the replacement terms once; any
+        // binder clashing with these is alpha-renamed.
+        let mut replacement_fvs = BTreeSet::new();
+        for d in map.values() {
+            replacement_fvs.extend(d.free_vars());
+        }
+        self.subst_rec(map, &replacement_fvs)
+    }
+
+    fn subst_rec(&self, map: &BTreeMap<Var, IExp>, avoid: &BTreeSet<Var>) -> IExp {
+        use IExp::*;
+        match self {
+            Var(x) => map.get(x).cloned().unwrap_or_else(|| self.clone()),
+            Lam(x, t, body) => {
+                let (x2, body2) = subst_under_binders(&[x], body, map, avoid);
+                Lam(
+                    x2.into_iter().next().expect("one binder"),
+                    t.clone(),
+                    Box::new(body2),
+                )
+            }
+            Fix(x, t, body) => {
+                let (x2, body2) = subst_under_binders(&[x], body, map, avoid);
+                Fix(
+                    x2.into_iter().next().expect("one binder"),
+                    t.clone(),
+                    Box::new(body2),
+                )
+            }
+            Ap(a, b) => Ap(
+                Box::new(a.subst_rec(map, avoid)),
+                Box::new(b.subst_rec(map, avoid)),
+            ),
+            Bin(op, a, b) => Bin(
+                *op,
+                Box::new(a.subst_rec(map, avoid)),
+                Box::new(b.subst_rec(map, avoid)),
+            ),
+            Cons(a, b) => Cons(
+                Box::new(a.subst_rec(map, avoid)),
+                Box::new(b.subst_rec(map, avoid)),
+            ),
+            Int(_) | Float(_) | Bool(_) | Str(_) | Unit | Nil(_) => self.clone(),
+            If(c, t, e) => If(
+                Box::new(c.subst_rec(map, avoid)),
+                Box::new(t.subst_rec(map, avoid)),
+                Box::new(e.subst_rec(map, avoid)),
+            ),
+            Tuple(fields) => Tuple(
+                fields
+                    .iter()
+                    .map(|(l, e)| (l.clone(), e.subst_rec(map, avoid)))
+                    .collect(),
+            ),
+            Proj(e, l) => Proj(Box::new(e.subst_rec(map, avoid)), l.clone()),
+            Inj(t, l, e) => Inj(t.clone(), l.clone(), Box::new(e.subst_rec(map, avoid))),
+            Case(scrut, arms) => Case(
+                Box::new(scrut.subst_rec(map, avoid)),
+                arms.iter()
+                    .map(|arm| {
+                        let (v2, body) = subst_under_binders(&[&arm.var], &arm.body, map, avoid);
+                        ICaseArm {
+                            label: arm.label.clone(),
+                            var: v2.into_iter().next().expect("one binder"),
+                            body,
+                        }
+                    })
+                    .collect(),
+            ),
+            ListCase(scrut, nil, h, t, cons) => {
+                let scrut2 = scrut.subst_rec(map, avoid);
+                let nil2 = nil.subst_rec(map, avoid);
+                let (binders, cons2) = subst_under_binders(&[h, t], cons, map, avoid);
+                let mut it = binders.into_iter();
+                let h2 = it.next().expect("two binders");
+                let t2 = it.next().expect("two binders");
+                ListCase(Box::new(scrut2), Box::new(nil2), h2, t2, Box::new(cons2))
+            }
+            Roll(t, e) => Roll(t.clone(), Box::new(e.subst_rec(map, avoid))),
+            Unroll(e) => Unroll(Box::new(e.subst_rec(map, avoid))),
+            EmptyHole(u, sigma) => EmptyHole(*u, sigma.map_codomain(|d| d.subst_rec(map, avoid))),
+            NonEmptyHole(u, sigma, d) => NonEmptyHole(
+                *u,
+                sigma.map_codomain(|e| e.subst_rec(map, avoid)),
+                Box::new(d.subst_rec(map, avoid)),
+            ),
+        }
+    }
+
+    /// All hole closures occurring in this expression (pre-order), including
+    /// those inside other closures' substitutions.
+    pub fn hole_closures(&self) -> Vec<(HoleName, &Sigma)> {
+        fn go<'a>(d: &'a IExp, out: &mut Vec<(HoleName, &'a Sigma)>) {
+            use IExp::*;
+            match d {
+                EmptyHole(u, sigma) => {
+                    out.push((*u, sigma));
+                    for (_, e) in sigma.iter() {
+                        go(e, out);
+                    }
+                }
+                NonEmptyHole(u, sigma, inner) => {
+                    out.push((*u, sigma));
+                    for (_, e) in sigma.iter() {
+                        go(e, out);
+                    }
+                    go(inner, out);
+                }
+                Var(_) | Int(_) | Float(_) | Bool(_) | Str(_) | Unit | Nil(_) => {}
+                Lam(_, _, e)
+                | Fix(_, _, e)
+                | Proj(e, _)
+                | Inj(_, _, e)
+                | Roll(_, e)
+                | Unroll(e) => go(e, out),
+                Ap(a, b) | Bin(_, a, b) | Cons(a, b) => {
+                    go(a, out);
+                    go(b, out);
+                }
+                If(c, t, e) => {
+                    go(c, out);
+                    go(t, out);
+                    go(e, out);
+                }
+                Tuple(fields) => {
+                    for (_, e) in fields {
+                        go(e, out);
+                    }
+                }
+                Case(scrut, arms) => {
+                    go(scrut, out);
+                    for arm in arms {
+                        go(&arm.body, out);
+                    }
+                }
+                ListCase(scrut, nil, _, _, cons) => {
+                    go(scrut, out);
+                    go(nil, out);
+                    go(cons, out);
+                }
+            }
+        }
+        let mut out = Vec::new();
+        go(self, &mut out);
+        out
+    }
+
+    /// Calls `f` on this expression and every subexpression (pre-order),
+    /// including hole-closure substitution codomains.
+    pub fn visit(&self, f: &mut impl FnMut(&IExp)) {
+        use IExp::*;
+        f(self);
+        match self {
+            Var(_) | Int(_) | Float(_) | Bool(_) | Str(_) | Unit | Nil(_) => {}
+            Lam(_, _, e) | Fix(_, _, e) | Proj(e, _) | Inj(_, _, e) | Roll(_, e) | Unroll(e) => {
+                e.visit(f)
+            }
+            Ap(a, b) | Bin(_, a, b) | Cons(a, b) => {
+                a.visit(f);
+                b.visit(f);
+            }
+            If(c, t, e) => {
+                c.visit(f);
+                t.visit(f);
+                e.visit(f);
+            }
+            Tuple(fields) => {
+                for (_, e) in fields {
+                    e.visit(f);
+                }
+            }
+            Case(scrut, arms) => {
+                scrut.visit(f);
+                for arm in arms {
+                    arm.body.visit(f);
+                }
+            }
+            ListCase(scrut, nil, _, _, cons) => {
+                scrut.visit(f);
+                nil.visit(f);
+                cons.visit(f);
+            }
+            EmptyHole(_, sigma) => {
+                for (_, d) in sigma.iter() {
+                    d.visit(f);
+                }
+            }
+            NonEmptyHole(_, sigma, d) => {
+                for (_, e) in sigma.iter() {
+                    e.visit(f);
+                }
+                d.visit(f);
+            }
+        }
+    }
+
+    /// The number of AST nodes (hole-closure environments included).
+    pub fn size(&self) -> usize {
+        let mut n = 0;
+        self.visit(&mut |_| n += 1);
+        n
+    }
+
+    /// Converts a list value `Cons(v1, Cons(v2, ... Nil))` into a `Vec` of
+    /// its elements. Returns `None` if the spine is not fully determined
+    /// (e.g. ends in a hole) — callers such as `$grade_cutoffs` then fall
+    /// back to element-wise handling of indeterminate data (Sec. 2.5.2).
+    pub fn list_elements(&self) -> Option<Vec<&IExp>> {
+        let mut out = Vec::new();
+        let mut cur = self;
+        loop {
+            match cur {
+                IExp::Nil(_) => return Some(out),
+                IExp::Cons(h, t) => {
+                    out.push(h.as_ref());
+                    cur = t;
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    /// Extracts an `i64` if this is an integer literal.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            IExp::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Extracts an `f64` if this is a float literal.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            IExp::Float(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// Extracts a `bool` if this is a boolean literal.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            IExp::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Extracts the string if this is a string literal.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            IExp::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Looks up a tuple field by label.
+    pub fn field(&self, l: &Label) -> Option<&IExp> {
+        match self {
+            IExp::Tuple(fields) => fields.iter().find(|(fl, _)| fl == l).map(|(_, e)| e),
+            _ => None,
+        }
+    }
+}
+
+/// Handles binder/`map` interaction for substitution: removes the binder
+/// from the substitution and alpha-renames it if it would capture a free
+/// variable of the replacement terms.
+/// Substitutes `map` under the given binders: removes the binders from the
+/// substitution, alpha-renames any binder that would capture a free
+/// variable of the replacement terms (rare; detected via `avoid`), and
+/// substitutes into the body. Returns the (possibly renamed) binders and
+/// the substituted body.
+fn subst_under_binders(
+    xs: &[&Var],
+    body: &IExp,
+    map: &BTreeMap<Var, IExp>,
+    avoid: &BTreeSet<Var>,
+) -> (Vec<Var>, IExp) {
+    let map2: BTreeMap<Var, IExp> = map
+        .iter()
+        .filter(|(k, _)| !xs.contains(k))
+        .map(|(k, v)| (k.clone(), v.clone()))
+        .collect();
+    if map2.is_empty() {
+        return (xs.iter().map(|x| (*x).clone()).collect(), body.clone());
+    }
+    if xs.iter().any(|x| avoid.contains(*x)) {
+        // Slow path: some binder clashes with a replacement's free
+        // variable. Rename each clashing binder (only if a substitution
+        // actually applies in the body) before substituting.
+        let body_fvs = body.free_vars();
+        let applies = map2.keys().any(|k| body_fvs.contains(k));
+        if applies {
+            let mut binders: Vec<Var> = Vec::with_capacity(xs.len());
+            let mut renamed = body.clone();
+            for x in xs {
+                if avoid.contains(*x) {
+                    let fresh = fresh_var(x, avoid, &renamed);
+                    renamed = renamed.subst_rec(
+                        &BTreeMap::from([((*x).clone(), IExp::Var(fresh.clone()))]),
+                        &BTreeSet::from([fresh.clone()]),
+                    );
+                    binders.push(fresh);
+                } else {
+                    binders.push((*x).clone());
+                }
+            }
+            return (binders, renamed.subst_rec(&map2, avoid));
+        }
+        return (xs.iter().map(|x| (*x).clone()).collect(), body.clone());
+    }
+    (
+        xs.iter().map(|x| (*x).clone()).collect(),
+        body.subst_rec(&map2, avoid),
+    )
+}
+
+/// Picks a variant of `base` not free in the replacements or the body.
+fn fresh_var(base: &Var, avoid: &BTreeSet<Var>, body: &IExp) -> Var {
+    let body_fvs = body.free_vars();
+    let mut i = 1u32;
+    loop {
+        let candidate = Var::new(format!("{}%{}", base.as_str(), i));
+        if !avoid.contains(&candidate) && !body_fvs.contains(&candidate) {
+            return candidate;
+        }
+        i += 1;
+    }
+}
+
+impl fmt::Display for IExp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::pretty::print_iexp(self, 80))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(x: &str) -> IExp {
+        IExp::Var(Var::new(x))
+    }
+
+    fn lam(x: &str, body: IExp) -> IExp {
+        IExp::Lam(Var::new(x), Typ::Int, Box::new(body))
+    }
+
+    #[test]
+    fn subst_replaces_free_occurrences_only() {
+        // [1/x](fun x -> x) = fun x -> x
+        let id = lam("x", v("x"));
+        assert_eq!(id.subst(&Var::new("x"), &IExp::Int(1)), id);
+        // [1/x](x) = 1
+        assert_eq!(v("x").subst(&Var::new("x"), &IExp::Int(1)), IExp::Int(1));
+    }
+
+    #[test]
+    fn subst_avoids_capture() {
+        // [y/x](fun y -> x) must not capture: result is fun y' -> y
+        let e = lam("y", v("x"));
+        let result = e.subst(&Var::new("x"), &v("y"));
+        match result {
+            IExp::Lam(binder, _, body) => {
+                assert_ne!(binder, Var::new("y"), "binder must be renamed");
+                assert_eq!(*body, v("y"));
+            }
+            other => panic!("expected lambda, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn subst_into_hole_closure_records_binding() {
+        // The heart of Hazelnut Live: [5/x]⦇⦈⟨u; [x/x]⟩ = ⦇⦈⟨u; [5/x]⟩.
+        let hole = IExp::EmptyHole(HoleName(0), Sigma::identity([&Var::new("x")]));
+        let result = hole.subst(&Var::new("x"), &IExp::Int(5));
+        match result {
+            IExp::EmptyHole(u, sigma) => {
+                assert_eq!(u, HoleName(0));
+                assert_eq!(sigma.get(&Var::new("x")), Some(&IExp::Int(5)));
+            }
+            other => panic!("expected hole closure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simultaneous_subst_is_not_sequential() {
+        // [y/x, 1/y] applied to (x, y) must give (y, 1), not (1, 1).
+        let e = IExp::Tuple(vec![
+            (Label::positional(0), v("x")),
+            (Label::positional(1), v("y")),
+        ]);
+        let map = BTreeMap::from([(Var::new("x"), v("y")), (Var::new("y"), IExp::Int(1))]);
+        let result = e.subst_all(&map);
+        assert_eq!(
+            result,
+            IExp::Tuple(vec![
+                (Label::positional(0), v("y")),
+                (Label::positional(1), IExp::Int(1)),
+            ])
+        );
+    }
+
+    #[test]
+    fn free_vars_include_closure_codomain() {
+        let hole = IExp::EmptyHole(HoleName(0), Sigma::identity([&Var::new("q")]));
+        assert_eq!(hole.free_vars(), BTreeSet::from([Var::new("q")]));
+        let closed = IExp::EmptyHole(
+            HoleName(0),
+            Sigma::from_iter([(Var::new("q"), IExp::Int(3))]),
+        );
+        assert!(closed.is_closed());
+    }
+
+    #[test]
+    fn list_elements_requires_determined_spine() {
+        let xs = IExp::Cons(
+            Box::new(IExp::Int(1)),
+            Box::new(IExp::Cons(
+                Box::new(IExp::Int(2)),
+                Box::new(IExp::Nil(Typ::Int)),
+            )),
+        );
+        let elems = xs.list_elements().expect("determined list");
+        assert_eq!(elems.len(), 2);
+
+        let open = IExp::Cons(
+            Box::new(IExp::Int(1)),
+            Box::new(IExp::EmptyHole(HoleName(9), Sigma::empty())),
+        );
+        assert!(open.list_elements().is_none());
+    }
+
+    #[test]
+    fn sigma_identity_maps_vars_to_themselves() {
+        let sigma = Sigma::identity([&Var::new("a"), &Var::new("b")]);
+        assert_eq!(sigma.len(), 2);
+        assert_eq!(sigma.get(&Var::new("a")), Some(&v("a")));
+    }
+
+    #[test]
+    fn sigma_apply_realizes_delayed_substitution() {
+        let sigma =
+            Sigma::from_iter([(Var::new("x"), IExp::Int(2)), (Var::new("y"), IExp::Int(3))]);
+        let body = IExp::Bin(BinOp::Add, Box::new(v("x")), Box::new(v("y")));
+        assert_eq!(
+            sigma.apply(&body),
+            IExp::Bin(BinOp::Add, Box::new(IExp::Int(2)), Box::new(IExp::Int(3)))
+        );
+    }
+
+    #[test]
+    fn hole_closures_found_inside_other_closures() {
+        let inner = IExp::EmptyHole(HoleName(1), Sigma::empty());
+        let outer = IExp::EmptyHole(HoleName(0), Sigma::from_iter([(Var::new("x"), inner)]));
+        let found: Vec<HoleName> = outer.hole_closures().iter().map(|(u, _)| *u).collect();
+        assert_eq!(found, vec![HoleName(0), HoleName(1)]);
+    }
+}

@@ -1,0 +1,150 @@
+//! Top-level program modules: livelit definitions, library definitions,
+//! and a main expression.
+//!
+//! "Livelit definitions are scoped and packaged like any other definition"
+//! (Sec. 3): a module file interleaves
+//!
+//! ```text
+//! livelit $answer at Int {
+//!   model Unit init ();
+//!   expand fun m : Unit -> "42"
+//! }
+//!
+//! def twice : Int -> Int = fun n : Int -> n * 2 ;;
+//!
+//! twice $answer@0{()}
+//! ```
+//!
+//! - `livelit $a (x : τ)* at τ_expand { model τ_model init e; expand e }` —
+//!   the calculus's definition form `livelit $a at τexpand {τmodel;
+//!   d_expand}` (Sec. 4.2.1) plus an initial model value and declared
+//!   parameters. The `expand` body is an object-language expression of type
+//!   `τ_model → Exp` under the string `Exp` scheme (so expansions are built
+//!   with string literals and `^` concatenation).
+//! - `def x : τ = e ;;` — a library binding, in scope for everything
+//!   below (the `;;` terminator keeps juxtaposition application from
+//!   swallowing the next item).
+//! - a final main expression.
+//!
+//! This module only *parses* the form; `livelit-core` turns declarations
+//! into well-formedness-checked definitions, and the editor packages the
+//! whole module (see their respective `module` support).
+
+use crate::external::EExp;
+use crate::ident::{LivelitName, Var};
+use crate::parse::ParseError;
+use crate::typ::Typ;
+use crate::unexpanded::UExp;
+
+/// A parsed livelit declaration (syntax only — not yet checked).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LivelitDecl {
+    /// The declared name, `$a`.
+    pub name: LivelitName,
+    /// Declared parameters `(x : τ)`, in order.
+    pub params: Vec<(Var, Typ)>,
+    /// The expansion type `τ_expand`.
+    pub expansion_ty: Typ,
+    /// The model type `τ_model`.
+    pub model_ty: Typ,
+    /// The initial model value (an expression of type `τ_model`).
+    pub init_model: EExp,
+    /// The expansion function source (an expression of type
+    /// `τ_model → Exp`).
+    pub expand: EExp,
+}
+
+/// A library definition `def x : τ = e`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LibDef {
+    /// The bound name.
+    pub var: Var,
+    /// Its declared type.
+    pub ty: Typ,
+    /// Its definition.
+    pub def: EExp,
+}
+
+/// A parsed module: declarations, library definitions, and the main
+/// expression, in source order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Module {
+    /// Livelit declarations, in source order.
+    pub livelits: Vec<LivelitDecl>,
+    /// Library definitions, in source order (later ones may use earlier
+    /// ones).
+    pub defs: Vec<LibDef>,
+    /// The main expression.
+    pub main: UExp,
+}
+
+/// Parses a module file.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed input.
+pub fn parse_module(src: &str) -> Result<Module, ParseError> {
+    crate::parse::parse_module_items(src)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build;
+
+    const ANSWER: &str = r#"
+        livelit $answer at Int {
+          model Unit init ();
+          expand fun m : Unit -> "42"
+        }
+
+        def twice : Int -> Int = fun n : Int -> n * 2 ;;
+
+        twice $answer@0{()}
+    "#;
+
+    #[test]
+    fn parses_a_full_module() {
+        let module = parse_module(ANSWER).unwrap();
+        assert_eq!(module.livelits.len(), 1);
+        assert_eq!(module.defs.len(), 1);
+        let decl = &module.livelits[0];
+        assert_eq!(decl.name, LivelitName::new("$answer"));
+        assert!(decl.params.is_empty());
+        assert_eq!(decl.expansion_ty, Typ::Int);
+        assert_eq!(decl.model_ty, Typ::Unit);
+        assert_eq!(decl.init_model, build::unit());
+        assert_eq!(module.defs[0].var, Var::new("twice"));
+        assert!(matches!(module.main, UExp::Ap(..)));
+    }
+
+    #[test]
+    fn parses_parameters() {
+        let src = r#"
+            livelit $between (lo : Int) (hi : Int) at Int {
+              model Int init 0;
+              expand fun m : Unit -> "0"
+            }
+            1
+        "#;
+        let module = parse_module(src).unwrap();
+        let decl = &module.livelits[0];
+        assert_eq!(
+            decl.params,
+            vec![(Var::new("lo"), Typ::Int), (Var::new("hi"), Typ::Int)]
+        );
+    }
+
+    #[test]
+    fn module_requires_a_main_expression() {
+        let src = "livelit $x at Int { model Unit init (); expand fun m : Unit -> \"1\" }";
+        assert!(parse_module(src).is_err());
+    }
+
+    #[test]
+    fn defs_without_livelits_are_fine() {
+        let module = parse_module("def one : Int = 1 ;; one + one").unwrap();
+        assert!(module.livelits.is_empty());
+        assert_eq!(module.defs.len(), 1);
+    }
+}

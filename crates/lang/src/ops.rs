@@ -1,0 +1,209 @@
+//! Primitive binary operators and their typing.
+//!
+//! Hazel follows Elm/OCaml in separating integer arithmetic (`+`) from
+//! floating-point arithmetic (`+.`) — the grading case study (Sec. 2.2) uses
+//! `+.` throughout. Comparison and equality operators produce `Bool`;
+//! `^` concatenates strings (used by `format_for_university`).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::typ::Typ;
+
+/// A primitive binary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BinOp {
+    /// Integer addition `+`.
+    Add,
+    /// Integer subtraction `-`.
+    Sub,
+    /// Integer multiplication `*`.
+    Mul,
+    /// Integer division `/` (partial: division by zero is a run-time error).
+    Div,
+    /// Float addition `+.`.
+    FAdd,
+    /// Float subtraction `-.`.
+    FSub,
+    /// Float multiplication `*.`.
+    FMul,
+    /// Float division `/.`.
+    FDiv,
+    /// Integer less-than `<`.
+    Lt,
+    /// Integer less-than-or-equal `<=`.
+    Le,
+    /// Integer greater-than `>`.
+    Gt,
+    /// Integer greater-than-or-equal `>=`.
+    Ge,
+    /// Integer equality `==`.
+    Eq,
+    /// Float less-than `<.`.
+    FLt,
+    /// Float less-than-or-equal `<=.`.
+    FLe,
+    /// Float greater-than `>.`.
+    FGt,
+    /// Float greater-than-or-equal `>=.`.
+    FGe,
+    /// Float equality `==.`.
+    FEq,
+    /// Boolean conjunction `&&`.
+    And,
+    /// Boolean disjunction `||`.
+    Or,
+    /// String concatenation `^`.
+    Concat,
+    /// String equality `==^`.
+    StrEq,
+}
+
+impl BinOp {
+    /// The operand type both sides of the operator must have.
+    pub fn operand_typ(self) -> Typ {
+        use BinOp::*;
+        match self {
+            Add | Sub | Mul | Div | Lt | Le | Gt | Ge | Eq => Typ::Int,
+            FAdd | FSub | FMul | FDiv | FLt | FLe | FGt | FGe | FEq => Typ::Float,
+            And | Or => Typ::Bool,
+            Concat | StrEq => Typ::Str,
+        }
+    }
+
+    /// The result type of the operator.
+    pub fn result_typ(self) -> Typ {
+        use BinOp::*;
+        match self {
+            Add | Sub | Mul | Div => Typ::Int,
+            FAdd | FSub | FMul | FDiv => Typ::Float,
+            Concat => Typ::Str,
+            Lt | Le | Gt | Ge | Eq | FLt | FLe | FGt | FGe | FEq | And | Or | StrEq => Typ::Bool,
+        }
+    }
+
+    /// The surface-syntax spelling of the operator.
+    pub fn symbol(self) -> &'static str {
+        use BinOp::*;
+        match self {
+            Add => "+",
+            Sub => "-",
+            Mul => "*",
+            Div => "/",
+            FAdd => "+.",
+            FSub => "-.",
+            FMul => "*.",
+            FDiv => "/.",
+            Lt => "<",
+            Le => "<=",
+            Gt => ">",
+            Ge => ">=",
+            Eq => "==",
+            FLt => "<.",
+            FLe => "<=.",
+            FGt => ">.",
+            FGe => ">=.",
+            FEq => "==.",
+            And => "&&",
+            Or => "||",
+            Concat => "^",
+            StrEq => "==^",
+        }
+    }
+
+    /// Parsing/printing precedence; higher binds tighter.
+    pub fn precedence(self) -> u8 {
+        use BinOp::*;
+        match self {
+            Or => 1,
+            And => 2,
+            Lt | Le | Gt | Ge | Eq | FLt | FLe | FGt | FGe | FEq | StrEq => 3,
+            Concat => 4,
+            Add | Sub | FAdd | FSub => 5,
+            Mul | Div | FMul | FDiv => 6,
+        }
+    }
+
+    /// All operators, for exhaustive tests and random program generation.
+    pub const ALL: [BinOp; 22] = [
+        BinOp::Add,
+        BinOp::Sub,
+        BinOp::Mul,
+        BinOp::Div,
+        BinOp::FAdd,
+        BinOp::FSub,
+        BinOp::FMul,
+        BinOp::FDiv,
+        BinOp::Lt,
+        BinOp::Le,
+        BinOp::Gt,
+        BinOp::Ge,
+        BinOp::Eq,
+        BinOp::FLt,
+        BinOp::FLe,
+        BinOp::FGt,
+        BinOp::FGe,
+        BinOp::FEq,
+        BinOp::And,
+        BinOp::Or,
+        BinOp::Concat,
+        BinOp::StrEq,
+    ];
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operand_and_result_types_are_consistent() {
+        for op in BinOp::ALL {
+            let operand = op.operand_typ();
+            let result = op.result_typ();
+            match op {
+                BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => {
+                    assert_eq!(operand, Typ::Int);
+                    assert_eq!(result, Typ::Int);
+                }
+                BinOp::And | BinOp::Or => {
+                    assert_eq!(operand, Typ::Bool);
+                    assert_eq!(result, Typ::Bool);
+                }
+                BinOp::Concat => {
+                    assert_eq!(result, Typ::Str);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn symbols_are_unique() {
+        let mut seen = std::collections::BTreeSet::new();
+        for op in BinOp::ALL {
+            assert!(seen.insert(op.symbol()), "duplicate symbol {}", op.symbol());
+        }
+    }
+
+    #[test]
+    fn float_ops_use_dotted_symbols() {
+        assert_eq!(BinOp::FAdd.symbol(), "+.");
+        assert_eq!(BinOp::FMul.symbol(), "*.");
+        assert_eq!(BinOp::FLt.symbol(), "<.");
+    }
+
+    #[test]
+    fn precedence_orders_arithmetic_over_comparison() {
+        assert!(BinOp::Mul.precedence() > BinOp::Add.precedence());
+        assert!(BinOp::Add.precedence() > BinOp::Lt.precedence());
+        assert!(BinOp::Lt.precedence() > BinOp::And.precedence());
+        assert!(BinOp::And.precedence() > BinOp::Or.precedence());
+    }
+}

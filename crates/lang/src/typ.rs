@@ -1,0 +1,394 @@
+//! Types, `τ` in Fig. 4 of the paper.
+//!
+//! The calculus includes partial functions, (labeled) products, (labeled)
+//! sums, and recursive types "in their standard form" (Sec. 4), plus the base
+//! types and built-in lists that the Hazel implementation and the paper's
+//! examples use (`Int`, `Float`, `Bool`, `String`, `List(Float)`, ...).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ident::{Label, TVar};
+
+/// A type of the livelit calculus.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Typ {
+    /// Machine integers. Used for splice types throughout the paper
+    /// (e.g. the `$color` components in Fig. 3).
+    Int,
+    /// Floating-point numbers, as used by the grading case study (Sec. 2.1).
+    Float,
+    /// Booleans.
+    Bool,
+    /// Strings, as used by `$dataframe` row/column keys (Sec. 2.4.2).
+    Str,
+    /// The unit (nullary product) type, `1` in Fig. 4.
+    Unit,
+    /// Partial function type `τ1 → τ2`.
+    Arrow(Box<Typ>, Box<Typ>),
+    /// Labeled product type `(.l1 τ1, ..., .ln τn)`.
+    ///
+    /// The paper's binary products are the two-field special case; Hazel's
+    /// labeled tuples (Sec. 2.3, e.g. the `Color` and grade-cutoff types) are
+    /// the general form. Positional tuples use labels `_0`, `_1`, ....
+    Prod(Vec<(Label, Typ)>),
+    /// Labeled sum type `[.C1 τ1 | ... | .Cn τn]`.
+    Sum(Vec<(Label, Typ)>),
+    /// Built-in list type `List(τ)`.
+    List(Box<Typ>),
+    /// A type variable `t`, bound by an enclosing [`Typ::Rec`].
+    Var(TVar),
+    /// An iso-recursive type `μ(t.τ)`.
+    Rec(TVar, Box<Typ>),
+}
+
+impl Typ {
+    /// Constructs `τ1 → τ2`.
+    pub fn arrow(from: Typ, to: Typ) -> Typ {
+        Typ::Arrow(Box::new(from), Box::new(to))
+    }
+
+    /// Constructs the curried arrow `τ1 → ... → τn → ret`.
+    ///
+    /// With an empty argument list this is just `ret` — the shape used by
+    /// premise 5 of rule `ELivelit` for the parameterized expansion type
+    /// `{τi}^(i<n) → τ_expand`.
+    pub fn arrows(args: impl IntoIterator<Item = Typ>, ret: Typ) -> Typ {
+        let args: Vec<Typ> = args.into_iter().collect();
+        args.into_iter()
+            .rev()
+            .fold(ret, |acc, arg| Typ::arrow(arg, acc))
+    }
+
+    /// Constructs a labeled product type.
+    pub fn prod(fields: impl IntoIterator<Item = (Label, Typ)>) -> Typ {
+        Typ::Prod(fields.into_iter().collect())
+    }
+
+    /// Constructs a positional tuple type with labels `_0`, `_1`, ....
+    pub fn tuple(fields: impl IntoIterator<Item = Typ>) -> Typ {
+        Typ::Prod(
+            fields
+                .into_iter()
+                .enumerate()
+                .map(|(i, t)| (Label::positional(i), t))
+                .collect(),
+        )
+    }
+
+    /// Constructs a labeled sum type.
+    pub fn sum(arms: impl IntoIterator<Item = (Label, Typ)>) -> Typ {
+        Typ::Sum(arms.into_iter().collect())
+    }
+
+    /// Constructs `List(τ)`.
+    pub fn list(elem: Typ) -> Typ {
+        Typ::List(Box::new(elem))
+    }
+
+    /// Constructs `μ(t.τ)`.
+    pub fn rec(t: impl Into<TVar>, body: Typ) -> Typ {
+        Typ::Rec(t.into(), Box::new(body))
+    }
+
+    /// Splits a curried arrow `τ1 → ... → τn → ρ` into (`[τ1..τn]`, `ρ`),
+    /// taking at most `n` arguments.
+    ///
+    /// Used to validate parameterized expansions against their splice lists
+    /// (rule `ELivelit`, premise 5).
+    pub fn uncurry(&self, n: usize) -> Option<(Vec<&Typ>, &Typ)> {
+        let mut args = Vec::with_capacity(n);
+        let mut cur = self;
+        for _ in 0..n {
+            match cur {
+                Typ::Arrow(a, b) => {
+                    args.push(a.as_ref());
+                    cur = b;
+                }
+                _ => return None,
+            }
+        }
+        Some((args, cur))
+    }
+
+    /// The free type variables of this type.
+    pub fn free_vars(&self) -> BTreeSet<TVar> {
+        let mut out = BTreeSet::new();
+        self.collect_free_vars(&mut Vec::new(), &mut out);
+        out
+    }
+
+    fn collect_free_vars(&self, bound: &mut Vec<TVar>, out: &mut BTreeSet<TVar>) {
+        match self {
+            Typ::Int | Typ::Float | Typ::Bool | Typ::Str | Typ::Unit => {}
+            Typ::Arrow(a, b) => {
+                a.collect_free_vars(bound, out);
+                b.collect_free_vars(bound, out);
+            }
+            Typ::Prod(fields) | Typ::Sum(fields) => {
+                for (_, t) in fields {
+                    t.collect_free_vars(bound, out);
+                }
+            }
+            Typ::List(t) => t.collect_free_vars(bound, out),
+            Typ::Var(t) => {
+                if !bound.contains(t) {
+                    out.insert(t.clone());
+                }
+            }
+            Typ::Rec(t, body) => {
+                bound.push(t.clone());
+                body.collect_free_vars(bound, out);
+                bound.pop();
+            }
+        }
+    }
+
+    /// Whether this type has no free type variables.
+    pub fn is_closed(&self) -> bool {
+        self.free_vars().is_empty()
+    }
+
+    /// Capture-avoiding substitution `[σ/t]τ` of a type for a type variable.
+    ///
+    /// Used for unrolling recursive types: `unroll(μ(t.τ)) = [μ(t.τ)/t]τ`.
+    /// Since the replacement types we substitute are always closed (recursive
+    /// types introduced by `roll`/`unroll` are closed by construction in
+    /// well-typed programs), shadowed binders simply stop the substitution.
+    pub fn subst(&self, t: &TVar, replacement: &Typ) -> Typ {
+        match self {
+            Typ::Int | Typ::Float | Typ::Bool | Typ::Str | Typ::Unit => self.clone(),
+            Typ::Arrow(a, b) => Typ::arrow(a.subst(t, replacement), b.subst(t, replacement)),
+            Typ::Prod(fields) => Typ::Prod(
+                fields
+                    .iter()
+                    .map(|(l, ty)| (l.clone(), ty.subst(t, replacement)))
+                    .collect(),
+            ),
+            Typ::Sum(arms) => Typ::Sum(
+                arms.iter()
+                    .map(|(l, ty)| (l.clone(), ty.subst(t, replacement)))
+                    .collect(),
+            ),
+            Typ::List(elem) => Typ::list(elem.subst(t, replacement)),
+            Typ::Var(v) => {
+                if v == t {
+                    replacement.clone()
+                } else {
+                    self.clone()
+                }
+            }
+            Typ::Rec(v, body) => {
+                if v == t {
+                    self.clone()
+                } else {
+                    Typ::Rec(v.clone(), Box::new(body.subst(t, replacement)))
+                }
+            }
+        }
+    }
+
+    /// Unrolls a recursive type one step: `μ(t.τ) ↦ [μ(t.τ)/t]τ`.
+    ///
+    /// Returns `None` if `self` is not a recursive type.
+    pub fn unroll(&self) -> Option<Typ> {
+        match self {
+            Typ::Rec(t, body) => Some(body.subst(t, self)),
+            _ => None,
+        }
+    }
+
+    /// Looks up the type of field `l` in a product type.
+    pub fn field(&self, l: &Label) -> Option<&Typ> {
+        match self {
+            Typ::Prod(fields) => fields.iter().find(|(fl, _)| fl == l).map(|(_, t)| t),
+            _ => None,
+        }
+    }
+
+    /// Looks up the payload type of arm `l` in a sum type.
+    pub fn arm(&self, l: &Label) -> Option<&Typ> {
+        match self {
+            Typ::Sum(arms) => arms.iter().find(|(al, _)| al == l).map(|(_, t)| t),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Typ {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Parenthesization: arrows are right-associative; arrow domains that
+        // are themselves arrows get parens.
+        match self {
+            Typ::Int => f.write_str("Int"),
+            Typ::Float => f.write_str("Float"),
+            Typ::Bool => f.write_str("Bool"),
+            Typ::Str => f.write_str("Str"),
+            Typ::Unit => f.write_str("Unit"),
+            Typ::Arrow(a, b) => {
+                if matches!(a.as_ref(), Typ::Arrow(..)) {
+                    write!(f, "({a}) -> {b}")
+                } else {
+                    write!(f, "{a} -> {b}")
+                }
+            }
+            Typ::Prod(fields) => {
+                f.write_str("(")?;
+                // 1-ary positional products print labeled so they are not
+                // confused with parenthesized types when parsed back.
+                let positional = fields.len() >= 2
+                    && fields
+                        .iter()
+                        .enumerate()
+                        .all(|(i, (l, _))| *l == Label::positional(i));
+                for (i, (l, t)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    if positional {
+                        write!(f, "{t}")?;
+                    } else {
+                        write!(f, ".{l} {t}")?;
+                    }
+                }
+                f.write_str(")")
+            }
+            Typ::Sum(arms) => {
+                f.write_str("[")?;
+                for (i, (l, t)) in arms.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(" | ")?;
+                    }
+                    if *t == Typ::Unit {
+                        write!(f, ".{l}")?;
+                    } else {
+                        write!(f, ".{l} {t}")?;
+                    }
+                }
+                f.write_str("]")
+            }
+            Typ::List(t) => write!(f, "List({t})"),
+            Typ::Var(t) => write!(f, "'{t}"),
+            Typ::Rec(t, body) => write!(f, "mu '{t}. {body}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn color() -> Typ {
+        Typ::prod([
+            (Label::new("r"), Typ::Int),
+            (Label::new("g"), Typ::Int),
+            (Label::new("b"), Typ::Int),
+            (Label::new("a"), Typ::Int),
+        ])
+    }
+
+    #[test]
+    fn display_base_and_arrow() {
+        assert_eq!(Typ::arrow(Typ::Int, Typ::Bool).to_string(), "Int -> Bool");
+        assert_eq!(
+            Typ::arrow(Typ::arrow(Typ::Int, Typ::Int), Typ::Bool).to_string(),
+            "(Int -> Int) -> Bool"
+        );
+        // Right associativity needs no parens.
+        assert_eq!(
+            Typ::arrow(Typ::Int, Typ::arrow(Typ::Int, Typ::Bool)).to_string(),
+            "Int -> Int -> Bool"
+        );
+    }
+
+    #[test]
+    fn display_labeled_prod() {
+        assert_eq!(color().to_string(), "(.r Int, .g Int, .b Int, .a Int)");
+        assert_eq!(Typ::tuple([Typ::Int, Typ::Bool]).to_string(), "(Int, Bool)");
+    }
+
+    #[test]
+    fn display_sum_and_list() {
+        let t = Typ::sum([
+            (Label::new("Some"), Typ::Int),
+            (Label::new("None"), Typ::Unit),
+        ]);
+        assert_eq!(t.to_string(), "[.Some Int | .None]");
+        assert_eq!(Typ::list(Typ::Float).to_string(), "List(Float)");
+    }
+
+    #[test]
+    fn arrows_builds_curried_type() {
+        let t = Typ::arrows([Typ::Int, Typ::Int], Typ::Bool);
+        assert_eq!(t.to_string(), "Int -> Int -> Bool");
+        assert_eq!(Typ::arrows([], Typ::Bool), Typ::Bool);
+    }
+
+    #[test]
+    fn uncurry_splits_expansion_types() {
+        let t = Typ::arrows(vec![Typ::Int; 4], color());
+        let (args, ret) = t.uncurry(4).expect("arrow shape");
+        assert_eq!(args.len(), 4);
+        assert_eq!(*ret, color());
+        assert!(t.uncurry(5).is_none());
+        let (args, ret) = t.uncurry(0).expect("zero split always succeeds");
+        assert!(args.is_empty());
+        assert_eq!(*ret, t);
+    }
+
+    #[test]
+    fn free_vars_and_closedness() {
+        let t = Typ::rec(
+            "t",
+            Typ::sum([
+                (Label::new("Nil"), Typ::Unit),
+                (
+                    Label::new("Cons"),
+                    Typ::tuple([Typ::Int, Typ::Var(TVar::new("t"))]),
+                ),
+            ]),
+        );
+        assert!(t.is_closed());
+        assert_eq!(
+            Typ::Var(TVar::new("t")).free_vars(),
+            BTreeSet::from([TVar::new("t")])
+        );
+    }
+
+    #[test]
+    fn unroll_substitutes_recursive_type() {
+        let t = Typ::rec(
+            "t",
+            Typ::sum([
+                (Label::new("Leaf"), Typ::Unit),
+                (
+                    Label::new("Node"),
+                    Typ::tuple([Typ::Var(TVar::new("t")), Typ::Var(TVar::new("t"))]),
+                ),
+            ]),
+        );
+        let unrolled = t.unroll().expect("rec type unrolls");
+        assert_eq!(unrolled.arm(&Label::new("Leaf")), Some(&Typ::Unit));
+        assert_eq!(
+            unrolled.arm(&Label::new("Node")),
+            Some(&Typ::tuple([t.clone(), t.clone()]))
+        );
+        assert!(Typ::Int.unroll().is_none());
+    }
+
+    #[test]
+    fn subst_respects_shadowing() {
+        let tv = TVar::new("t");
+        let inner = Typ::rec("t", Typ::Var(tv.clone()));
+        assert_eq!(inner.subst(&tv, &Typ::Int), inner);
+    }
+
+    #[test]
+    fn field_and_arm_lookup() {
+        assert_eq!(color().field(&Label::new("g")), Some(&Typ::Int));
+        assert_eq!(color().field(&Label::new("q")), None);
+        assert_eq!(Typ::Int.field(&Label::new("r")), None);
+    }
+}

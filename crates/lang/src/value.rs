@@ -1,0 +1,240 @@
+//! Conversions between internal *values* and external expressions.
+//!
+//! Livelit models are values of a first-order model type (Sec. 3.2.1: "the
+//! system requires that the model type supports automatic serialization (so
+//! functions cannot appear in models)"). These conversions let models be
+//! embedded in surface syntax (for the text-editor integration, Sec. 5.2)
+//! and validated against their model type (premise 2 of `ELivelit`).
+
+use crate::external::EExp;
+use crate::ident::Label;
+use crate::internal::IExp;
+use crate::typ::Typ;
+
+/// Converts a *serializable* internal value to the external expression with
+/// the same denotation. Returns `None` for forms that are not first-order
+/// values (functions, holes, stuck terms).
+pub fn iexp_value_to_eexp(d: &IExp) -> Option<EExp> {
+    match d {
+        IExp::Int(n) => Some(EExp::Int(*n)),
+        IExp::Float(x) => Some(EExp::Float(*x)),
+        IExp::Bool(b) => Some(EExp::Bool(*b)),
+        IExp::Str(s) => Some(EExp::Str(s.clone())),
+        IExp::Unit => Some(EExp::Unit),
+        IExp::Tuple(fields) => Some(EExp::Tuple(
+            fields
+                .iter()
+                .map(|(l, e)| Some((l.clone(), iexp_value_to_eexp(e)?)))
+                .collect::<Option<_>>()?,
+        )),
+        IExp::Inj(t, l, payload) => Some(EExp::Inj(
+            t.clone(),
+            l.clone(),
+            Box::new(iexp_value_to_eexp(payload)?),
+        )),
+        IExp::Nil(t) => Some(EExp::Nil(t.clone())),
+        IExp::Cons(h, t) => Some(EExp::Cons(
+            Box::new(iexp_value_to_eexp(h)?),
+            Box::new(iexp_value_to_eexp(t)?),
+        )),
+        IExp::Roll(t, inner) => Some(EExp::Roll(t.clone(), Box::new(iexp_value_to_eexp(inner)?))),
+        _ => None,
+    }
+}
+
+/// Converts an external expression built of value forms into the
+/// corresponding internal value. Returns `None` for non-value forms.
+///
+/// This is the inverse of [`iexp_value_to_eexp`] and is used to parse
+/// serialized models back out of text buffers.
+pub fn eexp_to_iexp_value(e: &EExp) -> Option<IExp> {
+    match e {
+        EExp::Int(n) => Some(IExp::Int(*n)),
+        EExp::Float(x) => Some(IExp::Float(*x)),
+        EExp::Bool(b) => Some(IExp::Bool(*b)),
+        EExp::Str(s) => Some(IExp::Str(s.clone())),
+        EExp::Unit => Some(IExp::Unit),
+        EExp::Tuple(fields) => Some(IExp::Tuple(
+            fields
+                .iter()
+                .map(|(l, fe)| Some((l.clone(), eexp_to_iexp_value(fe)?)))
+                .collect::<Option<_>>()?,
+        )),
+        EExp::Inj(t, l, payload) => Some(IExp::Inj(
+            t.clone(),
+            l.clone(),
+            Box::new(eexp_to_iexp_value(payload)?),
+        )),
+        EExp::Nil(t) => Some(IExp::Nil(t.clone())),
+        EExp::Cons(h, t) => Some(IExp::Cons(
+            Box::new(eexp_to_iexp_value(h)?),
+            Box::new(eexp_to_iexp_value(t)?),
+        )),
+        EExp::Roll(t, inner) => Some(IExp::Roll(t.clone(), Box::new(eexp_to_iexp_value(inner)?))),
+        _ => None,
+    }
+}
+
+/// Checks that `d` is a value of first-order type `τ` — the algorithmic
+/// form of premise 2 of `ELivelit` (`⊢ d_model : τ_model`) for serializable
+/// models.
+pub fn value_has_typ(d: &IExp, ty: &Typ) -> bool {
+    match (d, ty) {
+        (IExp::Int(_), Typ::Int) => true,
+        (IExp::Float(_), Typ::Float) => true,
+        (IExp::Bool(_), Typ::Bool) => true,
+        (IExp::Str(_), Typ::Str) => true,
+        (IExp::Unit, Typ::Unit) => true,
+        (IExp::Tuple(fields), Typ::Prod(field_tys)) => {
+            fields.len() == field_tys.len()
+                && fields
+                    .iter()
+                    .zip(field_tys)
+                    .all(|((l1, e), (l2, t))| l1 == l2 && value_has_typ(e, t))
+        }
+        (IExp::Inj(inj_ty, l, payload), Typ::Sum(_)) => {
+            inj_ty == ty
+                && ty
+                    .arm(l)
+                    .is_some_and(|payload_ty| value_has_typ(payload, payload_ty))
+        }
+        (IExp::Nil(elem), Typ::List(elem_ty)) => elem == elem_ty.as_ref(),
+        (IExp::Cons(h, t), Typ::List(elem_ty)) => value_has_typ(h, elem_ty) && value_has_typ(t, ty),
+        (IExp::Roll(roll_ty, inner), Typ::Rec(..)) => {
+            roll_ty == ty
+                && ty
+                    .unroll()
+                    .is_some_and(|unrolled| value_has_typ(inner, &unrolled))
+        }
+        _ => false,
+    }
+}
+
+/// Builders for internal values, mirroring [`crate::build`] for the
+/// internal sort. Useful for constructing livelit models in Rust.
+pub mod iv {
+    use super::*;
+
+    /// An integer value.
+    pub fn int(n: i64) -> IExp {
+        IExp::Int(n)
+    }
+
+    /// A float value.
+    pub fn float(x: f64) -> IExp {
+        IExp::Float(x)
+    }
+
+    /// A boolean value.
+    pub fn boolean(b: bool) -> IExp {
+        IExp::Bool(b)
+    }
+
+    /// A string value.
+    pub fn string(s: &str) -> IExp {
+        IExp::Str(s.to_owned())
+    }
+
+    /// The unit value.
+    pub fn unit() -> IExp {
+        IExp::Unit
+    }
+
+    /// A labeled tuple value.
+    pub fn record<'a>(fields: impl IntoIterator<Item = (&'a str, IExp)>) -> IExp {
+        IExp::Tuple(
+            fields
+                .into_iter()
+                .map(|(l, e)| (Label::new(l), e))
+                .collect(),
+        )
+    }
+
+    /// A positional tuple value.
+    pub fn tuple(fields: impl IntoIterator<Item = IExp>) -> IExp {
+        IExp::Tuple(
+            fields
+                .into_iter()
+                .enumerate()
+                .map(|(i, e)| (Label::positional(i), e))
+                .collect(),
+        )
+    }
+
+    /// A sum injection value.
+    pub fn inj(ty: Typ, arm: &str, payload: IExp) -> IExp {
+        IExp::Inj(ty, Label::new(arm), Box::new(payload))
+    }
+
+    /// A list value.
+    pub fn list(elem_ty: Typ, elems: impl IntoIterator<Item = IExp>) -> IExp {
+        let elems: Vec<IExp> = elems.into_iter().collect();
+        elems.into_iter().rev().fold(IExp::Nil(elem_ty), |acc, e| {
+            IExp::Cons(Box::new(e), Box::new(acc))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_roundtrip() {
+        let v = iv::record([
+            ("r", iv::int(57)),
+            (
+                "rest",
+                iv::list(Typ::Float, [iv::float(1.0), iv::float(2.0)]),
+            ),
+        ]);
+        let e = iexp_value_to_eexp(&v).expect("serializable");
+        assert_eq!(eexp_to_iexp_value(&e), Some(v));
+    }
+
+    #[test]
+    fn functions_are_not_serializable() {
+        let f = IExp::Lam(
+            crate::ident::Var::new("x"),
+            Typ::Int,
+            Box::new(IExp::Var(crate::ident::Var::new("x"))),
+        );
+        assert!(iexp_value_to_eexp(&f).is_none());
+        let nested = iv::tuple([iv::int(1), f]);
+        assert!(iexp_value_to_eexp(&nested).is_none());
+    }
+
+    #[test]
+    fn value_typing_accepts_correct_shapes() {
+        let color_ty = Typ::prod([(Label::new("r"), Typ::Int), (Label::new("g"), Typ::Int)]);
+        let v = iv::record([("r", iv::int(1)), ("g", iv::int(2))]);
+        assert!(value_has_typ(&v, &color_ty));
+        // Wrong arity.
+        assert!(!value_has_typ(&iv::record([("r", iv::int(1))]), &color_ty));
+        // Wrong label order.
+        let swapped = iv::record([("g", iv::int(2)), ("r", iv::int(1))]);
+        assert!(!value_has_typ(&swapped, &color_ty));
+        // Wrong payload type.
+        let bad = iv::record([("r", iv::float(1.0)), ("g", iv::int(2))]);
+        assert!(!value_has_typ(&bad, &color_ty));
+    }
+
+    #[test]
+    fn list_value_typing() {
+        let xs = iv::list(Typ::Int, [iv::int(1), iv::int(2)]);
+        assert!(value_has_typ(&xs, &Typ::list(Typ::Int)));
+        assert!(!value_has_typ(&xs, &Typ::list(Typ::Float)));
+    }
+
+    #[test]
+    fn sum_value_typing() {
+        let opt = Typ::sum([
+            (Label::new("Some"), Typ::Int),
+            (Label::new("None"), Typ::Unit),
+        ]);
+        let v = iv::inj(opt.clone(), "Some", iv::int(3));
+        assert!(value_has_typ(&v, &opt));
+        let bad = iv::inj(opt.clone(), "Many", iv::int(3));
+        assert!(!value_has_typ(&bad, &opt));
+    }
+}

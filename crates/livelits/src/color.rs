@@ -1,0 +1,390 @@
+//! The `$color` livelit — the paper's prototypic livelit definition,
+//! implemented line-by-line after Fig. 3.
+//!
+//! - `type Color = (.r Int, .g Int, .b Int, .a Int)` — the expansion type.
+//! - `type Model = (.r SpliceRef, .g SpliceRef, .b SpliceRef, .a SpliceRef)`.
+//! - `init` creates four `Int` splices initialized to `0, 0, 0, 100`.
+//! - `Action = ClickOn(Color)`: clicking a palette swatch overwrites all
+//!   four splices with literals (`set_splice`, Sec. 3.2.4).
+//! - `view` evaluates the four splices to determine the preview color; if
+//!   any is indeterminate, the preview is disabled (shown as `X`,
+//!   Fig. 3 lines 26–34).
+//! - `expand` returns `` `fun r g b a -> (r, g, b, a)` `` with the four
+//!   splice references (Fig. 3 lines 55–57).
+
+use hazel_lang::build;
+use hazel_lang::external::EExp;
+use hazel_lang::ident::{Label, LivelitName};
+use hazel_lang::typ::Typ;
+use hazel_lang::value::iv;
+use hazel_lang::IExp;
+use livelit_core::live::LiveResult;
+use livelit_mvu::html::tags::*;
+use livelit_mvu::html::{Dim, Html};
+use livelit_mvu::livelit::{Action, CmdError, Livelit, Model, UpdateCtx, ViewCtx};
+use livelit_mvu::splice::SpliceRef;
+
+/// The `Color` type: `(.r Int, .g Int, .b Int, .a Int)`.
+pub fn color_typ() -> Typ {
+    Typ::prod([
+        (Label::new("r"), Typ::Int),
+        (Label::new("g"), Typ::Int),
+        (Label::new("b"), Typ::Int),
+        (Label::new("a"), Typ::Int),
+    ])
+}
+
+/// The model type: a labeled 4-tuple of splice references.
+pub fn color_model_typ() -> Typ {
+    Typ::prod([
+        (Label::new("r"), livelit_mvu::splice::splice_ref_typ()),
+        (Label::new("g"), livelit_mvu::splice::splice_ref_typ()),
+        (Label::new("b"), livelit_mvu::splice::splice_ref_typ()),
+        (Label::new("a"), livelit_mvu::splice::splice_ref_typ()),
+    ])
+}
+
+/// The palette of clickable swatches shown in the view.
+pub const PALETTE: [(i64, i64, i64); 6] = [
+    (57, 107, 57), // the Fig. 1b green
+    (220, 50, 47),
+    (38, 139, 210),
+    (181, 137, 0),
+    (211, 54, 130),
+    (0, 0, 0),
+];
+
+/// The `$color` livelit.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ColorLivelit;
+
+fn model_ref(model: &Model, l: &str) -> Result<SpliceRef, CmdError> {
+    model
+        .field(&Label::new(l))
+        .and_then(SpliceRef::from_value)
+        .ok_or_else(|| CmdError::Custom(format!("color model missing .{l}")))
+}
+
+impl ColorLivelit {
+    fn component_refs(model: &Model) -> Result<[SpliceRef; 4], CmdError> {
+        Ok([
+            model_ref(model, "r")?,
+            model_ref(model, "g")?,
+            model_ref(model, "b")?,
+            model_ref(model, "a")?,
+        ])
+    }
+}
+
+impl Livelit for ColorLivelit {
+    fn name(&self) -> LivelitName {
+        LivelitName::new("$color")
+    }
+
+    fn expansion_ty(&self) -> Typ {
+        color_typ()
+    }
+
+    fn model_ty(&self) -> Typ {
+        color_model_typ()
+    }
+
+    fn init(&self, _params: &[SpliceRef], ctx: &mut UpdateCtx<'_>) -> Result<Model, CmdError> {
+        // Fig. 3 lines 8-13: four new Int splices, alpha defaulting to 100.
+        let r = ctx.new_splice(Typ::Int, Some(build::int(0)))?;
+        let g = ctx.new_splice(Typ::Int, Some(build::int(0)))?;
+        let b = ctx.new_splice(Typ::Int, Some(build::int(0)))?;
+        let a = ctx.new_splice(Typ::Int, Some(build::int(100)))?;
+        Ok(iv::record([
+            ("r", r.to_value()),
+            ("g", g.to_value()),
+            ("b", b.to_value()),
+            ("a", a.to_value()),
+        ]))
+    }
+
+    fn update(
+        &self,
+        model: &Model,
+        action: &Action,
+        ctx: &mut UpdateCtx<'_>,
+    ) -> Result<Model, CmdError> {
+        // Action = ClickOn(Color): encoded as (.click_on (.r _, .g _, .b _, .a _)).
+        let color = action
+            .field(&Label::new("click_on"))
+            .ok_or_else(|| CmdError::Custom("unknown $color action".into()))?;
+        let refs = Self::component_refs(model)?;
+        // Fig. 3 lines 46-53: overwrite each splice with the clicked
+        // component literal.
+        for (slot, l) in refs.iter().zip(["r", "g", "b", "a"]) {
+            let component = color
+                .field(&Label::new(l))
+                .and_then(IExp::as_int)
+                .ok_or_else(|| CmdError::Custom(format!("ClickOn missing .{l}")))?;
+            ctx.set_splice(*slot, build::int(component))?;
+        }
+        Ok(model.clone())
+    }
+
+    fn view(&self, model: &Model, ctx: &mut ViewCtx<'_>) -> Result<Html<Action>, CmdError> {
+        let refs = Self::component_refs(model)?;
+
+        // Fig. 3 lines 19-35: determine a color to display by evaluating
+        // the splices; indeterminate components disable the preview.
+        let mut components = Vec::with_capacity(4);
+        for r in refs {
+            match ctx.eval_splice(r)? {
+                Some(LiveResult::Val(IExp::Int(n))) => components.push(n),
+                _ => {
+                    components.clear();
+                    break;
+                }
+            }
+        }
+        let preview = if components.len() == 4 {
+            Html::text(format!(
+                "rgba({}, {}, {}, {}%)",
+                components[0], components[1], components[2], components[3]
+            ))
+        } else {
+            // "indeterminate color shown as X"
+            Html::text("X")
+        };
+
+        // Fig. 3 lines 37-42: splice editors of fixed width 20.
+        let size = Dim::fixed_width(20);
+        let editors = div(vec![
+            span(vec![Html::text("r: "), ctx.editor(refs[0], size)]),
+            span(vec![Html::text("g: "), ctx.editor(refs[1], size)]),
+            span(vec![Html::text("b: "), ctx.editor(refs[2], size)]),
+            span(vec![Html::text("a: "), ctx.editor(refs[3], size)]),
+        ]);
+
+        // A clickable palette emitting ClickOn actions.
+        let swatches = Html::node(
+            "row",
+            PALETTE
+                .iter()
+                .enumerate()
+                .map(|(i, (r, g, b))| {
+                    button(vec![Html::text("■")])
+                        .attr("id", format!("swatch-{i}"))
+                        .on_click(iv::record([(
+                            "click_on",
+                            iv::record([
+                                ("r", iv::int(*r)),
+                                ("g", iv::int(*g)),
+                                ("b", iv::int(*b)),
+                                ("a", iv::int(100)),
+                            ]),
+                        )]))
+                })
+                .collect(),
+        );
+
+        Ok(div(vec![
+            span(vec![Html::text("preview: "), preview]).attr("id", "preview"),
+            editors,
+            swatches,
+        ]))
+    }
+
+    /// An edited Color result pushes back by overwriting the component
+    /// splices with literals — the same mechanism as a palette click.
+    fn push_result(
+        &self,
+        model: &Model,
+        new_value: &IExp,
+        ctx: &mut UpdateCtx<'_>,
+    ) -> Result<Option<Model>, CmdError> {
+        let refs = Self::component_refs(model)?;
+        let mut components = Vec::with_capacity(4);
+        for l in ["r", "g", "b", "a"] {
+            match new_value.field(&Label::new(l)).and_then(IExp::as_int) {
+                Some(n) => components.push(n),
+                None => return Ok(None),
+            }
+        }
+        for (slot, n) in refs.iter().zip(components) {
+            ctx.set_splice(*slot, build::int(n))?;
+        }
+        Ok(Some(model.clone()))
+    }
+
+    fn expand(&self, model: &Model) -> Result<(EExp, Vec<SpliceRef>), String> {
+        let refs = Self::component_refs(model).map_err(|e| e.to_string())?;
+        // Fig. 3 lines 55-57: `fun r g b a -> (r, g, b, a)` with the splice
+        // list [model.r, model.g, model.b, model.a].
+        let pexpansion = build::lams(
+            [
+                ("r", Typ::Int),
+                ("g", Typ::Int),
+                ("b", Typ::Int),
+                ("a", Typ::Int),
+            ],
+            build::record([
+                ("r", build::var("r")),
+                ("g", build::var("g")),
+                ("b", build::var("b")),
+                ("a", build::var("a")),
+            ]),
+        );
+        Ok((pexpansion, refs.to_vec()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hazel_lang::ident::HoleName;
+    use hazel_lang::typing::Ctx;
+    use hazel_lang::unexpanded::UExp;
+    use livelit_core::def::LivelitCtx;
+    use livelit_mvu::host::Instance;
+    use std::sync::Arc;
+
+    fn instance() -> Instance {
+        Instance::new(Arc::new(ColorLivelit), HoleName(0), vec![], 1 << 20).unwrap()
+    }
+
+    #[test]
+    fn init_creates_four_int_splices() {
+        let inst = instance();
+        assert_eq!(inst.store().len(), 4);
+        let ap = inst.invocation().unwrap();
+        assert_eq!(ap.splices.len(), 4);
+        assert!(ap.splices.iter().all(|s| s.ty == Typ::Int));
+        // Defaults 0, 0, 0, 100.
+        assert_eq!(ap.splices[0].exp, UExp::Int(0));
+        assert_eq!(ap.splices[3].exp, UExp::Int(100));
+    }
+
+    #[test]
+    fn expansion_is_the_fig3_lambda() {
+        let inst = instance();
+        let pexp = inst.pexpansion().unwrap();
+        let printed = hazel_lang::pretty::print_eexp(&pexp, 200);
+        assert_eq!(
+            printed,
+            "fun r : Int -> fun g : Int -> fun b : Int -> fun a : Int -> \
+             (.r r, .g g, .b b, .a a)"
+        );
+        // It validates: closed, of type Int -> Int -> Int -> Int -> Color.
+        assert!(pexp.is_closed());
+        let (ty, _) = hazel_lang::typing::syn(&Ctx::empty(), &pexp).unwrap();
+        assert_eq!(ty, Typ::arrows(vec![Typ::Int; 4], color_typ()));
+    }
+
+    #[test]
+    fn click_on_swatch_sets_all_splices() {
+        let mut inst = instance();
+        let phi = LivelitCtx::new();
+        let gamma = Ctx::empty();
+        inst.click(&phi, &gamma, &[], 100_000, "swatch-0").unwrap();
+        let ap = inst.invocation().unwrap();
+        assert_eq!(ap.splices[0].exp, UExp::Int(57));
+        assert_eq!(ap.splices[1].exp, UExp::Int(107));
+        assert_eq!(ap.splices[2].exp, UExp::Int(57));
+        assert_eq!(ap.splices[3].exp, UExp::Int(100));
+    }
+
+    #[test]
+    fn view_preview_live_with_env_and_x_without() {
+        let inst = instance();
+        let phi = LivelitCtx::new();
+        let gamma = Ctx::empty();
+        // Without a closure, splices cannot be evaluated: preview is X.
+        let view = inst.view(&phi, &gamma, &[], 100_000).unwrap();
+        let lines = render_lines(&view);
+        assert!(lines[0].contains('X'), "{lines:?}");
+
+        // With the (empty) environment of a collected closure, the literal
+        // splices evaluate and the preview shows the color.
+        let env = hazel_lang::Sigma::empty();
+        let view = inst
+            .view(&phi, &gamma, std::slice::from_ref(&env), 100_000)
+            .unwrap();
+        let lines = render_lines(&view);
+        assert!(
+            lines[0].contains("rgba(0, 0, 0, 100%)"),
+            "preview should be live: {lines:?}"
+        );
+    }
+
+    fn render_lines(view: &Html<Action>) -> Vec<String> {
+        hazel_editor_render(view)
+    }
+
+    // Minimal local rendering to avoid a dependency cycle with the editor
+    // crate: flatten all text nodes per top-level child.
+    fn hazel_editor_render(view: &Html<Action>) -> Vec<String> {
+        fn collect(h: &Html<Action>, out: &mut String) {
+            match h {
+                Html::Text(s) => out.push_str(s),
+                Html::Element { children, .. } => {
+                    for c in children {
+                        collect(c, out);
+                    }
+                }
+                Html::Editor { splice, .. } => {
+                    out.push_str(&format!("[{splice}]"));
+                }
+                Html::ResultView { splice, .. } => {
+                    out.push_str(&format!("<{splice}>"));
+                }
+            }
+        }
+        match view {
+            Html::Element { children, .. } => children
+                .iter()
+                .map(|c| {
+                    let mut s = String::new();
+                    collect(c, &mut s);
+                    s
+                })
+                .collect(),
+            other => {
+                let mut s = String::new();
+                collect(other, &mut s);
+                vec![s]
+            }
+        }
+    }
+
+    #[test]
+    fn full_invocation_expands_to_color_value() {
+        // let baseline = 57 in (a $color invocation with splices referencing
+        // baseline) — the Fig. 1b composition, end to end through the
+        // calculus.
+        let mut inst = instance();
+        let refs = ColorLivelit::component_refs(inst.model()).unwrap();
+        inst.edit_splice(refs[0], UExp::Var(hazel_lang::Var::new("baseline")))
+            .unwrap();
+        inst.edit_splice(
+            refs[1],
+            UExp::Bin(
+                hazel_lang::BinOp::Add,
+                Box::new(UExp::Var(hazel_lang::Var::new("baseline"))),
+                Box::new(UExp::Int(50)),
+            ),
+        )
+        .unwrap();
+        let ap = inst.invocation().unwrap();
+        let program = UExp::Let(
+            hazel_lang::Var::new("baseline"),
+            None,
+            Box::new(UExp::Int(57)),
+            Box::new(UExp::Livelit(Box::new(ap))),
+        );
+        let mut phi = LivelitCtx::new();
+        phi.define(livelit_mvu::host::def_for(
+            &(Arc::new(ColorLivelit) as Arc<dyn Livelit>),
+        ))
+        .unwrap();
+        let collection = livelit_core::cc::collect(&phi, &program).unwrap();
+        let result = collection.resume_result().unwrap();
+        assert_eq!(result.field(&Label::new("r")), Some(&iv::int(57)));
+        assert_eq!(result.field(&Label::new("g")), Some(&iv::int(107)));
+        assert_eq!(result.field(&Label::new("a")), Some(&iv::int(100)));
+    }
+}

@@ -1,0 +1,542 @@
+//! The `$dataframe` livelit (Fig. 1c, Secs. 2.1–2.4).
+//!
+//! A tabular user interface over "tabular floating point data together with
+//! string row and column names". Every cell, row key, and column key is a
+//! splice; "unlike parameters, the number of splices can change as the user
+//! interacts with the livelit, e.g. when adding or removing rows or
+//! columns" (Sec. 2.4.2). The table displays each cell's *value* (a result
+//! view); the formula bar at the top is the editor for the selected cell
+//! and accepts arbitrary Hazel expressions — including other livelit
+//! invocations, as in Fig. 1c's `$slider` inside a grade cell.
+
+use hazel_lang::build;
+use hazel_lang::external::EExp;
+use hazel_lang::ident::{Label, LivelitName};
+use hazel_lang::typ::Typ;
+use hazel_lang::value::iv;
+use hazel_lang::IExp;
+use livelit_mvu::html::tags::*;
+use livelit_mvu::html::{Dim, Html};
+use livelit_mvu::livelit::{Action, CmdError, Livelit, Model, UpdateCtx, ViewCtx};
+use livelit_mvu::splice::SpliceRef;
+
+/// The `Dataframe` type:
+/// `(.cols List(Str), .rows List((Str, List(Float))))`.
+pub fn dataframe_typ() -> Typ {
+    Typ::prod([
+        (Label::new("cols"), Typ::list(Typ::Str)),
+        (
+            Label::new("rows"),
+            Typ::list(Typ::tuple([Typ::Str, Typ::list(Typ::Float)])),
+        ),
+    ])
+}
+
+/// The model type: column-key references, per-row (key, cells) references,
+/// and the selected cell.
+pub fn dataframe_model_typ() -> Typ {
+    let sref = livelit_mvu::splice::splice_ref_typ();
+    Typ::prod([
+        (Label::new("cols"), Typ::list(sref.clone())),
+        (
+            Label::new("rows"),
+            Typ::list(Typ::prod([
+                (Label::new("key"), sref.clone()),
+                (Label::new("cells"), Typ::list(sref)),
+            ])),
+        ),
+        (
+            Label::new("sel"),
+            Typ::prod([(Label::new("row"), Typ::Int), (Label::new("col"), Typ::Int)]),
+        ),
+    ])
+}
+
+/// The decoded model, for ergonomic manipulation in Rust.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DataframeModel {
+    /// Column-key splices.
+    pub cols: Vec<SpliceRef>,
+    /// Rows: (key splice, cell splices).
+    pub rows: Vec<(SpliceRef, Vec<SpliceRef>)>,
+    /// Selected (row, col); `None` when nothing is selected. Row keys are
+    /// column `-1` conceptually but selected via their own action.
+    pub sel: Option<(usize, usize)>,
+}
+
+impl DataframeModel {
+    /// Encodes into the object-language model value.
+    pub fn to_value(&self) -> IExp {
+        let (sel_r, sel_c) = match self.sel {
+            Some((r, c)) => (r as i64, c as i64),
+            None => (-1, -1),
+        };
+        iv::record([
+            (
+                "cols",
+                iv::list(Typ::Int, self.cols.iter().map(|r| r.to_value())),
+            ),
+            (
+                "rows",
+                iv::list(
+                    Typ::prod([
+                        (Label::new("key"), Typ::Int),
+                        (Label::new("cells"), Typ::list(Typ::Int)),
+                    ]),
+                    self.rows.iter().map(|(k, cells)| {
+                        iv::record([
+                            ("key", k.to_value()),
+                            (
+                                "cells",
+                                iv::list(Typ::Int, cells.iter().map(|c| c.to_value())),
+                            ),
+                        ])
+                    }),
+                ),
+            ),
+            (
+                "sel",
+                iv::record([("row", iv::int(sel_r)), ("col", iv::int(sel_c))]),
+            ),
+        ])
+    }
+
+    /// Decodes from the object-language model value.
+    pub fn from_value(model: &Model) -> Result<DataframeModel, CmdError> {
+        let bad = || CmdError::Custom("malformed $dataframe model".into());
+        let cols = model
+            .field(&Label::new("cols"))
+            .and_then(IExp::list_elements)
+            .ok_or_else(bad)?
+            .iter()
+            .map(|v| SpliceRef::from_value(v).ok_or_else(bad))
+            .collect::<Result<Vec<_>, _>>()?;
+        let mut rows = Vec::new();
+        for row in model
+            .field(&Label::new("rows"))
+            .and_then(IExp::list_elements)
+            .ok_or_else(bad)?
+        {
+            let key = row
+                .field(&Label::new("key"))
+                .and_then(SpliceRef::from_value)
+                .ok_or_else(bad)?;
+            let cells = row
+                .field(&Label::new("cells"))
+                .and_then(IExp::list_elements)
+                .ok_or_else(bad)?
+                .iter()
+                .map(|v| SpliceRef::from_value(v).ok_or_else(bad))
+                .collect::<Result<Vec<_>, _>>()?;
+            rows.push((key, cells));
+        }
+        let sel_field = model.field(&Label::new("sel")).ok_or_else(bad)?;
+        let sel_r = sel_field
+            .field(&Label::new("row"))
+            .and_then(IExp::as_int)
+            .ok_or_else(bad)?;
+        let sel_c = sel_field
+            .field(&Label::new("col"))
+            .and_then(IExp::as_int)
+            .ok_or_else(bad)?;
+        let sel = if sel_r >= 0 && sel_c >= 0 {
+            Some((sel_r as usize, sel_c as usize))
+        } else {
+            None
+        };
+        Ok(DataframeModel { cols, rows, sel })
+    }
+}
+
+/// The `$dataframe` livelit.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DataframeLivelit;
+
+impl Livelit for DataframeLivelit {
+    fn name(&self) -> LivelitName {
+        LivelitName::new("$dataframe")
+    }
+
+    fn expansion_ty(&self) -> Typ {
+        dataframe_typ()
+    }
+
+    fn model_ty(&self) -> Typ {
+        dataframe_model_typ()
+    }
+
+    fn init(&self, _params: &[SpliceRef], _ctx: &mut UpdateCtx<'_>) -> Result<Model, CmdError> {
+        Ok(DataframeModel::default().to_value())
+    }
+
+    fn update(
+        &self,
+        model: &Model,
+        action: &Action,
+        ctx: &mut UpdateCtx<'_>,
+    ) -> Result<Model, CmdError> {
+        let mut m = DataframeModel::from_value(model)?;
+        if action.field(&Label::new("add_col")).is_some() {
+            m.cols
+                .push(ctx.new_splice(Typ::Str, Some(build::string("")))?);
+            for (_, cells) in &mut m.rows {
+                cells.push(ctx.new_splice(Typ::Float, Some(build::float(0.0)))?);
+            }
+        } else if action.field(&Label::new("add_row")).is_some() {
+            let key = ctx.new_splice(Typ::Str, Some(build::string("")))?;
+            let mut cells = Vec::with_capacity(m.cols.len());
+            for _ in 0..m.cols.len() {
+                cells.push(ctx.new_splice(Typ::Float, Some(build::float(0.0)))?);
+            }
+            m.rows.push((key, cells));
+        } else if let Some(sel) = action.field(&Label::new("select")) {
+            let r = sel
+                .field(&Label::new("row"))
+                .and_then(IExp::as_int)
+                .ok_or_else(|| CmdError::Custom("select needs .row".into()))?;
+            let c = sel
+                .field(&Label::new("col"))
+                .and_then(IExp::as_int)
+                .ok_or_else(|| CmdError::Custom("select needs .col".into()))?;
+            if r < 0 || c < 0 || r as usize >= m.rows.len() || c as usize >= m.cols.len() {
+                return Err(CmdError::Custom("selection out of bounds".into()));
+            }
+            m.sel = Some((r as usize, c as usize));
+        } else if let Some(IExp::Int(i)) = action.field(&Label::new("del_row")) {
+            let i = *i as usize;
+            if i >= m.rows.len() {
+                return Err(CmdError::Custom("del_row out of bounds".into()));
+            }
+            let (key, cells) = m.rows.remove(i);
+            ctx.remove_splice(key)?;
+            for c in cells {
+                ctx.remove_splice(c)?;
+            }
+            m.sel = None;
+        } else if let Some(IExp::Int(i)) = action.field(&Label::new("del_col")) {
+            let i = *i as usize;
+            if i >= m.cols.len() {
+                return Err(CmdError::Custom("del_col out of bounds".into()));
+            }
+            ctx.remove_splice(m.cols.remove(i))?;
+            for (_, cells) in &mut m.rows {
+                ctx.remove_splice(cells.remove(i))?;
+            }
+            m.sel = None;
+        } else {
+            return Err(CmdError::Custom("unknown $dataframe action".into()));
+        }
+        Ok(m.to_value())
+    }
+
+    fn view(&self, model: &Model, ctx: &mut ViewCtx<'_>) -> Result<Html<Action>, CmdError> {
+        let m = DataframeModel::from_value(model)?;
+
+        // Formula bar: the editor for the selected cell's splice; "all of
+        // Hazel's editing affordances are available" there (Sec. 2.4.2).
+        let formula_bar = match m
+            .sel
+            .and_then(|(r, c)| m.rows.get(r).and_then(|(_, cells)| cells.get(c)).copied())
+        {
+            Some(splice) => span(vec![
+                Html::text("fx: "),
+                ctx.editor(splice, Dim::fixed_width(40)),
+            ])
+            .attr("id", "formula-bar"),
+            None => span(vec![Html::text("fx: (no cell selected)")]).attr("id", "formula-bar"),
+        };
+
+        // Header row: column-key editors.
+        let mut header = vec![Html::text("")];
+        for (ci, col) in m.cols.iter().enumerate() {
+            header.push(
+                td(vec![ctx.editor(*col, Dim::fixed_width(10))]).attr("id", format!("col-{ci}")),
+            );
+        }
+        let mut table_rows = vec![tr(header)];
+
+        // Body: row-key editors plus per-cell *result views* — "the table
+        // itself displays not the expression itself but rather its value,
+        // just as in a spreadsheet" (Sec. 2.1).
+        for (ri, (key, cells)) in m.rows.iter().enumerate() {
+            let mut row =
+                vec![td(vec![ctx.editor(*key, Dim::fixed_width(10))])
+                    .attr("id", format!("rowkey-{ri}"))];
+            for (ci, cell) in cells.iter().enumerate() {
+                let content: Html<Action> = match ctx.result_view(*cell, Dim::fixed_width(8))? {
+                    Some(view) => view,
+                    None => Html::text("·"),
+                };
+                row.push(
+                    td(vec![content])
+                        .attr("id", format!("cell-{ri}-{ci}"))
+                        .on_click(iv::record([(
+                            "select",
+                            iv::record([("row", iv::int(ri as i64)), ("col", iv::int(ci as i64))]),
+                        )])),
+                );
+            }
+            table_rows.push(tr(row));
+        }
+
+        let controls = span(vec![
+            button(vec![Html::text("+row")])
+                .attr("id", "add-row")
+                .on_click(iv::record([("add_row", IExp::Unit)])),
+            button(vec![Html::text("+col")])
+                .attr("id", "add-col")
+                .on_click(iv::record([("add_col", IExp::Unit)])),
+        ]);
+
+        Ok(div(vec![formula_bar, table(table_rows), controls]))
+    }
+
+    fn expand(&self, model: &Model) -> Result<(EExp, Vec<SpliceRef>), String> {
+        let m = DataframeModel::from_value(model).map_err(|e| e.to_string())?;
+
+        // Argument order: column keys, then per row its key and cells.
+        let mut refs: Vec<SpliceRef> = m.cols.clone();
+        for (key, cells) in &m.rows {
+            refs.push(*key);
+            refs.extend(cells.iter().copied());
+        }
+
+        // Parameterized expansion: λ over every splice, assembling the
+        // Dataframe value. Variable names are internal to the (closed)
+        // expansion; splices cannot capture them (beta reduction is
+        // capture-avoiding — Sec. 4.2.2).
+        let col_vars: Vec<String> = (0..m.cols.len()).map(|i| format!("c{i}")).collect();
+        let row_vars: Vec<(String, Vec<String>)> = m
+            .rows
+            .iter()
+            .enumerate()
+            .map(|(ri, (_, cells))| {
+                (
+                    format!("k{ri}"),
+                    (0..cells.len()).map(|ci| format!("x{ri}_{ci}")).collect(),
+                )
+            })
+            .collect();
+
+        let body = build::record([
+            (
+                "cols",
+                build::list(Typ::Str, col_vars.iter().map(|v| build::var(v))),
+            ),
+            (
+                "rows",
+                build::list(
+                    Typ::tuple([Typ::Str, Typ::list(Typ::Float)]),
+                    row_vars.iter().map(|(k, cells)| {
+                        build::tuple([
+                            build::var(k),
+                            build::list(Typ::Float, cells.iter().map(|c| build::var(c))),
+                        ])
+                    }),
+                ),
+            ),
+        ]);
+
+        let mut params: Vec<(String, Typ)> =
+            col_vars.iter().map(|v| (v.clone(), Typ::Str)).collect();
+        for (k, cells) in &row_vars {
+            params.push((k.clone(), Typ::Str));
+            params.extend(cells.iter().map(|c| (c.clone(), Typ::Float)));
+        }
+        let pexpansion = params
+            .into_iter()
+            .rev()
+            .fold(body, |acc, (v, t)| build::lam(&v, t, acc));
+
+        Ok((pexpansion, refs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hazel_lang::ident::HoleName;
+    use hazel_lang::typing::Ctx;
+    use hazel_lang::unexpanded::UExp;
+    use livelit_core::def::LivelitCtx;
+    use livelit_mvu::host::Instance;
+    use std::sync::Arc;
+
+    fn add(inst: &mut Instance, what: &str) {
+        inst.dispatch(&iv::record([(what, IExp::Unit)])).unwrap();
+    }
+
+    fn grid_2x2() -> Instance {
+        let mut inst =
+            Instance::new(Arc::new(DataframeLivelit), HoleName(0), vec![], 1 << 20).unwrap();
+        add(&mut inst, "add_col");
+        add(&mut inst, "add_col");
+        add(&mut inst, "add_row");
+        add(&mut inst, "add_row");
+        inst
+    }
+
+    #[test]
+    fn model_roundtrip() {
+        let m = DataframeModel {
+            cols: vec![SpliceRef(0), SpliceRef(1)],
+            rows: vec![(SpliceRef(2), vec![SpliceRef(3), SpliceRef(4)])],
+            sel: Some((0, 1)),
+        };
+        let v = m.to_value();
+        assert!(hazel_lang::value::value_has_typ(&v, &dataframe_model_typ()));
+        assert_eq!(DataframeModel::from_value(&v).unwrap(), m);
+    }
+
+    #[test]
+    fn add_row_and_col_grow_splices() {
+        let inst = grid_2x2();
+        // 2 column keys + 2 rows × (1 key + 2 cells) = 8 splices.
+        assert_eq!(inst.store().len(), 8);
+        let m = DataframeModel::from_value(inst.model()).unwrap();
+        assert_eq!(m.cols.len(), 2);
+        assert_eq!(m.rows.len(), 2);
+        assert_eq!(m.rows[0].1.len(), 2);
+    }
+
+    #[test]
+    fn selection_drives_formula_bar() {
+        let mut inst = grid_2x2();
+        inst.dispatch(&iv::record([(
+            "select",
+            iv::record([("row", iv::int(1)), ("col", iv::int(0))]),
+        )]))
+        .unwrap();
+        let m = DataframeModel::from_value(inst.model()).unwrap();
+        assert_eq!(m.sel, Some((1, 0)));
+        // Out-of-bounds selection is a custom error.
+        assert!(inst
+            .dispatch(&iv::record([(
+                "select",
+                iv::record([("row", iv::int(9)), ("col", iv::int(0))]),
+            )]))
+            .is_err());
+    }
+
+    #[test]
+    fn del_row_removes_its_splices() {
+        let mut inst = grid_2x2();
+        inst.dispatch(&iv::record([("del_row", iv::int(0))]))
+            .unwrap();
+        assert_eq!(inst.store().len(), 5);
+        let m = DataframeModel::from_value(inst.model()).unwrap();
+        assert_eq!(m.rows.len(), 1);
+        // Deleting a column shrinks every remaining row.
+        inst.dispatch(&iv::record([("del_col", iv::int(1))]))
+            .unwrap();
+        let m = DataframeModel::from_value(inst.model()).unwrap();
+        assert_eq!(m.cols.len(), 1);
+        assert_eq!(m.rows[0].1.len(), 1);
+    }
+
+    #[test]
+    fn expansion_builds_dataframe_value() {
+        let mut inst = grid_2x2();
+        // Fill in: cols A1, A2; row Andrew with 80., 92.
+        let m = DataframeModel::from_value(inst.model()).unwrap();
+        inst.edit_splice(m.cols[0], UExp::Str("A1".into())).unwrap();
+        inst.edit_splice(m.cols[1], UExp::Str("A2".into())).unwrap();
+        inst.edit_splice(m.rows[0].0, UExp::Str("Andrew".into()))
+            .unwrap();
+        inst.edit_splice(m.rows[0].1[0], UExp::Float(80.0)).unwrap();
+        inst.edit_splice(m.rows[0].1[1], UExp::Float(92.0)).unwrap();
+        inst.edit_splice(m.rows[1].0, UExp::Str("Cyrus".into()))
+            .unwrap();
+        inst.edit_splice(m.rows[1].1[0], UExp::Float(61.0)).unwrap();
+        inst.edit_splice(m.rows[1].1[1], UExp::Float(64.0)).unwrap();
+
+        let mut phi = LivelitCtx::new();
+        phi.define(livelit_mvu::host::def_for(
+            &(Arc::new(DataframeLivelit) as Arc<dyn Livelit>),
+        ))
+        .unwrap();
+        let program = UExp::Livelit(Box::new(inst.invocation().unwrap()));
+        let collection = livelit_core::cc::collect(&phi, &program).unwrap();
+        let result = collection.resume_result().unwrap();
+        // Check shape: .cols is the list of header strings.
+        let cols = result
+            .field(&Label::new("cols"))
+            .and_then(IExp::list_elements)
+            .unwrap();
+        assert_eq!(cols[0].as_str(), Some("A1"));
+        assert_eq!(cols[1].as_str(), Some("A2"));
+        let rows = result
+            .field(&Label::new("rows"))
+            .and_then(IExp::list_elements)
+            .unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(
+            rows[1].field(&Label::positional(0)).and_then(IExp::as_str),
+            Some("Cyrus")
+        );
+    }
+
+    #[test]
+    fn cell_formula_with_expression_evaluates_like_spreadsheet() {
+        // Fig. 1c: the formula bar fills a cell with `q1_max +. 24. +. 20.`;
+        // the table shows 80.
+        let mut inst = grid_2x2();
+        let m = DataframeModel::from_value(inst.model()).unwrap();
+        inst.edit_splice(
+            m.rows[0].1[0],
+            hazel_lang::parse::parse_uexp("q1_max +. 24. +. 20.").unwrap(),
+        )
+        .unwrap();
+        let mut phi = LivelitCtx::new();
+        phi.define(livelit_mvu::host::def_for(
+            &(Arc::new(DataframeLivelit) as Arc<dyn Livelit>),
+        ))
+        .unwrap();
+        // let q1_max = 36. in $dataframe...
+        let program = UExp::Let(
+            hazel_lang::Var::new("q1_max"),
+            None,
+            Box::new(UExp::Float(36.0)),
+            Box::new(UExp::Livelit(Box::new(inst.invocation().unwrap()))),
+        );
+        let collection = livelit_core::cc::collect(&phi, &program).unwrap();
+        // Live evaluation of the cell splice, as the table display does.
+        let envs = collection.envs_for(HoleName(0));
+        assert_eq!(envs.len(), 1);
+        let gamma = collection.delta.get(HoleName(0)).unwrap().ctx.clone();
+        let result = livelit_core::live::eval_splice_in_env(
+            &phi,
+            &gamma,
+            &envs[0],
+            &hazel_lang::parse::parse_uexp("q1_max +. 24. +. 20.").unwrap(),
+            &Typ::Float,
+            1_000_000,
+        )
+        .unwrap()
+        .expect("cell value available");
+        assert_eq!(result.value(), Some(&IExp::Float(80.0)));
+    }
+
+    #[test]
+    fn view_contains_formula_bar_table_and_controls() {
+        let mut inst = grid_2x2();
+        inst.dispatch(&iv::record([(
+            "select",
+            iv::record([("row", iv::int(0)), ("col", iv::int(0))]),
+        )]))
+        .unwrap();
+        let phi = LivelitCtx::new();
+        let gamma = Ctx::empty();
+        let view = inst.view(&phi, &gamma, &[], 100_000).unwrap();
+        assert!(view
+            .find_handler("add-row", livelit_mvu::html::EventKind::Click)
+            .is_some());
+        assert!(view
+            .find_handler("cell-1-1", livelit_mvu::html::EventKind::Click)
+            .is_some());
+        // The formula bar embeds the selected cell's editor.
+        let refs = view.splice_refs();
+        let m = DataframeModel::from_value(inst.model()).unwrap();
+        assert_eq!(refs[0], m.rows[0].1[0], "formula bar first");
+    }
+}

@@ -1,0 +1,347 @@
+//! The `$grade_cutoffs` livelit (Fig. 1c, Sec. 2.1).
+//!
+//! `livelit $grade_cutoffs (averages : List(Float)) at
+//! (.A Float, .B Float, .C Float, .D Float)` — draggable "paddles"
+//! superimposed on a live visualization of the distribution of averages,
+//! which arrive as a livelit *parameter*. When grades are missing the
+//! livelit degrades gracefully: "it would display only the list elements
+//! that are values on the timeline, skipping indeterminate elements"
+//! (Sec. 2.5.2).
+
+use hazel_lang::build;
+use hazel_lang::external::EExp;
+use hazel_lang::ident::{Label, LivelitName};
+use hazel_lang::typ::Typ;
+use hazel_lang::value::iv;
+use hazel_lang::IExp;
+use livelit_mvu::html::tags::*;
+use livelit_mvu::html::Html;
+use livelit_mvu::livelit::{Action, CmdError, Livelit, Model, UpdateCtx, ViewCtx};
+use livelit_mvu::splice::SpliceRef;
+
+/// The expansion type: `(.A Float, .B Float, .C Float, .D Float)`.
+pub fn cutoffs_typ() -> Typ {
+    Typ::prod([
+        (Label::new("A"), Typ::Float),
+        (Label::new("B"), Typ::Float),
+        (Label::new("C"), Typ::Float),
+        (Label::new("D"), Typ::Float),
+    ])
+}
+
+/// Walks a (possibly indeterminate) list result, collecting the elements
+/// that are float *values* and skipping indeterminate elements — the
+/// Sec. 2.5.2 degradation. Stops at an undetermined spine (e.g. a hole in
+/// tail position), returning what was gathered so far.
+pub fn determined_floats(d: &IExp) -> Vec<f64> {
+    let mut out = Vec::new();
+    let mut cur = d;
+    loop {
+        match cur {
+            IExp::Cons(h, t) => {
+                if let IExp::Float(x) = h.as_ref() {
+                    out.push(*x);
+                }
+                cur = t;
+            }
+            _ => return out,
+        }
+    }
+}
+
+/// The `$grade_cutoffs` livelit.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct GradeCutoffsLivelit;
+
+const PADDLES: [&str; 4] = ["A", "B", "C", "D"];
+
+fn cutoff(model: &Model, l: &str) -> Result<f64, CmdError> {
+    model
+        .field(&Label::new(l))
+        .and_then(IExp::as_float)
+        .ok_or_else(|| CmdError::Custom(format!("cutoffs model missing .{l}")))
+}
+
+impl Livelit for GradeCutoffsLivelit {
+    fn name(&self) -> LivelitName {
+        LivelitName::new("$grade_cutoffs")
+    }
+
+    fn param_tys(&self) -> Vec<Typ> {
+        vec![Typ::list(Typ::Float)]
+    }
+
+    fn expansion_ty(&self) -> Typ {
+        cutoffs_typ()
+    }
+
+    /// The model is the current paddle positions — the same shape as the
+    /// expansion.
+    fn model_ty(&self) -> Typ {
+        cutoffs_typ()
+    }
+
+    fn init(&self, _params: &[SpliceRef], _ctx: &mut UpdateCtx<'_>) -> Result<Model, CmdError> {
+        // The Fig. 1c defaults the instructor then drags from.
+        Ok(iv::record([
+            ("A", iv::float(90.0)),
+            ("B", iv::float(80.0)),
+            ("C", iv::float(70.0)),
+            ("D", iv::float(60.0)),
+        ]))
+    }
+
+    fn update(
+        &self,
+        model: &Model,
+        action: &Action,
+        _ctx: &mut UpdateCtx<'_>,
+    ) -> Result<Model, CmdError> {
+        // Action: (.drag (.paddle "B", .to 76.))
+        let drag = action
+            .field(&Label::new("drag"))
+            .ok_or_else(|| CmdError::Custom("unknown $grade_cutoffs action".into()))?;
+        let paddle = drag
+            .field(&Label::new("paddle"))
+            .and_then(IExp::as_str)
+            .ok_or_else(|| CmdError::Custom("drag needs .paddle".into()))?
+            .to_owned();
+        let to = drag
+            .field(&Label::new("to"))
+            .and_then(IExp::as_float)
+            .ok_or_else(|| CmdError::Custom("drag needs .to".into()))?;
+        if !PADDLES.contains(&paddle.as_str()) {
+            return Err(CmdError::Custom(format!("unknown paddle {paddle}")));
+        }
+        let mut fields = Vec::with_capacity(4);
+        for l in PADDLES {
+            let v = if l == paddle { to } else { cutoff(model, l)? };
+            fields.push((l, iv::float(v)));
+        }
+        // Paddles must stay ordered A ≥ B ≥ C ≥ D — otherwise the cutoffs
+        // are non-sensical and the drag is rejected with a custom error.
+        let values: Vec<f64> = fields
+            .iter()
+            .map(|(_, v)| v.as_float().expect("built above"))
+            .collect();
+        if values.windows(2).any(|w| w[0] < w[1]) {
+            return Err(CmdError::Custom(
+                "cutoffs must be ordered A >= B >= C >= D".into(),
+            ));
+        }
+        Ok(iv::record(fields))
+    }
+
+    fn view(&self, model: &Model, ctx: &mut ViewCtx<'_>) -> Result<Html<Action>, CmdError> {
+        // Live evaluation of the averages *parameter* (always SpliceRef 0).
+        let averages: Vec<f64> = match ctx.eval_splice(SpliceRef(0))? {
+            // Sec. 2.5.2: both for values and indeterminate results, plot
+            // whatever elements are determined.
+            Some(result) => determined_floats(result.exp()),
+            None => Vec::new(),
+        };
+
+        // A 0..100 timeline, one character per 2 points: marks for each
+        // average, paddle letters at the cutoffs.
+        const W: usize = 51;
+        let mut line = vec!['·'; W];
+        for avg in &averages {
+            let i = ((avg / 2.0).round() as usize).min(W - 1);
+            line[i] = '*';
+        }
+        let mut paddles_row = vec![' '; W];
+        for l in PADDLES {
+            let v = cutoff(model, l)?;
+            let i = ((v / 2.0).round() as usize).min(W - 1);
+            paddles_row[i] = l.chars().next().expect("nonempty");
+        }
+
+        Ok(div(vec![
+            Html::text(paddles_row.into_iter().collect::<String>()),
+            Html::text(line.into_iter().collect::<String>()),
+            Html::text(format!(
+                "A: {}  B: {}  C: {}  D: {}   ({} averages plotted)",
+                cutoff(model, "A")?,
+                cutoff(model, "B")?,
+                cutoff(model, "C")?,
+                cutoff(model, "D")?,
+                averages.len()
+            )),
+        ])
+        .attr("id", "cutoffs"))
+    }
+
+    /// Cutoffs are literals in the expansion, so an edited result record
+    /// pushes straight back into the paddles (Sec. 7 bidirectionality).
+    fn push_result(
+        &self,
+        _model: &Model,
+        new_value: &IExp,
+        _ctx: &mut UpdateCtx<'_>,
+    ) -> Result<Option<Model>, CmdError> {
+        let mut fields = Vec::with_capacity(4);
+        for l in PADDLES {
+            match new_value.field(&Label::new(l)).and_then(IExp::as_float) {
+                Some(v) => fields.push((l, iv::float(v))),
+                None => return Ok(None),
+            }
+        }
+        Ok(Some(iv::record(fields)))
+    }
+
+    fn expand(&self, model: &Model) -> Result<(EExp, Vec<SpliceRef>), String> {
+        let mut fields = Vec::with_capacity(4);
+        for l in PADDLES {
+            let v = cutoff(model, l).map_err(|e| e.to_string())?;
+            fields.push((l, build::float(v)));
+        }
+        // fun averages : List(Float) -> (.A _, .B _, .C _, .D _)
+        Ok((
+            build::lam("averages", Typ::list(Typ::Float), build::record(fields)),
+            vec![SpliceRef(0)],
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hazel_lang::ident::HoleName;
+    use hazel_lang::unexpanded::UExp;
+    use hazel_lang::Sigma;
+    use livelit_core::def::LivelitCtx;
+    use livelit_mvu::host::Instance;
+    use std::sync::Arc;
+
+    fn instance() -> Instance {
+        Instance::new(
+            Arc::new(GradeCutoffsLivelit),
+            HoleName(0),
+            vec![UExp::Var(hazel_lang::Var::new("averages"))],
+            1 << 20,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn drag_updates_one_paddle() {
+        let mut inst = instance();
+        inst.dispatch(&iv::record([(
+            "drag",
+            iv::record([("paddle", iv::string("B")), ("to", iv::float(76.0))]),
+        )]))
+        .unwrap();
+        assert_eq!(cutoff(inst.model(), "B").unwrap(), 76.0);
+        assert_eq!(cutoff(inst.model(), "A").unwrap(), 90.0);
+    }
+
+    #[test]
+    fn unordered_drag_rejected() {
+        let mut inst = instance();
+        // Dragging D above C is non-sensical.
+        let err = inst
+            .dispatch(&iv::record([(
+                "drag",
+                iv::record([("paddle", iv::string("D")), ("to", iv::float(85.0))]),
+            )]))
+            .unwrap_err();
+        assert!(matches!(err, CmdError::Custom(ref m) if m.contains("ordered")));
+    }
+
+    #[test]
+    fn expansion_is_the_labeled_tuple() {
+        let inst = instance();
+        let pexp = inst.pexpansion().unwrap();
+        let (ty, _) = hazel_lang::typing::syn(&hazel_lang::typing::Ctx::empty(), &pexp).unwrap();
+        assert_eq!(ty, Typ::arrow(Typ::list(Typ::Float), cutoffs_typ()));
+    }
+
+    #[test]
+    fn determined_floats_skips_indeterminate_elements() {
+        // [86.4, ⦇⦈, 72.1 | ⦇⦈]  — a hole element and a hole tail.
+        let hole = IExp::EmptyHole(HoleName(9), Sigma::empty());
+        let d = IExp::Cons(
+            Box::new(IExp::Float(86.4)),
+            Box::new(IExp::Cons(
+                Box::new(hole.clone()),
+                Box::new(IExp::Cons(Box::new(IExp::Float(72.1)), Box::new(hole))),
+            )),
+        );
+        assert_eq!(determined_floats(&d), vec![86.4, 72.1]);
+    }
+
+    #[test]
+    fn view_plots_averages_from_live_parameter() {
+        let inst = instance();
+        let mut phi = LivelitCtx::new();
+        phi.define(livelit_mvu::host::def_for(
+            &(Arc::new(GradeCutoffsLivelit) as Arc<dyn Livelit>),
+        ))
+        .unwrap();
+        let gamma = hazel_lang::typing::Ctx::from_bindings([(
+            hazel_lang::Var::new("averages"),
+            Typ::list(Typ::Float),
+        )]);
+        let env = Sigma::from_iter([(
+            hazel_lang::Var::new("averages"),
+            hazel_lang::value::iv::list(Typ::Float, [iv::float(86.0), iv::float(42.0)]),
+        )]);
+        let view = inst
+            .view(&phi, &gamma, std::slice::from_ref(&env), 1_000_000)
+            .unwrap();
+        let text = flatten(&view);
+        assert!(text.contains("2 averages plotted"), "{text}");
+        assert!(text.contains('*'));
+        assert!(text.contains('A'));
+    }
+
+    #[test]
+    fn view_degrades_without_closures() {
+        let inst = instance();
+        let phi = LivelitCtx::new();
+        let gamma = hazel_lang::typing::Ctx::empty();
+        let view = inst.view(&phi, &gamma, &[], 1_000_000).unwrap();
+        assert!(flatten(&view).contains("0 averages plotted"));
+    }
+
+    #[test]
+    fn full_fig1c_dataflow() {
+        // let averages = [86., 72., 65.] in $grade_cutoffs averages — the
+        // parameter flows through closure collection into the livelit.
+        let inst = instance();
+        let mut phi = LivelitCtx::new();
+        phi.define(livelit_mvu::host::def_for(
+            &(Arc::new(GradeCutoffsLivelit) as Arc<dyn Livelit>),
+        ))
+        .unwrap();
+        let program = UExp::Let(
+            hazel_lang::Var::new("averages"),
+            None,
+            Box::new(UExp::from_eexp(&build::list(
+                Typ::Float,
+                [build::float(86.0), build::float(72.0), build::float(65.0)],
+            ))),
+            Box::new(UExp::Livelit(Box::new(inst.invocation().unwrap()))),
+        );
+        let collection = livelit_core::cc::collect(&phi, &program).unwrap();
+        let result = collection.resume_result().unwrap();
+        assert_eq!(
+            result.field(&Label::new("A")).and_then(IExp::as_float),
+            Some(90.0)
+        );
+        // And the collected closure carries the averages for the plot.
+        let envs = collection.envs_for(HoleName(0));
+        assert_eq!(envs.len(), 1);
+        assert!(envs[0].get(&hazel_lang::Var::new("averages")).is_some());
+    }
+
+    fn flatten(h: &Html<Action>) -> String {
+        match h {
+            Html::Text(s) => s.clone(),
+            Html::Element { children, .. } => {
+                children.iter().map(flatten).collect::<Vec<_>>().join("\n")
+            }
+            _ => String::new(),
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! `livelit-std`: the standard livelit library — every livelit from
+//! *Filling Typed Holes with Live GUIs* (PLDI 2021), implemented against
+//! the [`livelit_mvu::Livelit`] trait.
+//!
+//! | Livelit | Paper | Expansion type |
+//! |---|---|---|
+//! | [`color::ColorLivelit`] (`$color`) | Fig. 3 | `(.r Int, .g Int, .b Int, .a Int)` |
+//! | [`slider::SliderLivelit`] (`$slider min max`, `$percent`) | Figs. 1b, 1c | `Int` |
+//! | [`slider::CheckboxLivelit`] (`$checkbox`) | — | `Bool` |
+//! | [`dataframe::DataframeLivelit`] (`$dataframe`) | Fig. 1c | `Dataframe` |
+//! | [`grade_cutoffs::GradeCutoffsLivelit`] (`$grade_cutoffs avgs`) | Fig. 1c | labeled 4-tuple |
+//! | [`adjustments::BasicAdjustmentsLivelit`] (`$basic_adjustments url`) | Fig. 2 | `Img` |
+//! | [`plot::PlotLivelit`] (`$plot`) | intro motivation | `Float -> Float` |
+//!
+//! The [`mod@derive`] module implements the paper's future-work `deriving`
+//! mechanism (Sec. 7): form livelits generated from first-order type
+//! definitions.
+//!
+//! Plus the substrates the case studies need: the grayscale [`image`]
+//! framework (procedural photos, adjustments, object-language reflection)
+//! and the [`grading`] library written in Hazel surface syntax.
+
+#![warn(missing_docs)]
+
+pub mod adjustments;
+pub mod color;
+pub mod dataframe;
+pub mod derive;
+pub mod grade_cutoffs;
+pub mod grading;
+pub mod image;
+pub mod plot;
+pub mod slider;
+
+use std::sync::Arc;
+
+/// Registers the complete standard library (and the `$uslider`/`$percent`
+/// abbreviations) into an editor registry.
+pub fn register_all(registry: &mut hazel_editor::LivelitRegistry) {
+    registry.register(Arc::new(color::ColorLivelit));
+    registry.register(Arc::new(slider::CheckboxLivelit));
+    registry.register(Arc::new(dataframe::DataframeLivelit));
+    registry.register(Arc::new(grade_cutoffs::GradeCutoffsLivelit));
+    registry.register(Arc::new(adjustments::BasicAdjustmentsLivelit));
+    registry.register(Arc::new(plot::PlotLivelit));
+    slider::register_percent(registry);
+}

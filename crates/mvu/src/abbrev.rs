@@ -1,0 +1,139 @@
+//! Livelit abbreviations: partial application of parameters (Sec. 2.4.1).
+//!
+//! `let $uslider = $slider 0 in ...` partially applies `$slider`'s first
+//! parameter. Abbreviations form chains (`$percent` = `$uslider 100` =
+//! `$slider 0 100`); resolution flattens a chain to the base livelit plus
+//! the full prefix of applied parameter expressions. "Only livelits with no
+//! remaining parameters can be invoked" — arity is enforced when the
+//! resolved invocation is instantiated.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use hazel_lang::ident::LivelitName;
+use hazel_lang::unexpanded::UExp;
+
+/// One abbreviation: `let $name = $base e1 ... ek in ...`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Abbrev {
+    /// The abbreviated livelit (or a further abbreviation).
+    pub base: LivelitName,
+    /// The parameter expressions applied, leftmost first.
+    pub applied: Vec<UExp>,
+}
+
+/// An abbreviation-resolution failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AbbrevError {
+    /// The abbreviation chain contains a cycle.
+    Cycle(LivelitName),
+}
+
+impl fmt::Display for AbbrevError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AbbrevError::Cycle(name) => write!(f, "abbreviation cycle through {name}"),
+        }
+    }
+}
+
+impl std::error::Error for AbbrevError {}
+
+/// The abbreviation environment in scope at an invocation site.
+#[derive(Debug, Clone, Default)]
+pub struct AbbrevCtx {
+    map: BTreeMap<LivelitName, Abbrev>,
+}
+
+impl AbbrevCtx {
+    /// An empty environment.
+    pub fn new() -> AbbrevCtx {
+        AbbrevCtx::default()
+    }
+
+    /// Defines `let $name = $base e1 ... ek`.
+    pub fn define(
+        &mut self,
+        name: impl Into<LivelitName>,
+        base: impl Into<LivelitName>,
+        applied: Vec<UExp>,
+    ) {
+        self.map.insert(
+            name.into(),
+            Abbrev {
+                base: base.into(),
+                applied,
+            },
+        );
+    }
+
+    /// Resolves a name to its base livelit and the full prefix of applied
+    /// parameters. A name with no abbreviation resolves to itself with no
+    /// prefix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AbbrevError::Cycle`] on cyclic abbreviation chains.
+    pub fn resolve(&self, name: &LivelitName) -> Result<(LivelitName, Vec<UExp>), AbbrevError> {
+        let mut prefix: Vec<UExp> = Vec::new();
+        let mut cur = name.clone();
+        let mut seen = std::collections::BTreeSet::new();
+        while let Some(abbrev) = self.map.get(&cur) {
+            if !seen.insert(cur.clone()) {
+                return Err(AbbrevError::Cycle(cur));
+            }
+            // The chain applies outer-most last: $percent = $uslider 100
+            // means $uslider's params come first.
+            let mut combined = abbrev.applied.clone();
+            combined.extend(prefix);
+            prefix = combined;
+            cur = abbrev.base.clone();
+        }
+        Ok((cur, prefix))
+    }
+
+    /// The number of abbreviations.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether there are no abbreviations.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unabbreviated_name_resolves_to_itself() {
+        let ctx = AbbrevCtx::new();
+        let (base, prefix) = ctx.resolve(&LivelitName::new("$slider")).unwrap();
+        assert_eq!(base, LivelitName::new("$slider"));
+        assert!(prefix.is_empty());
+    }
+
+    #[test]
+    fn percent_slider_chain() {
+        // let $uslider = $slider 0 in let $percent = $uslider 100 in ...
+        let mut ctx = AbbrevCtx::new();
+        ctx.define("$uslider", "$slider", vec![UExp::Int(0)]);
+        ctx.define("$percent", "$uslider", vec![UExp::Int(100)]);
+        let (base, prefix) = ctx.resolve(&LivelitName::new("$percent")).unwrap();
+        assert_eq!(base, LivelitName::new("$slider"));
+        assert_eq!(prefix, vec![UExp::Int(0), UExp::Int(100)]);
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut ctx = AbbrevCtx::new();
+        ctx.define("$a", "$b", vec![]);
+        ctx.define("$b", "$a", vec![]);
+        assert!(matches!(
+            ctx.resolve(&LivelitName::new("$a")),
+            Err(AbbrevError::Cycle(_))
+        ));
+    }
+}

@@ -1,0 +1,295 @@
+//! Immutable HTML view trees, `Html(Action)` (Sec. 3.2.3).
+//!
+//! "The computed view is a value of type `Html(Action)`. This type provides
+//! a simple immutable encoding of an HTML element, where the type parameter
+//! is the type of actions that are emitted by event handlers." Two special
+//! node kinds — splice editors and result views — are opaque regions that
+//! the editor controls when the view is rendered.
+
+use serde::{Deserialize, Serialize};
+
+use crate::splice::SpliceRef;
+
+/// A size in *character units* (Sec. 5.3: layout "relies fundamentally on
+/// character counts", so livelits specify dimensions in characters, not
+/// pixels).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Dim {
+    /// Width in character columns.
+    pub width: usize,
+    /// Height in character rows.
+    pub height: usize,
+}
+
+impl Dim {
+    /// An inline (one-row) dimension — the paper's `FixedWidth(20)`.
+    pub fn fixed_width(width: usize) -> Dim {
+        Dim { width, height: 1 }
+    }
+
+    /// A multi-row block dimension.
+    pub fn block(width: usize, height: usize) -> Dim {
+        Dim { width, height }
+    }
+}
+
+/// The DOM events a handler can be attached to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A mouse click.
+    Click,
+    /// A text-input change.
+    Input,
+    /// A drag gesture (used by `$grade_cutoffs` paddles and `$slider`).
+    Drag,
+}
+
+/// An immutable HTML view tree emitting actions of type `A`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Html<A> {
+    /// An element with a tag, attributes, event handlers, and children.
+    Element {
+        /// Tag name, e.g. `"div"`.
+        tag: String,
+        /// Attribute name/value pairs, in insertion order.
+        attrs: Vec<(String, String)>,
+        /// Event handlers: the action emitted when the event fires.
+        handlers: Vec<(EventKind, A)>,
+        /// Child nodes.
+        children: Vec<Html<A>>,
+    },
+    /// A text node.
+    Text(String),
+    /// An embedded splice editor (the `editor` command, Sec. 3.2.3): "an
+    /// opaque Html value ... when the livelit is rendered, this part of the
+    /// tree is under the control of Hazel."
+    Editor {
+        /// The splice whose editor is embedded here.
+        splice: SpliceRef,
+        /// Requested size in character units.
+        dim: Dim,
+    },
+    /// A rendered evaluation result for a splice (the `result_view`
+    /// command) — e.g. each `$dataframe` cell shows its cell's value.
+    ResultView {
+        /// The splice whose result is rendered here.
+        splice: SpliceRef,
+        /// Requested size in character units.
+        dim: Dim,
+    },
+}
+
+impl<A> Html<A> {
+    /// An element with no attributes or handlers.
+    pub fn node(tag: impl Into<String>, children: Vec<Html<A>>) -> Html<A> {
+        Html::Element {
+            tag: tag.into(),
+            attrs: Vec::new(),
+            handlers: Vec::new(),
+            children,
+        }
+    }
+
+    /// A text node.
+    pub fn text(s: impl Into<String>) -> Html<A> {
+        Html::Text(s.into())
+    }
+
+    /// Adds an attribute (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a non-element node.
+    pub fn attr(mut self, name: impl Into<String>, value: impl Into<String>) -> Html<A> {
+        match &mut self {
+            Html::Element { attrs, .. } => attrs.push((name.into(), value.into())),
+            _ => panic!("attr on a non-element node"),
+        }
+        self
+    }
+
+    /// Attaches a click handler (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a non-element node.
+    pub fn on_click(self, action: A) -> Html<A> {
+        self.on(EventKind::Click, action)
+    }
+
+    /// Attaches a handler for `event` (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a non-element node.
+    pub fn on(mut self, event: EventKind, action: A) -> Html<A> {
+        match &mut self {
+            Html::Element { handlers, .. } => handlers.push((event, action)),
+            _ => panic!("handler on a non-element node"),
+        }
+        self
+    }
+
+    /// Maps the action type — livelit composition needs views embedding
+    /// views with different action types.
+    pub fn map<B>(self, f: &impl Fn(A) -> B) -> Html<B> {
+        match self {
+            Html::Element {
+                tag,
+                attrs,
+                handlers,
+                children,
+            } => Html::Element {
+                tag,
+                attrs,
+                handlers: handlers.into_iter().map(|(e, a)| (e, f(a))).collect(),
+                children: children.into_iter().map(|c| c.map(f)).collect(),
+            },
+            Html::Text(s) => Html::Text(s),
+            Html::Editor { splice, dim } => Html::Editor { splice, dim },
+            Html::ResultView { splice, dim } => Html::ResultView { splice, dim },
+        }
+    }
+
+    /// The number of nodes in the tree.
+    pub fn size(&self) -> usize {
+        match self {
+            Html::Element { children, .. } => 1 + children.iter().map(Html::size).sum::<usize>(),
+            _ => 1,
+        }
+    }
+
+    /// All splice references mentioned by editors and result views, in
+    /// document order.
+    pub fn splice_refs(&self) -> Vec<SpliceRef> {
+        let mut out = Vec::new();
+        self.collect_splice_refs(&mut out);
+        out
+    }
+
+    fn collect_splice_refs(&self, out: &mut Vec<SpliceRef>) {
+        match self {
+            Html::Element { children, .. } => {
+                for c in children {
+                    c.collect_splice_refs(out);
+                }
+            }
+            Html::Editor { splice, .. } | Html::ResultView { splice, .. } => out.push(*splice),
+            Html::Text(_) => {}
+        }
+    }
+
+    /// Finds the first handler for `event` anywhere in the tree whose
+    /// element's `id` attribute equals `target_id`, and returns its action.
+    /// This is how the headless host dispatches scripted interactions.
+    pub fn find_handler(&self, target_id: &str, event: EventKind) -> Option<&A> {
+        match self {
+            Html::Element {
+                attrs,
+                handlers,
+                children,
+                ..
+            } => {
+                let here = attrs.iter().any(|(k, v)| k == "id" && v == target_id);
+                if here {
+                    if let Some((_, a)) = handlers.iter().find(|(e, _)| *e == event) {
+                        return Some(a);
+                    }
+                }
+                children
+                    .iter()
+                    .find_map(|c| c.find_handler(target_id, event))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Convenience constructors with conventional tag names.
+pub mod tags {
+    use super::Html;
+
+    /// A `div` element.
+    pub fn div<A>(children: Vec<Html<A>>) -> Html<A> {
+        Html::node("div", children)
+    }
+
+    /// A `span` element.
+    pub fn span<A>(children: Vec<Html<A>>) -> Html<A> {
+        Html::node("span", children)
+    }
+
+    /// A `button` element.
+    pub fn button<A>(children: Vec<Html<A>>) -> Html<A> {
+        Html::node("button", children)
+    }
+
+    /// A `table` element.
+    pub fn table<A>(children: Vec<Html<A>>) -> Html<A> {
+        Html::node("table", children)
+    }
+
+    /// A table row.
+    pub fn tr<A>(children: Vec<Html<A>>) -> Html<A> {
+        Html::node("tr", children)
+    }
+
+    /// A table cell.
+    pub fn td<A>(children: Vec<Html<A>>) -> Html<A> {
+        Html::node("td", children)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::tags::*;
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let view: Html<u32> = div(vec![
+            button(vec![Html::text("pick")])
+                .attr("id", "pick-btn")
+                .on_click(7),
+            Html::text("hello"),
+        ]);
+        assert_eq!(view.size(), 4);
+        assert_eq!(view.find_handler("pick-btn", EventKind::Click), Some(&7));
+        assert_eq!(view.find_handler("pick-btn", EventKind::Drag), None);
+        assert_eq!(view.find_handler("other", EventKind::Click), None);
+    }
+
+    #[test]
+    fn map_transforms_actions_everywhere() {
+        let view: Html<u32> = div(vec![
+            span(vec![]).attr("id", "a").on_click(1),
+            span(vec![]).attr("id", "b").on_click(2),
+        ]);
+        let mapped: Html<String> = view.map(&|n| format!("n{n}"));
+        assert_eq!(
+            mapped.find_handler("b", EventKind::Click),
+            Some(&"n2".to_owned())
+        );
+    }
+
+    #[test]
+    fn splice_refs_collected_in_document_order() {
+        let view: Html<()> = div(vec![
+            Html::Editor {
+                splice: SpliceRef(3),
+                dim: Dim::fixed_width(20),
+            },
+            div(vec![Html::ResultView {
+                splice: SpliceRef(1),
+                dim: Dim::fixed_width(8),
+            }]),
+        ]);
+        assert_eq!(view.splice_refs(), vec![SpliceRef(3), SpliceRef(1)]);
+    }
+
+    #[test]
+    fn dim_constructors() {
+        assert_eq!(Dim::fixed_width(20).height, 1);
+        assert_eq!(Dim::block(40, 5).height, 5);
+    }
+}

@@ -1,0 +1,36 @@
+//! `livelit-mvu`: the model–view–update–**expand** architecture for livelit
+//! GUIs (Sec. 3 of *Filling Typed Holes with Live GUIs*, PLDI 2021).
+//!
+//! This crate provides everything a livelit *provider* programs against:
+//!
+//! - the [`livelit::Livelit`] trait — `init` / `view` / `update` / `expand`
+//!   with declared model, expansion, parameter types and definition-site
+//!   context,
+//! - the command interpreters [`livelit::UpdateCtx`] (`new_splice`,
+//!   `set_splice`, ...) and [`livelit::ViewCtx`] (`eval_splice`, `editor`,
+//!   `result_view`),
+//! - immutable [`html::Html`] view trees and positional diffing via the
+//!   [`mod@diff`] module (Sec. 3.2.4),
+//! - the [`splice::SpliceStore`] with context-independence checks
+//!   (Sec. 3.2.1),
+//! - livelit [`abbrev`]iations (partial parameter application, Sec. 2.4.1),
+//! - the [`host::Instance`] driving the livelit lifecycle at one invocation
+//!   site and projecting it back into the syntax tree.
+
+#![warn(missing_docs)]
+
+pub mod abbrev;
+pub mod diff;
+pub mod host;
+pub mod html;
+pub mod livelit;
+pub mod splice;
+
+pub use abbrev::AbbrevCtx;
+pub use diff::{apply, diff, Patch};
+pub use host::{def_for, Instance};
+pub use html::{Dim, EventKind, Html};
+pub use livelit::{
+    Action, CmdError, ContextBinding, Livelit, LivelitLayout, Model, UpdateCtx, ViewCtx,
+};
+pub use splice::{SpliceRef, SpliceStore};

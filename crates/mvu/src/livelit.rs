@@ -1,0 +1,472 @@
+//! The livelit implementation interface: model–view–update–**expand**
+//! (Sec. 3.2).
+//!
+//! A livelit implementation defines a `Model` type, an `Action` type, and
+//! `init` / `view` / `update` / `expand` — "a variation on the pure
+//! functional model-view-update architecture popularized by Elm. We add a
+//! fourth component, expansion generation."
+//!
+//! In the paper these are written in Hazel with monadic `UpdateCmd` /
+//! `ViewCmd` interfaces to the editor; here the same commands are exposed as
+//! methods on [`UpdateCtx`] and [`ViewCtx`] interpreter handles, and models
+//! and actions are object-language values (serializable by construction, as
+//! Sec. 3.2.1 requires of models).
+
+use std::fmt;
+
+use hazel_lang::external::EExp;
+use hazel_lang::ident::LivelitName;
+use hazel_lang::internal::{IExp, Sigma};
+use hazel_lang::typ::Typ;
+use hazel_lang::typing::Ctx;
+use hazel_lang::Var;
+use livelit_core::def::LivelitCtx;
+use livelit_core::live::{eval_splice_in_env, LiveError, LiveResult};
+
+use crate::html::{Dim, Html};
+use crate::splice::{SpliceError, SpliceRef, SpliceStore};
+
+/// A livelit's GUI state: a serializable object-language value of the
+/// livelit's declared model type. "The model is how the GUI state is
+/// persisted in the syntax tree."
+pub type Model = IExp;
+
+/// A user-initiated action, emitted by view event handlers and consumed by
+/// `update`. Also an object-language value, so scripted interactions are
+/// data.
+pub type Action = IExp;
+
+/// An error from a livelit command or implementation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CmdError {
+    /// A splice-store command failed.
+    Splice(SpliceError),
+    /// A live evaluation failed.
+    Live(LiveError),
+    /// The implementation returned a model value not of the declared model
+    /// type.
+    ModelType(Typ),
+    /// The implementation received an action it does not understand, or
+    /// otherwise failed; displayed as a custom livelit error (Sec. 2.4.1).
+    Custom(String),
+    /// Wrong number of parameters at instantiation.
+    ParamArity {
+        /// Parameters the livelit declares.
+        declared: usize,
+        /// Parameters supplied.
+        supplied: usize,
+    },
+}
+
+impl fmt::Display for CmdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CmdError::Splice(e) => write!(f, "{e}"),
+            CmdError::Live(e) => write!(f, "{e}"),
+            CmdError::ModelType(t) => write!(f, "livelit produced a model not of type {t}"),
+            CmdError::Custom(msg) => write!(f, "{msg}"),
+            CmdError::ParamArity { declared, supplied } => {
+                write!(
+                    f,
+                    "livelit declares {declared} parameter(s), {supplied} supplied"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CmdError {}
+
+impl From<SpliceError> for CmdError {
+    fn from(e: SpliceError) -> CmdError {
+        CmdError::Splice(e)
+    }
+}
+
+impl From<LiveError> for CmdError {
+    fn from(e: LiveError) -> CmdError {
+        CmdError::Live(e)
+    }
+}
+
+/// A definition-site context binding (Fig. 3 line 6, Sec. 3.2.5): a name
+/// the livelit's splice contents and expansion may use, together with its
+/// type and its *closed* defining expression. The host let-binds these
+/// around the parameterized expansion, which is how the paper models the
+/// explicit context ("just a value ... passed as an additional argument").
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContextBinding {
+    /// The bound name.
+    pub var: Var,
+    /// Its type.
+    pub ty: Typ,
+    /// Its closed definition.
+    pub def: EExp,
+}
+
+impl ContextBinding {
+    /// Creates a context binding.
+    pub fn new(var: impl Into<Var>, ty: Typ, def: EExp) -> ContextBinding {
+        ContextBinding {
+            var: var.into(),
+            ty,
+            def,
+        }
+    }
+}
+
+/// The `UpdateCmd` interpreter: commands available to `init` and `update`.
+///
+/// Note the paper's asymmetry is preserved: "the UpdateCmd monad does not
+/// itself have the ability to request evaluation (`eval_splice`), because
+/// the model should not depend directly on which closure the user has
+/// selected" (Sec. 3.2.4) — there is no evaluation method here.
+pub struct UpdateCtx<'a> {
+    store: &'a mut SpliceStore,
+    allowed_ctx: &'a Ctx,
+}
+
+impl<'a> UpdateCtx<'a> {
+    /// Creates an interpreter over the given store, with `allowed_ctx` the
+    /// livelit's declared definition-site context.
+    pub fn new(store: &'a mut SpliceStore, allowed_ctx: &'a Ctx) -> UpdateCtx<'a> {
+        UpdateCtx { store, allowed_ctx }
+    }
+
+    /// The `new_splice` command: creates a splice of the given type with
+    /// optional initial contents.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the initial contents are not valid at the splice type under
+    /// the declared context (context independence, Sec. 3.2.1).
+    pub fn new_splice(&mut self, ty: Typ, initial: Option<EExp>) -> Result<SpliceRef, CmdError> {
+        Ok(self.store.new_splice(self.allowed_ctx, ty, initial)?)
+    }
+
+    /// The `set_splice` command: overwrites a splice's contents.
+    ///
+    /// # Errors
+    ///
+    /// Fails on dangling references, parameters, or contents invalid under
+    /// the declared context.
+    pub fn set_splice(&mut self, r: SpliceRef, e: EExp) -> Result<(), CmdError> {
+        Ok(self.store.set_splice(self.allowed_ctx, r, e)?)
+    }
+
+    /// Removes a splice (dynamic splice lists, e.g. `$dataframe` rows).
+    ///
+    /// # Errors
+    ///
+    /// Fails on dangling references or parameters.
+    pub fn remove_splice(&mut self, r: SpliceRef) -> Result<(), CmdError> {
+        self.store.remove_splice(r)?;
+        Ok(())
+    }
+
+    /// The expected type of a splice.
+    pub fn splice_typ(&self, r: SpliceRef) -> Option<&Typ> {
+        self.store.get(r).map(|info| &info.ty)
+    }
+}
+
+/// The `ViewCmd` interpreter: commands available to `view` — live
+/// evaluation, splice editors, and result rendering (Sec. 3.2.3).
+pub struct ViewCtx<'a> {
+    store: &'a SpliceStore,
+    phi: &'a LivelitCtx,
+    /// The typing context at the livelit's invocation site.
+    gamma: &'a Ctx,
+    /// The closure the client has selected, if any were collected.
+    env: Option<&'a Sigma>,
+    fuel: u64,
+}
+
+impl<'a> ViewCtx<'a> {
+    /// Creates an interpreter. `env` is the environment of the selected
+    /// closure (`None` when no closures were collected for this
+    /// invocation).
+    pub fn new(
+        store: &'a SpliceStore,
+        phi: &'a LivelitCtx,
+        gamma: &'a Ctx,
+        env: Option<&'a Sigma>,
+        fuel: u64,
+    ) -> ViewCtx<'a> {
+        ViewCtx {
+            store,
+            phi,
+            gamma,
+            env,
+            fuel,
+        }
+    }
+
+    /// The `eval_splice` command: evaluates a splice (or parameter) under
+    /// the selected closure. `Ok(None)` when no closure is selected, the
+    /// splice dangles, or a variable in the splice has no collected value.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the splice is ill-typed or evaluation crashes.
+    pub fn eval_splice(&self, r: SpliceRef) -> Result<Option<LiveResult>, CmdError> {
+        let Some(env) = self.env else {
+            return Ok(None);
+        };
+        let Some(info) = self.store.get(r) else {
+            return Ok(None);
+        };
+        Ok(eval_splice_in_env(
+            self.phi,
+            self.gamma,
+            env,
+            &info.content,
+            &info.ty,
+            self.fuel,
+        )?)
+    }
+
+    /// The `editor` command: an opaque region in which the editor renders a
+    /// full splice editor of the given dimension.
+    pub fn editor<A>(&self, r: SpliceRef, dim: Dim) -> Html<A> {
+        Html::Editor { splice: r, dim }
+    }
+
+    /// The `result_view` command: a rendered evaluation result for a
+    /// splice, if one is available (mirrors `editor`; Sec. 3.2.3).
+    ///
+    /// # Errors
+    ///
+    /// Fails if live evaluation fails.
+    pub fn result_view<A>(&self, r: SpliceRef, dim: Dim) -> Result<Option<Html<A>>, CmdError> {
+        Ok(self
+            .eval_splice(r)?
+            .map(|_| Html::ResultView { splice: r, dim }))
+    }
+
+    /// The expected type of a splice.
+    pub fn splice_typ(&self, r: SpliceRef) -> Option<&Typ> {
+        self.store.get(r).map(|info| &info.ty)
+    }
+
+    /// Whether a closure is currently selected.
+    pub fn has_env(&self) -> bool {
+        self.env.is_some()
+    }
+}
+
+/// A livelit's layout class (Sec. 5.3): "livelits can be laid out either
+/// as inline livelits, like $slider, which are one character high and
+/// appear inline with the code, or as multi-line livelits, which occupy up
+/// to the full width and a specified number of lines."
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LivelitLayout {
+    /// One character row, flowing with the code.
+    Inline,
+    /// A block of up to `max_rows` rows at full width.
+    MultiLine {
+        /// The maximum number of rows the livelit occupies.
+        max_rows: usize,
+    },
+}
+
+/// A livelit implementation.
+///
+/// The `$color` livelit of Fig. 3 is the prototypic implementation; see
+/// `livelit-std` for it and the rest of the paper's livelits.
+pub trait Livelit: Send + Sync {
+    /// The livelit's name, `$a`.
+    fn name(&self) -> LivelitName;
+
+    /// Declared parameter types (empty for most livelits).
+    fn param_tys(&self) -> Vec<Typ> {
+        Vec::new()
+    }
+
+    /// The expansion type `τ_expand`.
+    fn expansion_ty(&self) -> Typ;
+
+    /// The model type `τ_model` (a first-order, serializable type).
+    fn model_ty(&self) -> Typ;
+
+    /// The explicit definition-site context (Fig. 3 line 6). Empty by
+    /// default; "we use an explicit context ... to ensure that private
+    /// bindings are not unintentionally leaked to clients."
+    fn context(&self) -> Vec<ContextBinding> {
+        Vec::new()
+    }
+
+    /// The livelit's layout class (Sec. 5.3). Multi-line by default.
+    fn layout(&self) -> LivelitLayout {
+        LivelitLayout::MultiLine { max_rows: 12 }
+    }
+
+    /// Computes the initial model when the livelit is first invoked.
+    /// `params` are the splice references of the invocation's parameters,
+    /// in declaration order.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-specific; surfaces as a non-empty hole in the editor.
+    fn init(&self, params: &[SpliceRef], ctx: &mut UpdateCtx<'_>) -> Result<Model, CmdError>;
+
+    /// Consumes an action, producing the new model.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-specific; unknown actions should produce
+    /// [`CmdError::Custom`].
+    fn update(
+        &self,
+        model: &Model,
+        action: &Action,
+        ctx: &mut UpdateCtx<'_>,
+    ) -> Result<Model, CmdError>;
+
+    /// Computes the view for the current model.
+    ///
+    /// # Errors
+    ///
+    /// "Errors in view generation are not considered semantic errors (they
+    /// display as error messages where the livelit GUI would have
+    /// appeared)" (Sec. 5.1).
+    fn view(&self, model: &Model, ctx: &mut ViewCtx<'_>) -> Result<Html<Action>, CmdError>;
+
+    /// Pushes an edited *result value* back into the livelit (Sec. 7
+    /// future work: "a slider expands to a number, which may then flow
+    /// through a computation. Bidirectional evaluation techniques may allow
+    /// the user to edit a number in the result and see the necessary change
+    /// to a slider in the program").
+    ///
+    /// `new_value` is a value of the expansion type the user wants the
+    /// invocation to produce. Livelits whose model determines the value
+    /// directly can compute the model that would produce it; others return
+    /// `Ok(None)` (the default) to decline.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-specific.
+    fn push_result(
+        &self,
+        model: &Model,
+        new_value: &hazel_lang::IExp,
+        ctx: &mut UpdateCtx<'_>,
+    ) -> Result<Option<Model>, CmdError> {
+        let _ = (model, new_value, ctx);
+        Ok(None)
+    }
+
+    /// Generates the parameterized expansion: an encoded expression paired
+    /// with the list of splice references it abstracts over, in argument
+    /// order (parameters first, by convention). The expansion must be a
+    /// (curried) function from the listed splices' types to the expansion
+    /// type, and must treat splices parametrically — they are not available
+    /// as `Exp` values (Sec. 3.2.5).
+    ///
+    /// # Errors
+    ///
+    /// Implementation-specific; validated at each invocation site.
+    fn expand(&self, model: &Model) -> Result<(EExp, Vec<SpliceRef>), String>;
+}
+
+/// Builds the typing context implied by a declared definition-site context.
+pub fn context_ctx(bindings: &[ContextBinding]) -> Ctx {
+    Ctx::from_bindings(bindings.iter().map(|b| (b.var.clone(), b.ty.clone())))
+}
+
+/// Wraps a parameterized expansion with `let`-bindings for the declared
+/// context — the calculus's "tupled value passed alongside the splices",
+/// realized as lexical bindings so the result stays a closed term of the
+/// same type.
+pub fn bind_context(bindings: &[ContextBinding], pexpansion: EExp) -> EExp {
+    bindings.iter().rev().fold(pexpansion, |acc, b| {
+        EExp::Let(
+            b.var.clone(),
+            Some(b.ty.clone()),
+            Box::new(b.def.clone()),
+            Box::new(acc),
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hazel_lang::build::*;
+
+    #[test]
+    fn bind_context_wraps_lets_in_order() {
+        let bindings = vec![
+            ContextBinding::new("a", Typ::Int, int(1)),
+            ContextBinding::new("b", Typ::Int, add(var("a"), int(1))),
+        ];
+        let wrapped = bind_context(&bindings, add(var("a"), var("b")));
+        // let a = 1 in let b = a + 1 in a + b — closed and well-typed.
+        assert!(wrapped.is_closed());
+        let (ty, _) = hazel_lang::typing::syn(&Ctx::empty(), &wrapped).unwrap();
+        assert_eq!(ty, Typ::Int);
+    }
+
+    #[test]
+    fn context_ctx_types_bindings() {
+        let bindings = vec![ContextBinding::new(
+            "strlen",
+            Typ::arrow(Typ::Str, Typ::Int),
+            lam("s", Typ::Str, int(0)),
+        )];
+        let ctx = context_ctx(&bindings);
+        assert_eq!(
+            ctx.get(&Var::new("strlen")),
+            Some(&Typ::arrow(Typ::Str, Typ::Int))
+        );
+    }
+
+    #[test]
+    fn update_ctx_has_no_eval_capability() {
+        // Compile-time property by API design (Sec. 3.2.4): UpdateCtx
+        // exposes only splice mutation. This test documents the surface.
+        let mut store = SpliceStore::new(0);
+        let ctx = Ctx::empty();
+        let mut ucx = UpdateCtx::new(&mut store, &ctx);
+        let r = ucx.new_splice(Typ::Int, Some(int(3))).unwrap();
+        assert_eq!(ucx.splice_typ(r), Some(&Typ::Int));
+        ucx.set_splice(r, int(4)).unwrap();
+        ucx.remove_splice(r).unwrap();
+    }
+
+    #[test]
+    fn view_ctx_without_env_gives_no_results() {
+        let mut store = SpliceStore::new(0);
+        let ctx = Ctx::empty();
+        let r = store.new_splice(&ctx, Typ::Int, Some(int(3))).unwrap();
+        let phi = LivelitCtx::new();
+        let vcx: ViewCtx<'_> = ViewCtx::new(&store, &phi, &ctx, None, 10_000);
+        assert!(!vcx.has_env());
+        assert_eq!(vcx.eval_splice(r).unwrap(), None);
+        assert_eq!(
+            vcx.result_view::<IExp>(r, Dim::fixed_width(8)).unwrap(),
+            None
+        );
+        // Editors are available regardless of liveness.
+        let ed: Html<IExp> = vcx.editor(r, Dim::fixed_width(20));
+        assert!(matches!(ed, Html::Editor { .. }));
+    }
+
+    #[test]
+    fn view_ctx_with_env_evaluates_splices() {
+        let mut store = SpliceStore::new(0);
+        let ctx = Ctx::from_bindings([(Var::new("x"), Typ::Int)]);
+        let r = store
+            .new_splice(&ctx, Typ::Int, Some(add(var("x"), int(1))))
+            .unwrap();
+        let phi = LivelitCtx::new();
+        let env = Sigma::from_iter([(Var::new("x"), IExp::Int(41))]);
+        let vcx: ViewCtx<'_> = ViewCtx::new(&store, &phi, &ctx, Some(&env), 10_000);
+        let result = vcx.eval_splice(r).unwrap().expect("evaluable");
+        assert_eq!(result, LiveResult::Val(IExp::Int(42)));
+        assert!(vcx
+            .result_view::<IExp>(r, Dim::fixed_width(8))
+            .unwrap()
+            .is_some());
+    }
+}

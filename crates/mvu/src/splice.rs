@@ -1,0 +1,412 @@
+//! Splice references and the splice store (Secs. 3.2.1, 3.2.4).
+//!
+//! A livelit's GUI embeds sub-expressions — splices — which the livelit
+//! refers to only *indirectly*, via splice references. The store owns the
+//! actual spliced expressions and their expected types; the model persists
+//! only the references. The store enforces **context independence**: a
+//! splice's type and initial/updated contents must be valid "assuming only
+//! the parameters and explicitly specified context" (Sec. 3.2.1), so
+//! private definition-site bindings cannot leak to clients.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use hazel_lang::external::EExp;
+use hazel_lang::internal::IExp;
+use hazel_lang::typ::Typ;
+use hazel_lang::typing::{ana, Ctx, TypeError};
+use hazel_lang::unexpanded::{Splice, UExp};
+use serde::{Deserialize, Serialize};
+
+/// A reference to a splice, opaque to the livelit.
+///
+/// Within livelit definitions, splice references have the object-language
+/// type [`splice_ref_typ`] so they can be stored in models (which must be
+/// serializable values).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SpliceRef(pub u64);
+
+impl SpliceRef {
+    /// Embeds the reference in a model value.
+    pub fn to_value(self) -> IExp {
+        IExp::Int(self.0 as i64)
+    }
+
+    /// Extracts a reference from a model value.
+    pub fn from_value(d: &IExp) -> Option<SpliceRef> {
+        match d {
+            IExp::Int(n) if *n >= 0 => Some(SpliceRef(*n as u64)),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for SpliceRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// The object-language type of splice references (`SpliceRef` in Fig. 3's
+/// model type).
+pub fn splice_ref_typ() -> Typ {
+    Typ::Int
+}
+
+/// A stored splice: its expected type and current contents.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpliceInfo {
+    /// The expected type, fixed when the splice is created.
+    pub ty: Typ,
+    /// The current spliced expression. Starts as an empty hole if no
+    /// initial contents were given.
+    pub content: UExp,
+    /// Whether this splice is a livelit *parameter* (parameters operate
+    /// like splices but are supplied at the invocation site and cannot be
+    /// edited through the livelit's own GUI).
+    pub is_param: bool,
+}
+
+/// A store error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpliceError {
+    /// The referenced splice does not exist.
+    Dangling(SpliceRef),
+    /// The new contents are not valid at the splice type under the allowed
+    /// (definition-site) context — the context-independence check.
+    Content(TypeError),
+    /// Attempted to overwrite a parameter splice from the livelit GUI.
+    ParamReadonly(SpliceRef),
+}
+
+impl fmt::Display for SpliceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpliceError::Dangling(r) => write!(f, "dangling splice reference {r}"),
+            SpliceError::Content(e) => {
+                write!(f, "splice contents rejected (context independence): {e}")
+            }
+            SpliceError::ParamReadonly(r) => {
+                write!(
+                    f,
+                    "splice {r} is a parameter and cannot be set by the livelit"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpliceError {}
+
+/// The splice store for one livelit invocation.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SpliceStore {
+    splices: BTreeMap<SpliceRef, SpliceInfo>,
+    next: u64,
+    /// Hole-name counter for the implicit holes created for empty splices.
+    next_hole: u64,
+}
+
+impl SpliceStore {
+    /// An empty store whose generated hole names start at `hole_base`
+    /// (chosen by the editor to avoid collisions with program holes).
+    pub fn new(hole_base: u64) -> SpliceStore {
+        SpliceStore {
+            splices: BTreeMap::new(),
+            next: 0,
+            next_hole: hole_base,
+        }
+    }
+
+    /// Creates a splice of type `ty` with optional initial contents — the
+    /// `new_splice` command. Contents are checked against `ty` under
+    /// `allowed_ctx` (the declared definition-site context), enforcing
+    /// context independence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpliceError::Content`] if the initial contents are invalid.
+    pub fn new_splice(
+        &mut self,
+        allowed_ctx: &Ctx,
+        ty: Typ,
+        initial: Option<EExp>,
+    ) -> Result<SpliceRef, SpliceError> {
+        let content = match initial {
+            Some(e) => {
+                ana(allowed_ctx, &e, &ty).map_err(SpliceError::Content)?;
+                UExp::from_eexp(&e)
+            }
+            None => {
+                let u = hazel_lang::HoleName(self.next_hole);
+                self.next_hole += 1;
+                UExp::EmptyHole(u)
+            }
+        };
+        let r = SpliceRef(self.next);
+        self.next += 1;
+        self.splices.insert(
+            r,
+            SpliceInfo {
+                ty,
+                content,
+                is_param: false,
+            },
+        );
+        Ok(r)
+    }
+
+    /// Registers a parameter as a splice (done by the host when an
+    /// invocation is instantiated; parameters are supplied by the client and
+    /// so are checked at the *invocation* site, not here).
+    pub fn new_param(&mut self, ty: Typ, content: UExp) -> SpliceRef {
+        let r = SpliceRef(self.next);
+        self.next += 1;
+        self.splices.insert(
+            r,
+            SpliceInfo {
+                ty,
+                content,
+                is_param: true,
+            },
+        );
+        r
+    }
+
+    /// Overwrites a splice's contents — the `set_splice` command. The new
+    /// expression is checked against the splice type under `allowed_ctx`.
+    ///
+    /// # Errors
+    ///
+    /// See [`SpliceError`].
+    pub fn set_splice(
+        &mut self,
+        allowed_ctx: &Ctx,
+        r: SpliceRef,
+        e: EExp,
+    ) -> Result<(), SpliceError> {
+        let info = self.splices.get(&r).ok_or(SpliceError::Dangling(r))?;
+        if info.is_param {
+            return Err(SpliceError::ParamReadonly(r));
+        }
+        ana(allowed_ctx, &e, &info.ty).map_err(SpliceError::Content)?;
+        let content = UExp::from_eexp(&e);
+        self.splices.get_mut(&r).expect("checked above").content = content;
+        Ok(())
+    }
+
+    /// Overwrites a splice's contents with an arbitrary unexpanded
+    /// expression (used by the *editor* when the client edits a splice —
+    /// client edits are typed at the invocation site, not the definition
+    /// site, and may contain livelits).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpliceError::Dangling`] for an unknown reference.
+    pub fn set_splice_client(&mut self, r: SpliceRef, e: UExp) -> Result<(), SpliceError> {
+        let info = self.splices.get_mut(&r).ok_or(SpliceError::Dangling(r))?;
+        info.content = e;
+        Ok(())
+    }
+
+    /// Removes a splice (e.g. `$dataframe` deleting a row).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpliceError::Dangling`] for an unknown reference and
+    /// [`SpliceError::ParamReadonly`] for a parameter.
+    pub fn remove_splice(&mut self, r: SpliceRef) -> Result<SpliceInfo, SpliceError> {
+        match self.splices.get(&r) {
+            None => Err(SpliceError::Dangling(r)),
+            Some(info) if info.is_param => Err(SpliceError::ParamReadonly(r)),
+            Some(_) => Ok(self.splices.remove(&r).expect("checked above")),
+        }
+    }
+
+    /// Restores a splice at a specific reference — used when loading a
+    /// persisted program, where the model's splice references must be
+    /// reconnected to the serialized splice list (Sec. 3.2.5: only the
+    /// model and splices are persisted; the store is reconstructed).
+    pub fn restore(&mut self, r: SpliceRef, ty: Typ, content: UExp, is_param: bool) {
+        self.next = self.next.max(r.0 + 1);
+        self.splices.insert(
+            r,
+            SpliceInfo {
+                ty,
+                content,
+                is_param,
+            },
+        );
+    }
+
+    /// Looks up a splice.
+    pub fn get(&self, r: SpliceRef) -> Option<&SpliceInfo> {
+        self.splices.get(&r)
+    }
+
+    /// The splice list for the given references, in order — used to build
+    /// the invocation's splice list from `expand`'s reference list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpliceError::Dangling`] if any reference is unknown.
+    pub fn splice_list(&self, refs: &[SpliceRef]) -> Result<Vec<Splice>, SpliceError> {
+        refs.iter()
+            .map(|r| {
+                self.get(*r)
+                    .map(|info| Splice::new(info.content.clone(), info.ty.clone()))
+                    .ok_or(SpliceError::Dangling(*r))
+            })
+            .collect()
+    }
+
+    /// Iterates over splices in reference order.
+    pub fn iter(&self) -> impl Iterator<Item = (&SpliceRef, &SpliceInfo)> {
+        self.splices.iter()
+    }
+
+    /// The number of splices (parameters included).
+    pub fn len(&self) -> usize {
+        self.splices.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.splices.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hazel_lang::build::*;
+
+    #[test]
+    fn new_splice_with_initial_contents() {
+        let mut store = SpliceStore::new(100);
+        let r = store
+            .new_splice(&Ctx::empty(), Typ::Int, Some(int(0)))
+            .unwrap();
+        let info = store.get(r).unwrap();
+        assert_eq!(info.ty, Typ::Int);
+        assert_eq!(info.content, UExp::Int(0));
+        assert!(!info.is_param);
+    }
+
+    #[test]
+    fn empty_splice_gets_fresh_hole() {
+        let mut store = SpliceStore::new(100);
+        let r1 = store.new_splice(&Ctx::empty(), Typ::Int, None).unwrap();
+        let r2 = store.new_splice(&Ctx::empty(), Typ::Int, None).unwrap();
+        let u1 = match &store.get(r1).unwrap().content {
+            UExp::EmptyHole(u) => *u,
+            other => panic!("expected hole, got {other:?}"),
+        };
+        let u2 = match &store.get(r2).unwrap().content {
+            UExp::EmptyHole(u) => *u,
+            other => panic!("expected hole, got {other:?}"),
+        };
+        assert_ne!(u1, u2);
+        assert!(u1.0 >= 100);
+    }
+
+    #[test]
+    fn context_independence_rejects_unknown_bindings() {
+        // Initial contents referencing `strlen`, which is not in the
+        // declared context — the Sec. 2.4.3 scenario.
+        let mut store = SpliceStore::new(0);
+        let err = store
+            .new_splice(
+                &Ctx::empty(),
+                Typ::Int,
+                Some(ap(var("strlen"), string("x"))),
+            )
+            .unwrap_err();
+        assert!(matches!(err, SpliceError::Content(_)));
+
+        // With strlen declared in the context, it is accepted.
+        let ctx = Ctx::from_bindings([(
+            hazel_lang::Var::new("strlen"),
+            Typ::arrow(Typ::Str, Typ::Int),
+        )]);
+        assert!(store
+            .new_splice(&ctx, Typ::Int, Some(ap(var("strlen"), string("x"))))
+            .is_ok());
+    }
+
+    #[test]
+    fn set_splice_checks_type() {
+        let mut store = SpliceStore::new(0);
+        let r = store
+            .new_splice(&Ctx::empty(), Typ::Int, Some(int(0)))
+            .unwrap();
+        assert!(store.set_splice(&Ctx::empty(), r, int(57)).is_ok());
+        assert!(matches!(
+            store.set_splice(&Ctx::empty(), r, boolean(true)),
+            Err(SpliceError::Content(_))
+        ));
+        assert_eq!(store.get(r).unwrap().content, UExp::Int(57));
+    }
+
+    #[test]
+    fn params_are_readonly_to_the_livelit() {
+        let mut store = SpliceStore::new(0);
+        let p = store.new_param(Typ::Int, UExp::Int(0));
+        assert!(matches!(
+            store.set_splice(&Ctx::empty(), p, int(5)),
+            Err(SpliceError::ParamReadonly(_))
+        ));
+        assert!(matches!(
+            store.remove_splice(p),
+            Err(SpliceError::ParamReadonly(_))
+        ));
+    }
+
+    #[test]
+    fn dangling_refs_reported() {
+        let mut store = SpliceStore::new(0);
+        assert!(matches!(
+            store.set_splice(&Ctx::empty(), SpliceRef(9), int(1)),
+            Err(SpliceError::Dangling(SpliceRef(9)))
+        ));
+        assert!(store.splice_list(&[SpliceRef(9)]).is_err());
+    }
+
+    #[test]
+    fn splice_list_follows_reference_order() {
+        let mut store = SpliceStore::new(0);
+        let a = store
+            .new_splice(&Ctx::empty(), Typ::Int, Some(int(1)))
+            .unwrap();
+        let b = store
+            .new_splice(&Ctx::empty(), Typ::Bool, Some(boolean(true)))
+            .unwrap();
+        let list = store.splice_list(&[b, a]).unwrap();
+        assert_eq!(list[0].ty, Typ::Bool);
+        assert_eq!(list[1].ty, Typ::Int);
+    }
+
+    #[test]
+    fn splice_ref_value_roundtrip() {
+        let r = SpliceRef(42);
+        assert_eq!(SpliceRef::from_value(&r.to_value()), Some(r));
+        assert_eq!(SpliceRef::from_value(&IExp::Bool(true)), None);
+    }
+
+    #[test]
+    fn remove_splice_supports_dynamic_splice_counts() {
+        // $dataframe adds and removes rows (Sec. 2.4.2).
+        let mut store = SpliceStore::new(0);
+        let r = store
+            .new_splice(&Ctx::empty(), Typ::Float, Some(float(80.0)))
+            .unwrap();
+        assert_eq!(store.len(), 1);
+        let removed = store.remove_splice(r).unwrap();
+        assert_eq!(removed.ty, Typ::Float);
+        assert!(store.is_empty());
+        assert!(matches!(
+            store.remove_splice(r),
+            Err(SpliceError::Dangling(_))
+        ));
+    }
+}

@@ -1,0 +1,83 @@
+//! End-user programming with livelits (Sec. 7 future work, realized).
+//!
+//! Three extensions from the paper's discussion section, composed:
+//!
+//! 1. **Derived livelits** — "deriving simple livelit definitions from type
+//!    definitions": a form GUI generated for a plain data type.
+//! 2. **Bidirectional push-back** — "pushing edits from computed results
+//!    back into livelits": editing the slider's number in the result.
+//! 3. **Dashboard layout** — "users with limited programming experience
+//!    could interact with a collection of livelits laid out separately in
+//!    the popular 'dashboard' style, without necessarily even being aware
+//!    that their interactions are actually edits to an underlying typed
+//!    functional program."
+//!
+//! Run with `cargo run --example end_user`.
+
+use hazel::lang::parse::parse_uexp;
+use hazel::lang::value::iv;
+use hazel::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut registry = LivelitRegistry::new();
+    hazel::std::register_all(&mut registry);
+
+    // 1. Derive a form livelit for a sprinkler-schedule type — no GUI code
+    //    written by anyone.
+    let schedule_ty = Typ::prod([
+        (Label::new("start_hour"), Typ::Int),
+        (Label::new("minutes"), Typ::Int),
+        (Label::new("zones"), Typ::list(Typ::Str)),
+    ]);
+    registry.register(std::sync::Arc::new(hazel::std::derive::derive_livelit(
+        "$schedule",
+        schedule_ty.clone(),
+    )?));
+
+    // The underlying typed functional program — which the end user never
+    // needs to read.
+    let program = parse_uexp(
+        "let enabled = $checkbox@0{true} in \
+         let intensity = $slider@1{60}(0 : Int; 100 : Int) in \
+         let schedule = (?2 : (.start_hour Int, .minutes Int, .zones List(Str))) in \
+         if enabled then intensity * schedule.minutes else 0",
+    )?;
+    let mut doc = Document::new(&registry, vec![], program)?;
+    doc.fill_hole_with_livelit(&registry, HoleName(2), "$schedule", vec![])?;
+
+    // The user fills the form: start at 6, 30 minutes, two zones.
+    doc.edit_splice(HoleName(2), hazel::mvu::SpliceRef(0), parse_uexp("6")?)?;
+    doc.edit_splice(HoleName(2), hazel::mvu::SpliceRef(1), parse_uexp("30")?)?;
+    doc.dispatch(HoleName(2), &iv::record([("add_elem", iv::string("2"))]))?;
+    doc.dispatch(HoleName(2), &iv::record([("add_elem", iv::string("2"))]))?;
+    doc.edit_splice(
+        HoleName(2),
+        hazel::mvu::SpliceRef(2),
+        parse_uexp("\"lawn\"")?,
+    )?;
+    doc.edit_splice(
+        HoleName(2),
+        hazel::mvu::SpliceRef(3),
+        parse_uexp("\"beds\"")?,
+    )?;
+
+    // 3. The dashboard: only GUIs, no code.
+    let out = hazel::editor::run(&registry, &doc)?;
+    println!("== dashboard (the end user's whole world) ==\n");
+    println!("{}", hazel::editor::render_dashboard(&registry, &doc, &out));
+    println!("water budget: {}\n", out.result);
+    assert_eq!(out.result, IExp::Int(60 * 30));
+
+    // 2. Push-back: the user edits the *result* of the intensity slider
+    //    from 60 to 45; the program follows.
+    doc.push_result(HoleName(1), &IExp::Int(45))?;
+    let out = hazel::editor::run(&registry, &doc)?;
+    println!("after editing the intensity result to 45:");
+    println!("water budget: {}\n", out.result);
+    assert_eq!(out.result, IExp::Int(45 * 30));
+
+    // The program the dashboard edits, for the curious developer.
+    println!("== the underlying program (never shown to the end user) ==");
+    println!("{}", hazel::editor::save_buffer(&doc, 78));
+    Ok(())
+}

@@ -1,0 +1,75 @@
+//! Livelit definitions in libraries (Secs. 1.2, 3, 4.2.1): a complete
+//! module file — textual livelit declarations, library `def`s, and a main
+//! expression — opened in the editor with zero Rust-side livelit code.
+//!
+//! The declaration form is the calculus's
+//! `livelit $a at τ_expand {τ_model; d_expand}` with an initial model; the
+//! `expand` body is object-language code of type `τ_model → Exp` under the
+//! string `Exp` scheme, so expansions are assembled with `^`.
+//!
+//! Run with `cargo run --example modules`.
+
+use hazel::lang::value::iv;
+use hazel::prelude::*;
+
+const MODULE: &str = r#"
+livelit $die at Int {
+  model Int init 1;
+  expand fun face : Int ->
+    if face == 1 then "1"
+    else if face == 2 then "2"
+    else if face == 3 then "3"
+    else if face == 4 then "4"
+    else if face == 5 then "5"
+    else "6"
+}
+
+livelit $bonus at Bool {
+  model Bool init false;
+  expand fun b : Bool -> if b then "true" else "false"
+}
+
+def score : Int -> Bool -> Int =
+  fun pips : Int -> fun doubled : Bool ->
+    if doubled then pips * 2 else pips ;;
+
+score $die@0{4} $bonus@1{false}
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== module source ==");
+    println!("{MODULE}");
+
+    let (registry, mut doc) = hazel::editor::open_module(LivelitRegistry::new(), MODULE)?;
+    let out = hazel::editor::run(&registry, &doc)?;
+    println!("== result ==\n{}\n", out.result);
+    assert_eq!(out.result, IExp::Int(4));
+
+    // The declared livelits are live: their generic GUIs show model and
+    // expansion, and accept (.set model) actions.
+    println!("== generic GUIs for the declared livelits ==");
+    for u in doc.livelit_holes() {
+        let view = out.views.get(&u).expect("view");
+        for line in hazel::editor::render_boxed(
+            &doc.instance(u).unwrap().name().to_string(),
+            view,
+            &hazel::editor::OpaqueResolver,
+        ) {
+            println!("{line}");
+        }
+    }
+
+    // Interact: set the die to 6 and switch the bonus on.
+    doc.dispatch(HoleName(0), &iv::record([("set", iv::int(6))]))?;
+    doc.dispatch(HoleName(1), &iv::record([("set", iv::boolean(true))]))?;
+    let out = hazel::editor::run(&registry, &doc)?;
+    println!("\nafter setting the die to 6 and doubling: {}", out.result);
+    assert_eq!(out.result, IExp::Int(12));
+
+    // The interactions persisted into the models, as always.
+    let buffer = hazel::editor::save_buffer(&doc, 80);
+    println!("\n== persisted main expression ==\n{buffer}");
+    assert!(buffer.contains("$die@0{6}"));
+    assert!(buffer.contains("$bonus@1{true}"));
+    Ok(())
+}

@@ -1,0 +1,456 @@
+//! Shared infrastructure for the integration test suite: seeded random
+//! generators of well-typed programs (with holes and livelit invocations)
+//! used by the executable-metatheorem tests and the benchmark harness.
+//!
+//! The generators are *type-directed*: [`Gen::uexp`] produces an unexpanded
+//! expression that synthesizes a requested type under a requested context,
+//! by construction. Holes appear as ascribed empty holes (so they
+//! synthesize anywhere), livelit invocations are drawn from the test
+//! livelit context of [`test_phi`], and generated programs avoid partial
+//! operations (`/`) and general recursion so they always evaluate to a
+//! final result.
+
+use hazel::lang::external::EExp;
+use hazel::lang::unexpanded::{Splice, UCaseArm};
+use hazel::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The test livelit context: simple livelits at several types, used to
+/// pepper generated programs with invocations.
+///
+/// - `$k7 at Int` — constant, no splices.
+/// - `$sum2 at Int` — two `Int` splices, expands to their sum.
+/// - `$pairup at (Int, Bool)` — one splice of each type.
+/// - `$fsum at Float` — two `Float` splices.
+pub fn test_phi() -> LivelitCtx {
+    use hazel::lang::build::*;
+    let mut phi = LivelitCtx::new();
+    phi.define(LivelitDef::native(
+        "$k7",
+        vec![],
+        Typ::Int,
+        Typ::Unit,
+        |_| Ok(int(7)),
+    ))
+    .expect("well-formed");
+    phi.define(LivelitDef::native(
+        "$sum2",
+        vec![],
+        Typ::Int,
+        Typ::Unit,
+        |_| {
+            Ok(lams(
+                [("a", Typ::Int), ("b", Typ::Int)],
+                add(var("a"), var("b")),
+            ))
+        },
+    ))
+    .expect("well-formed");
+    phi.define(LivelitDef::native(
+        "$pairup",
+        vec![],
+        Typ::tuple([Typ::Int, Typ::Bool]),
+        Typ::Unit,
+        |_| {
+            Ok(lams(
+                [("a", Typ::Int), ("b", Typ::Bool)],
+                tuple([var("a"), var("b")]),
+            ))
+        },
+    ))
+    .expect("well-formed");
+    phi.define(LivelitDef::native(
+        "$fsum",
+        vec![],
+        Typ::Float,
+        Typ::Unit,
+        |_| {
+            Ok(lams(
+                [("a", Typ::Float), ("b", Typ::Float)],
+                fadd(var("a"), var("b")),
+            ))
+        },
+    ))
+    .expect("well-formed");
+    phi
+}
+
+/// Generation tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct GenConfig {
+    /// Maximum type depth.
+    pub typ_depth: u32,
+    /// Maximum expression depth.
+    pub exp_depth: u32,
+    /// Per-node probability (in percent) of emitting an ascribed hole.
+    pub hole_pct: u32,
+    /// Per-node probability (in percent) of emitting a livelit invocation
+    /// when one exists at the requested type.
+    pub livelit_pct: u32,
+}
+
+impl Default for GenConfig {
+    fn default() -> GenConfig {
+        GenConfig {
+            typ_depth: 2,
+            exp_depth: 4,
+            hole_pct: 10,
+            livelit_pct: 20,
+        }
+    }
+}
+
+/// A seeded, type-directed program generator.
+pub struct Gen {
+    rng: StdRng,
+    next_hole: u64,
+    /// Configuration.
+    pub config: GenConfig,
+}
+
+impl Gen {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Gen {
+        Gen::with_config(seed, GenConfig::default())
+    }
+
+    /// Creates a generator with explicit configuration.
+    pub fn with_config(seed: u64, config: GenConfig) -> Gen {
+        Gen {
+            rng: StdRng::seed_from_u64(seed),
+            next_hole: 0,
+            config,
+        }
+    }
+
+    fn fresh_hole(&mut self) -> HoleName {
+        let u = HoleName(self.next_hole);
+        self.next_hole += 1;
+        u
+    }
+
+    fn pct(&mut self, p: u32) -> bool {
+        self.rng.gen_range(0..100) < p
+    }
+
+    fn fresh_var(&mut self, ctx: &Ctx) -> Var {
+        loop {
+            let x = Var::new(format!("v{}", self.rng.gen_range(0..10_000)));
+            if ctx.get(&x).is_none() {
+                return x;
+            }
+        }
+    }
+
+    /// Generates a random (closed) type.
+    pub fn typ(&mut self, depth: u32) -> Typ {
+        if depth == 0 {
+            return match self.rng.gen_range(0..5) {
+                0 => Typ::Int,
+                1 => Typ::Float,
+                2 => Typ::Bool,
+                3 => Typ::Str,
+                _ => Typ::Unit,
+            };
+        }
+        match self.rng.gen_range(0..8) {
+            0 => Typ::Int,
+            1 => Typ::Float,
+            2 => Typ::Bool,
+            3 => Typ::arrow(self.typ(depth - 1), self.typ(depth - 1)),
+            4 => {
+                let n = self.rng.gen_range(1..=3);
+                Typ::tuple((0..n).map(|_| self.typ(depth - 1)))
+            }
+            5 => {
+                let n = self.rng.gen_range(1..=3);
+                Typ::sum((0..n).map(|i| (Label::new(format!("C{i}")), self.typ(depth - 1))))
+            }
+            6 => Typ::list(self.typ(depth - 1)),
+            _ => Typ::Str,
+        }
+    }
+
+    /// Generates an unexpanded expression that *synthesizes* `ty` under
+    /// `ctx`. All holes are ascribed; all binders are annotated.
+    pub fn uexp(&mut self, phi: &LivelitCtx, ctx: &Ctx, ty: &Typ, depth: u32) -> UExp {
+        let hole_pct = self.config.hole_pct;
+        if self.pct(hole_pct) {
+            return UExp::Asc(Box::new(UExp::EmptyHole(self.fresh_hole())), ty.clone());
+        }
+        let livelit_pct = self.config.livelit_pct;
+        if self.pct(livelit_pct) {
+            if let Some(inv) = self.livelit_at(phi, ctx, ty, depth) {
+                return inv;
+            }
+        }
+        if depth == 0 {
+            return self.leaf(ctx, ty);
+        }
+        match self.rng.gen_range(0..10) {
+            0 => {
+                // let x : τ' = e' in e
+                let def_ty = self.typ(self.config.typ_depth.min(depth - 1));
+                let def = self.uexp(phi, ctx, &def_ty, depth - 1);
+                let x = self.fresh_var(ctx);
+                let body = self.uexp(phi, &ctx.extend(x.clone(), def_ty.clone()), ty, depth - 1);
+                UExp::Let(x, Some(def_ty), Box::new(def), Box::new(body))
+            }
+            1 => {
+                let c = self.uexp(phi, ctx, &Typ::Bool, depth - 1);
+                let t = self.uexp(phi, ctx, ty, depth - 1);
+                let e = self.uexp(phi, ctx, ty, depth - 1);
+                UExp::If(Box::new(c), Box::new(t), Box::new(e))
+            }
+            2 => {
+                // (fun x : τ' -> e) e'  — a beta redex.
+                let arg_ty = self.typ(self.config.typ_depth.min(depth - 1));
+                let x = self.fresh_var(ctx);
+                let body = self.uexp(phi, &ctx.extend(x.clone(), arg_ty.clone()), ty, depth - 1);
+                let arg = self.uexp(phi, ctx, &arg_ty, depth - 1);
+                UExp::Ap(
+                    Box::new(UExp::Lam(x, arg_ty, Box::new(body))),
+                    Box::new(arg),
+                )
+            }
+            3 => {
+                // Projection from a tuple containing ty.
+                let extra = self.typ(self.config.typ_depth.min(depth - 1));
+                let pos = self.rng.gen_range(0..2usize);
+                let fields: Vec<Typ> = if pos == 0 {
+                    vec![ty.clone(), extra]
+                } else {
+                    vec![extra, ty.clone()]
+                };
+                let tuple_exp = UExp::Tuple(
+                    fields
+                        .iter()
+                        .enumerate()
+                        .map(|(i, t)| (Label::positional(i), self.uexp(phi, ctx, t, depth - 1)))
+                        .collect(),
+                );
+                UExp::Proj(Box::new(tuple_exp), Label::positional(pos))
+            }
+            4 => {
+                // case over a small generated sum.
+                let payload = self.typ(self.config.typ_depth.min(depth - 1));
+                let sum_ty = Typ::sum([
+                    (Label::new("L"), payload.clone()),
+                    (Label::new("R"), Typ::Unit),
+                ]);
+                let scrut = self.uexp(phi, ctx, &sum_ty, depth - 1);
+                let xl = self.fresh_var(ctx);
+                let body_l = self.uexp(phi, &ctx.extend(xl.clone(), payload), ty, depth - 1);
+                let xr = self.fresh_var(ctx);
+                let body_r = self.uexp(phi, &ctx.extend(xr.clone(), Typ::Unit), ty, depth - 1);
+                UExp::Case(
+                    Box::new(scrut),
+                    vec![
+                        UCaseArm {
+                            label: Label::new("L"),
+                            var: xl,
+                            body: body_l,
+                        },
+                        UCaseArm {
+                            label: Label::new("R"),
+                            var: xr,
+                            body: body_r,
+                        },
+                    ],
+                )
+            }
+            _ => self.intro(phi, ctx, ty, depth),
+        }
+    }
+
+    /// A type-directed introduction form at `ty`.
+    fn intro(&mut self, phi: &LivelitCtx, ctx: &Ctx, ty: &Typ, depth: u32) -> UExp {
+        match ty {
+            Typ::Int => {
+                let op = [BinOp::Add, BinOp::Sub, BinOp::Mul][self.rng.gen_range(0..3)];
+                UExp::Bin(
+                    op,
+                    Box::new(self.uexp(phi, ctx, &Typ::Int, depth - 1)),
+                    Box::new(self.uexp(phi, ctx, &Typ::Int, depth - 1)),
+                )
+            }
+            Typ::Float => {
+                let op = [BinOp::FAdd, BinOp::FSub, BinOp::FMul][self.rng.gen_range(0..3)];
+                UExp::Bin(
+                    op,
+                    Box::new(self.uexp(phi, ctx, &Typ::Float, depth - 1)),
+                    Box::new(self.uexp(phi, ctx, &Typ::Float, depth - 1)),
+                )
+            }
+            Typ::Bool => {
+                let op = [BinOp::Lt, BinOp::Le, BinOp::Eq, BinOp::And, BinOp::Or]
+                    [self.rng.gen_range(0..5)];
+                let operand = op.operand_typ();
+                UExp::Bin(
+                    op,
+                    Box::new(self.uexp(phi, ctx, &operand, depth - 1)),
+                    Box::new(self.uexp(phi, ctx, &operand, depth - 1)),
+                )
+            }
+            Typ::Str => UExp::Bin(
+                BinOp::Concat,
+                Box::new(self.uexp(phi, ctx, &Typ::Str, depth - 1)),
+                Box::new(self.uexp(phi, ctx, &Typ::Str, depth - 1)),
+            ),
+            Typ::Arrow(dom, cod) => {
+                let x = self.fresh_var(ctx);
+                let body = self.uexp(phi, &ctx.extend(x.clone(), (**dom).clone()), cod, depth - 1);
+                UExp::Lam(x, (**dom).clone(), Box::new(body))
+            }
+            Typ::Prod(fields) => UExp::Tuple(
+                fields
+                    .iter()
+                    .map(|(l, t)| (l.clone(), self.uexp(phi, ctx, t, depth - 1)))
+                    .collect(),
+            ),
+            Typ::Sum(arms) => {
+                let (l, t) = arms[self.rng.gen_range(0..arms.len())].clone();
+                UExp::Inj(ty.clone(), l, Box::new(self.uexp(phi, ctx, &t, depth - 1)))
+            }
+            Typ::List(elem) => {
+                let n = self.rng.gen_range(0..3);
+                (0..n).fold(UExp::Nil((**elem).clone()), |acc, _| {
+                    UExp::Cons(
+                        Box::new(self.uexp(phi, ctx, elem, depth - 1)),
+                        Box::new(acc),
+                    )
+                })
+            }
+            Typ::Unit => UExp::Unit,
+            // Recursive types and variables are exercised by unit tests;
+            // random generation keeps to first-order shapes.
+            Typ::Var(_) | Typ::Rec(..) => {
+                UExp::Asc(Box::new(UExp::EmptyHole(self.fresh_hole())), ty.clone())
+            }
+        }
+    }
+
+    /// A minimal form at `ty`: a variable of the right type when one is in
+    /// scope, otherwise a literal/value form.
+    fn leaf(&mut self, ctx: &Ctx, ty: &Typ) -> UExp {
+        let candidates: Vec<Var> = ctx
+            .iter()
+            .filter(|(_, t)| *t == ty)
+            .map(|(x, _)| x.clone())
+            .collect();
+        if !candidates.is_empty() && self.pct(50) {
+            let x = candidates[self.rng.gen_range(0..candidates.len())].clone();
+            return UExp::Var(x);
+        }
+        match ty {
+            Typ::Int => UExp::Int(self.rng.gen_range(-100..100)),
+            Typ::Float => UExp::Float(self.rng.gen_range(-100..100) as f64 / 2.0),
+            Typ::Bool => UExp::Bool(self.rng.gen()),
+            Typ::Str => UExp::Str(format!("s{}", self.rng.gen_range(0..100))),
+            Typ::Unit => UExp::Unit,
+            Typ::Arrow(dom, cod) => {
+                let x = self.fresh_var(ctx);
+                let body = self.leaf(&ctx.extend(x.clone(), (**dom).clone()), cod);
+                UExp::Lam(x, (**dom).clone(), Box::new(body))
+            }
+            Typ::Prod(fields) => UExp::Tuple(
+                fields
+                    .iter()
+                    .map(|(l, t)| (l.clone(), self.leaf(ctx, t)))
+                    .collect(),
+            ),
+            Typ::Sum(arms) => {
+                let (l, t) = arms[self.rng.gen_range(0..arms.len())].clone();
+                UExp::Inj(ty.clone(), l, Box::new(self.leaf(ctx, &t)))
+            }
+            Typ::List(elem) => UExp::Nil((**elem).clone()),
+            Typ::Var(_) | Typ::Rec(..) => {
+                UExp::Asc(Box::new(UExp::EmptyHole(self.fresh_hole())), ty.clone())
+            }
+        }
+    }
+
+    /// A livelit invocation at `ty`, if the test context has one.
+    fn livelit_at(&mut self, phi: &LivelitCtx, ctx: &Ctx, ty: &Typ, depth: u32) -> Option<UExp> {
+        let matching: Vec<(LivelitName, Vec<Typ>)> = phi
+            .iter()
+            .filter(|(_, def)| &def.expansion_ty == ty)
+            .map(|(name, _)| {
+                let splice_tys = match name.as_str() {
+                    "sum2" => vec![Typ::Int, Typ::Int],
+                    "pairup" => vec![Typ::Int, Typ::Bool],
+                    "fsum" => vec![Typ::Float, Typ::Float],
+                    _ => vec![],
+                };
+                (name.clone(), splice_tys)
+            })
+            .collect();
+        if matching.is_empty() {
+            return None;
+        }
+        let (name, splice_tys) = matching[self.rng.gen_range(0..matching.len())].clone();
+        let splices = splice_tys
+            .into_iter()
+            .map(|st| {
+                let exp = self.uexp(phi, ctx, &st, depth.saturating_sub(1));
+                Splice::new(exp, st)
+            })
+            .collect();
+        Some(UExp::Livelit(Box::new(LivelitAp {
+            name,
+            model: IExp::Unit,
+            splices,
+            hole: self.fresh_hole(),
+        })))
+    }
+
+    /// Generates a closed unexpanded program at a random type.
+    pub fn program(&mut self, phi: &LivelitCtx) -> (UExp, Typ) {
+        let ty = self.typ(self.config.typ_depth);
+        let e = self.uexp(phi, &Ctx::empty(), &ty, self.config.exp_depth);
+        (e, ty)
+    }
+
+    /// Generates a closed, hole-free, livelit-free external expression.
+    pub fn eexp_program(&mut self) -> (EExp, Typ) {
+        let saved = self.config;
+        self.config.hole_pct = 0;
+        self.config.livelit_pct = 0;
+        let phi = LivelitCtx::new();
+        let (e, ty) = self.program(&phi);
+        self.config = saved;
+        (e.to_eexp().expect("no livelits generated"), ty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hazel::lang::typing::syn;
+
+    #[test]
+    fn generated_programs_are_well_typed_by_construction() {
+        let phi = test_phi();
+        for seed in 0..100 {
+            let mut g = Gen::new(seed);
+            let (e, ty) = g.program(&phi);
+            let (expanded, found, _) = hazel::core::expand_typed(&phi, &Ctx::empty(), &e)
+                .unwrap_or_else(|err| panic!("seed {seed}: generated program failed: {err}\n{e}"));
+            assert_eq!(found, ty, "seed {seed}");
+            let (direct, _) = syn(&Ctx::empty(), &expanded).expect("types directly");
+            assert_eq!(direct, ty);
+        }
+    }
+
+    #[test]
+    fn eexp_programs_have_no_holes() {
+        for seed in 0..20 {
+            let mut g = Gen::new(seed);
+            let (e, ty) = g.eexp_program();
+            assert!(e.hole_names().is_empty());
+            let (found, _) = syn(&Ctx::empty(), &e).expect("well-typed");
+            assert_eq!(found, ty);
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Executable metatheorems: property-based tests of the theorems of Sec. 4,
+//! quantified over seeded random well-typed programs (the Rust analogue of
+//! the paper's Agda mechanization).
+//!
+//! - Theorem 4.1 (Typed Elaboration)
+//! - Theorem 4.2 (Preservation / finality)
+//! - Theorem 4.4 (Typed Expansion)
+//! - Theorem 4.9 (Post-Collection Resumption)
+//! - the `Exp` encoding isomorphism (Sec. 4.2.1)
+//! - commutativity of evaluation and hole filling (the Thm. 4.9 linchpin)
+
+use hazel::lang::elab::elab_syn;
+use hazel::lang::eval::{fill, normalize, run_on_big_stack, Evaluator};
+use hazel::lang::final_form::{is_final, is_indet, is_value};
+use hazel::lang::internal_typing::syn_internal;
+use hazel::lang::typing::syn;
+use hazel::prelude::*;
+use integration_tests::{test_phi, Gen, GenConfig};
+use proptest::prelude::*;
+
+const FUEL: u64 = 2_000_000;
+
+fn eval_big(d: &IExp) -> Result<IExp, hazel::lang::eval::EvalError> {
+    run_on_big_stack(|| Evaluator::with_fuel(FUEL).eval(d))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(160))]
+
+    /// Theorem 4.1 (Typed Elaboration): if Γ ⊢ e : τ then e elaborates to
+    /// some d with Δ; Γ ⊢ d : τ.
+    #[test]
+    fn thm_4_1_typed_elaboration(seed in any::<u64>()) {
+        let phi = test_phi();
+        let mut g = Gen::new(seed);
+        let (u, ty) = g.program(&phi);
+        // Work with the expansion (an external expression).
+        let (e, e_ty, _) = hazel::core::expand_typed(&phi, &Ctx::empty(), &u)
+            .expect("generated programs are well-typed");
+        prop_assert_eq!(&e_ty, &ty);
+        // Elaboration succeeds...
+        let (d, d_ty, delta) = elab_syn(&Ctx::empty(), &e)
+            .expect("well-typed expressions elaborate (Thm 4.1)");
+        prop_assert_eq!(&d_ty, &ty);
+        // ...and the result is well-typed internally at the same type.
+        let internal_ty = syn_internal(&delta, &Ctx::empty(), &d)
+            .expect("elaboration output is internally well-typed (Thm 4.1)");
+        prop_assert_eq!(internal_ty, ty);
+    }
+
+    /// Theorem 4.2 (Preservation): if Δ; · ⊢ d : τ and d ⇓ d′ then d′ is
+    /// final and Δ; · ⊢ d′ : τ.
+    #[test]
+    fn thm_4_2_preservation(seed in any::<u64>()) {
+        let phi = test_phi();
+        let mut g = Gen::new(seed);
+        let (u, ty) = g.program(&phi);
+        let (e, _, _) = hazel::core::expand_typed(&phi, &Ctx::empty(), &u)
+            .expect("well-typed");
+        let (d, _, delta) = elab_syn(&Ctx::empty(), &e).expect("elaborates");
+        let result = eval_big(&d).expect("generated programs terminate");
+        prop_assert!(
+            is_final(&result),
+            "evaluation produced a non-final result: {result:?}"
+        );
+        let result_ty = syn_internal(&delta, &Ctx::empty(), &result)
+            .expect("result is internally well-typed (Thm 4.2)");
+        prop_assert_eq!(result_ty, ty);
+    }
+
+    /// Theorem 4.4 (Typed Expansion): if Φ; Γ ⊢ ê ⇝ e : τ then Γ ⊢ e : τ.
+    #[test]
+    fn thm_4_4_typed_expansion(seed in any::<u64>()) {
+        let phi = test_phi();
+        let mut g = Gen::new(seed);
+        let (u, ty) = g.program(&phi);
+        // The rewriting stage alone...
+        let e = hazel::core::expand(&phi, &u).expect("expansion succeeds");
+        // ...produces an external expression of the same type (Thm 4.4).
+        let (found, _) = syn(&Ctx::empty(), &e)
+            .expect("expansions of well-typed programs are well-typed (Thm 4.4)");
+        prop_assert_eq!(found, ty);
+    }
+
+    /// Theorem 4.9 (Post-Collection Resumption): filling the livelit holes
+    /// of the evaluated cc-expansion and resuming equals evaluating the
+    /// full expansion from scratch.
+    #[test]
+    fn thm_4_9_post_collection_resumption(seed in any::<u64>()) {
+        let phi = test_phi();
+        let mut g = Gen::new(seed);
+        let (u, _ty) = g.program(&phi);
+        let collection = hazel::core::collect(&phi, &u).expect("collection succeeds");
+        let d1 = collection.resume_result().expect("resumption evaluates");
+        let d2 = hazel::core::cc::eval_full(&phi, &u, FUEL).expect("full eval");
+        // Equality holds up to normalization of residual redexes in
+        // positions evaluation cannot reach (stuck-branch bodies) — see
+        // `hazel::lang::eval::normalize`.
+        let n1 = run_on_big_stack(|| normalize(&d1, FUEL)).expect("normalizes");
+        let n2 = run_on_big_stack(|| normalize(&d2, FUEL)).expect("normalizes");
+        prop_assert_eq!(n1, n2);
+    }
+
+    /// The `Exp` encoding isomorphism (Sec. 4.2.1): decode ∘ encode = id.
+    #[test]
+    fn encoding_isomorphism(seed in any::<u64>()) {
+        let mut g = Gen::new(seed);
+        let (e, _) = g.eexp_program();
+        let encoded = hazel::core::encoding::encode(&e);
+        let decoded = hazel::core::encoding::decode(&encoded)
+            .expect("encodings always decode");
+        prop_assert_eq!(decoded, e);
+    }
+
+    /// Evaluation commutes with hole filling (the paper's "key observation"
+    /// in the Thm. 4.9 proof): eval(fill(d)) = eval(fill(eval(d))).
+    #[test]
+    fn evaluation_commutes_with_hole_filling(seed in any::<u64>()) {
+        let phi = test_phi();
+        let mut g = Gen::with_config(seed, GenConfig {
+            hole_pct: 25,
+            livelit_pct: 0,
+            ..GenConfig::default()
+        });
+        let (u, _ty) = g.program(&phi);
+        let e = u.to_eexp().expect("no livelits at 0%");
+        let (d, _, delta) = elab_syn(&Ctx::empty(), &e).expect("elaborates");
+
+        // Closed fill values for every hole, at the hole's recorded type.
+        let mut filler = Gen::with_config(seed ^ 0xABCD, GenConfig {
+            hole_pct: 0,
+            livelit_pct: 0,
+            exp_depth: 2,
+            ..GenConfig::default()
+        });
+        let phi0 = LivelitCtx::new();
+        let mut fills: Vec<(HoleName, IExp)> = Vec::new();
+        for (u_name, hyp) in delta.iter() {
+            // Fill terms must be closed (they are spliced under binders);
+            // generate under the empty context.
+            let fe = filler.uexp(&phi0, &Ctx::empty(), &hyp.ty, 2)
+                .to_eexp().expect("no livelits");
+            let (fd, _, _) = elab_syn(&Ctx::empty(), &fe).expect("fill elaborates");
+            fills.push((*u_name, fd));
+        }
+
+        // Path A: fill everything, then evaluate.
+        let mut filled = d.clone();
+        for (u_name, fd) in &fills {
+            filled = fill(&filled, *u_name, fd);
+        }
+        let a = eval_big(&filled).expect("terminates");
+
+        // Path B: evaluate first (recording closures), then fill, then
+        // resume by evaluating again.
+        let stuck = eval_big(&d).expect("terminates");
+        let mut refilled = stuck;
+        for (u_name, fd) in &fills {
+            refilled = fill(&refilled, *u_name, fd);
+        }
+        let b = eval_big(&refilled).expect("terminates");
+
+        let na = run_on_big_stack(|| normalize(&a, FUEL)).expect("normalizes");
+        let nb = run_on_big_stack(|| normalize(&b, FUEL)).expect("normalizes");
+        prop_assert_eq!(na, nb);
+    }
+
+    /// Results classify exhaustively: every evaluation result is a value or
+    /// indeterminate, never both.
+    #[test]
+    fn final_classification_is_exclusive(seed in any::<u64>()) {
+        let phi = test_phi();
+        let mut g = Gen::new(seed);
+        let (u, _) = g.program(&phi);
+        let (e, _, _) = hazel::core::expand_typed(&phi, &Ctx::empty(), &u).expect("types");
+        let (d, _, _) = elab_syn(&Ctx::empty(), &e).expect("elaborates");
+        let result = eval_big(&d).expect("terminates");
+        prop_assert!(is_value(&result) ^ is_indet(&result),
+            "value and indet must be exclusive and exhaustive on finals: {result:?}");
+    }
+
+    /// Programs without holes evaluate to values (holes are the only source
+    /// of indeterminacy).
+    #[test]
+    fn hole_free_programs_produce_values(seed in any::<u64>()) {
+        let mut g = Gen::new(seed);
+        let (e, _) = g.eexp_program();
+        let (d, _, _) = elab_syn(&Ctx::empty(), &e).expect("elaborates");
+        let result = eval_big(&d).expect("terminates");
+        prop_assert!(is_value(&result), "hole-free result not a value: {result:?}");
+    }
+
+    /// Evaluation is deterministic.
+    #[test]
+    fn evaluation_is_deterministic(seed in any::<u64>()) {
+        let phi = test_phi();
+        let mut g = Gen::new(seed);
+        let (u, _) = g.program(&phi);
+        let (e, _, _) = hazel::core::expand_typed(&phi, &Ctx::empty(), &u).expect("types");
+        let (d, _, _) = elab_syn(&Ctx::empty(), &e).expect("elaborates");
+        prop_assert_eq!(eval_big(&d), eval_big(&d));
+    }
+
+    /// The cc-expansion types at the same type as the full expansion —
+    /// the typing side of the Sec. 4.3.1 construction (the livelit hole
+    /// stands in for the parameterized expansion at the same type).
+    #[test]
+    fn cc_expansion_preserves_the_type(seed in any::<u64>()) {
+        let phi = test_phi();
+        let mut g = Gen::new(seed);
+        let (u, ty) = g.program(&phi);
+        let mut omega = hazel::core::cc::Omega::default();
+        let e_cc = hazel::core::cc::cc_expand(&phi, &u, &mut omega)
+            .expect("cc-expansion succeeds on well-typed programs");
+        let (cc_ty, _) = syn(&Ctx::empty(), &e_cc).expect("cc-expansion types");
+        prop_assert_eq!(cc_ty, ty);
+        // Ω has exactly one entry per livelit invocation.
+        prop_assert_eq!(omega.len(), u.livelit_aps().len());
+    }
+
+    /// Print/parse round-trip on generated unexpanded programs (livelit
+    /// invocations included) — the Sec. 5.2 persistence property.
+    #[test]
+    fn print_parse_roundtrip(seed in any::<u64>()) {
+        let phi = test_phi();
+        let mut g = Gen::new(seed);
+        let (u, _) = g.program(&phi);
+        for width in [30, 80, 200] {
+            let printed = hazel::lang::pretty::print_uexp(&u, width);
+            let reparsed = hazel::lang::parse::parse_uexp(&printed)
+                .unwrap_or_else(|err| panic!("reparse at width {width}: {err}\n{printed}"));
+            prop_assert_eq!(&reparsed, &u, "width {}:\n{}", width, printed);
+        }
+    }
+}
