@@ -1,0 +1,520 @@
+//! Diagnostics: stable lint codes, severities, locations, and reports.
+//!
+//! Every diagnostic carries a stable `LLxxxx` code so tools (and tests) can
+//! match on failure classes rather than message text. Codes are grouped by
+//! the hundreds digit:
+//!
+//! - `LL00xx` — hygiene and `ELivelit` failure modes (Fig. 5, Sec. 5.1),
+//! - `LL01xx` — splice discipline (Sec. 3.2.3),
+//! - `LL02xx` — hole audits (Sec. 4.1),
+//! - `LL03xx` — livelit-definition lints (Def. 4.3, Sec. 3.2),
+//! - `LL04xx` — expansion determinism (Sec. 3.2.5).
+
+use std::fmt;
+
+use hazel_lang::ident::{HoleName, LivelitName};
+
+/// A stable lint code, `LL0001`, `LL0002`, ...
+///
+/// The numbering is append-only: codes are never renumbered or reused, so
+/// tools can depend on them across versions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Code {
+    /// `LL0001`: invocation of a livelit not bound in Φ (`ELivelit`
+    /// premise 1, failure mode 1).
+    UnboundLivelit,
+    /// `LL0002`: the invocation's model value is not of the declared model
+    /// type (`ELivelit` premise 2, failure mode 2).
+    ModelType,
+    /// `LL0003`: the expansion function crashed, diverged, or produced an
+    /// undecodable encoding (`ELivelit` premises 3–4, failure mode 3).
+    ExpandFailure,
+    /// `LL0004`: the parameterized expansion captures variables from the
+    /// invocation site — a context-independence violation (`ELivelit`
+    /// premise 5, failure mode 4; Sec. 3.2.2 hygiene).
+    NotClosed,
+    /// `LL0005`: the parameterized expansion is not of its declared curried
+    /// type `{τi} → τ_expand` (`ELivelit` premise 5, failure mode 4).
+    ExpansionType,
+    /// `LL0006`: a splice does not have its declared type under the
+    /// invocation-site typing context Γ (`ELivelit` premise 6).
+    SpliceType,
+    /// `LL0007`: the invocation supplies fewer splices than the livelit
+    /// declares parameters (Sec. 2.4.1, "missing livelit parameter").
+    MissingParameters,
+    /// `LL0008`: a leading (parameter) splice was created at the wrong
+    /// type (Sec. 2.4.1).
+    ParameterType,
+    /// `LL0101`: a dead splice — declared and editable, but never
+    /// referenced by the expansion, so its edits cannot affect the result
+    /// (Sec. 3.2.3, splices are evaluated exactly once).
+    DeadSplice,
+    /// `LL0102`: a splice referenced more than once by the expansion,
+    /// breaking the evaluated-once cost discipline (Sec. 3.2.3).
+    DuplicatedSplice,
+    /// `LL0201`: hole inventory — an empty hole, its expected type, and
+    /// its closure environment (Sec. 4.1).
+    HoleInventory,
+    /// `LL0202`: no registered livelit expands at this hole's expected
+    /// type, so no livelit can fill it (Sec. 2.3).
+    HoleUninhabitable,
+    /// `LL0203`: a failing livelit invocation is marked as a non-empty
+    /// hole; the rest of the program stays live (Sec. 5.1).
+    NonEmptyHole,
+    /// `LL0301`: the model type is not first-order serializable data —
+    /// models must persist in the source text (Sec. 3.1).
+    NonFirstOrderModel,
+    /// `LL0302`: the livelit's name does not follow the `$lower_case`
+    /// convention (Sec. 2.2).
+    NameConvention,
+    /// `LL0303`: the expansion type has free type variables, so clients
+    /// cannot reason abstractly about the invocation's type (Sec. 2.3).
+    OpenExpansionType,
+    /// `LL0304`: the definition is ill-formed — its object-language
+    /// expansion function is not of type `τ_model → Exp` (Def. 4.3).
+    IllFormedDefinition,
+    /// `LL0401`: the expansion function is impure — expanding the same
+    /// model twice produced different expansions (Sec. 3.2.5 requires
+    /// `expand` be "a pure function of the model").
+    ImpureExpansion,
+}
+
+impl Code {
+    /// Every code, in numeric order.
+    pub const ALL: [Code; 18] = [
+        Code::UnboundLivelit,
+        Code::ModelType,
+        Code::ExpandFailure,
+        Code::NotClosed,
+        Code::ExpansionType,
+        Code::SpliceType,
+        Code::MissingParameters,
+        Code::ParameterType,
+        Code::DeadSplice,
+        Code::DuplicatedSplice,
+        Code::HoleInventory,
+        Code::HoleUninhabitable,
+        Code::NonEmptyHole,
+        Code::NonFirstOrderModel,
+        Code::NameConvention,
+        Code::OpenExpansionType,
+        Code::IllFormedDefinition,
+        Code::ImpureExpansion,
+    ];
+
+    /// The stable code string, e.g. `"LL0004"`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::UnboundLivelit => "LL0001",
+            Code::ModelType => "LL0002",
+            Code::ExpandFailure => "LL0003",
+            Code::NotClosed => "LL0004",
+            Code::ExpansionType => "LL0005",
+            Code::SpliceType => "LL0006",
+            Code::MissingParameters => "LL0007",
+            Code::ParameterType => "LL0008",
+            Code::DeadSplice => "LL0101",
+            Code::DuplicatedSplice => "LL0102",
+            Code::HoleInventory => "LL0201",
+            Code::HoleUninhabitable => "LL0202",
+            Code::NonEmptyHole => "LL0203",
+            Code::NonFirstOrderModel => "LL0301",
+            Code::NameConvention => "LL0302",
+            Code::OpenExpansionType => "LL0303",
+            Code::IllFormedDefinition => "LL0304",
+            Code::ImpureExpansion => "LL0401",
+        }
+    }
+
+    /// A short title for the failure class.
+    pub fn title(self) -> &'static str {
+        match self {
+            Code::UnboundLivelit => "unbound livelit",
+            Code::ModelType => "model type mismatch",
+            Code::ExpandFailure => "expansion failure",
+            Code::NotClosed => "expansion captures client variables",
+            Code::ExpansionType => "expansion type mismatch",
+            Code::SpliceType => "splice type error",
+            Code::MissingParameters => "missing livelit parameters",
+            Code::ParameterType => "parameter type mismatch",
+            Code::DeadSplice => "dead splice",
+            Code::DuplicatedSplice => "duplicated splice reference",
+            Code::HoleInventory => "hole inventory",
+            Code::HoleUninhabitable => "no livelit fills this hole",
+            Code::NonEmptyHole => "invocation marked as non-empty hole",
+            Code::NonFirstOrderModel => "model type is not first-order",
+            Code::NameConvention => "unconventional livelit name",
+            Code::OpenExpansionType => "expansion type is not closed",
+            Code::IllFormedDefinition => "ill-formed livelit definition",
+            Code::ImpureExpansion => "impure expansion function",
+        }
+    }
+
+    /// The paper section the check is grounded in.
+    pub fn paper_section(self) -> &'static str {
+        match self {
+            Code::UnboundLivelit => "Fig. 5 (ELivelit premise 1), Sec. 5.1",
+            Code::ModelType => "Fig. 5 (ELivelit premise 2), Sec. 5.1",
+            Code::ExpandFailure => "Fig. 5 (ELivelit premises 3-4), Sec. 5.1",
+            Code::NotClosed => "Fig. 5 (ELivelit premise 5), Sec. 3.2.2",
+            Code::ExpansionType => "Fig. 5 (ELivelit premise 5), Sec. 5.1",
+            Code::SpliceType => "Fig. 5 (ELivelit premise 6)",
+            Code::MissingParameters => "Sec. 2.4.1",
+            Code::ParameterType => "Sec. 2.4.1",
+            Code::DeadSplice => "Sec. 3.2.3",
+            Code::DuplicatedSplice => "Sec. 3.2.3",
+            Code::HoleInventory => "Sec. 4.1",
+            Code::HoleUninhabitable => "Sec. 2.3",
+            Code::NonEmptyHole => "Sec. 5.1",
+            Code::NonFirstOrderModel => "Sec. 3.1",
+            Code::NameConvention => "Sec. 2.2",
+            Code::OpenExpansionType => "Sec. 2.3",
+            Code::IllFormedDefinition => "Def. 4.3",
+            Code::ImpureExpansion => "Sec. 3.2.5",
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// How serious a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// The program (or definition) is wrong and will fail at expansion or
+    /// registration time.
+    Error,
+    /// Suspicious but not fatal; the program still runs.
+    Warning,
+    /// Informational — inventory and live-status notes.
+    Info,
+}
+
+impl Severity {
+    /// The lowercase name used in machine-readable output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Info => "info",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Where a diagnostic points.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Location {
+    /// The whole program (post-expansion properties).
+    Program,
+    /// A livelit definition (registration-time lints).
+    Livelit(LivelitName),
+    /// A hole — either an empty hole or a livelit invocation's hole.
+    Hole(HoleName),
+    /// A splice (or leading parameter) of the livelit at `hole`.
+    Splice {
+        /// The invocation's hole name.
+        hole: HoleName,
+        /// The splice index, counting leading parameters first.
+        index: usize,
+    },
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Location::Program => f.write_str("program"),
+            Location::Livelit(name) => write!(f, "{name}"),
+            Location::Hole(u) => write!(f, "{u}"),
+            Location::Splice { hole, index } => write!(f, "{hole}.splice{index}"),
+        }
+    }
+}
+
+/// One finding of one analysis pass.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// The stable lint code.
+    pub code: Code,
+    /// How serious the finding is.
+    pub severity: Severity,
+    /// Where the finding points.
+    pub location: Location,
+    /// The primary, human-readable message.
+    pub message: String,
+    /// Secondary notes (captured variables, expected types, ...).
+    pub notes: Vec<String>,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic with no notes.
+    pub fn new(
+        code: Code,
+        severity: Severity,
+        location: Location,
+        message: impl Into<String>,
+    ) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity,
+            location,
+            message: message.into(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Adds a note, builder-style.
+    #[must_use]
+    pub fn with_note(mut self, note: impl Into<String>) -> Diagnostic {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Renders the diagnostic as a single human-readable block:
+    /// `error[LL0004] at u0: ...` plus indented notes.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{}[{}] at {}: {}",
+            self.severity, self.code, self.location, self.message
+        );
+        for note in &self.notes {
+            out.push_str("\n  note: ");
+            out.push_str(note);
+        }
+        out
+    }
+}
+
+/// The ordered result of an analysis run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// An empty report.
+    pub fn new() -> Report {
+        Report::default()
+    }
+
+    /// Builds a report from raw findings, sorting and deduplicating them so
+    /// the output is deterministic regardless of pass execution order.
+    pub fn from_diagnostics(mut diagnostics: Vec<Diagnostic>) -> Report {
+        diagnostics.sort_by(|a, b| {
+            (&a.location, a.code, &a.message).cmp(&(&b.location, b.code, &b.message))
+        });
+        diagnostics.dedup();
+        Report { diagnostics }
+    }
+
+    /// The diagnostics, in deterministic (location, code, message) order.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// Whether the report has no findings at all.
+    pub fn is_empty(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// The number of findings.
+    pub fn len(&self) -> usize {
+        self.diagnostics.len()
+    }
+
+    /// The number of error-severity findings.
+    pub fn error_count(&self) -> usize {
+        self.count(Severity::Error)
+    }
+
+    /// The number of findings at `severity`.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+
+    /// The codes present, in report order.
+    pub fn codes(&self) -> Vec<Code> {
+        self.diagnostics.iter().map(|d| d.code).collect()
+    }
+
+    /// The findings attached to one hole (or its splices), in report order.
+    pub fn for_hole(&self, hole: HoleName) -> Vec<&Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| match &d.location {
+                Location::Hole(u) => *u == hole,
+                Location::Splice { hole: u, .. } => *u == hole,
+                _ => false,
+            })
+            .collect()
+    }
+
+    /// Renders the report as machine-readable JSON.
+    ///
+    /// The output is deterministic: diagnostics appear in report order and
+    /// all keys are emitted in a fixed order. (Hand-written so the default
+    /// build stays dependency-free; the format is plain enough that any
+    /// JSON parser can read it.)
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"diagnostics\": [");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\"code\": ");
+            json_string(&mut out, d.code.as_str());
+            out.push_str(", \"severity\": ");
+            json_string(&mut out, d.severity.as_str());
+            out.push_str(", \"location\": ");
+            json_location(&mut out, &d.location);
+            out.push_str(", \"message\": ");
+            json_string(&mut out, &d.message);
+            out.push_str(", \"notes\": [");
+            for (j, note) in d.notes.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                json_string(&mut out, note);
+            }
+            out.push_str("]}");
+        }
+        if !self.diagnostics.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n");
+        out.push_str(&format!(
+            "  \"errors\": {},\n  \"warnings\": {},\n  \"infos\": {}\n}}\n",
+            self.error_count(),
+            self.count(Severity::Warning),
+            self.count(Severity::Info),
+        ));
+        out
+    }
+
+    /// Renders the report as human-readable text, one block per finding.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.render());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{} error(s), {} warning(s), {} info(s)\n",
+            self.error_count(),
+            self.count(Severity::Warning),
+            self.count(Severity::Info),
+        ));
+        out
+    }
+}
+
+fn json_location(out: &mut String, location: &Location) {
+    match location {
+        Location::Program => out.push_str("{\"kind\": \"program\"}"),
+        Location::Livelit(name) => {
+            out.push_str("{\"kind\": \"livelit\", \"name\": ");
+            json_string(out, &name.to_string());
+            out.push('}');
+        }
+        Location::Hole(u) => {
+            out.push_str(&format!("{{\"kind\": \"hole\", \"hole\": {}}}", u.0));
+        }
+        Location::Splice { hole, index } => {
+            out.push_str(&format!(
+                "{{\"kind\": \"splice\", \"hole\": {}, \"index\": {index}}}",
+                hole.0
+            ));
+        }
+    }
+}
+
+/// Appends `s` as a JSON string literal (quoted, escaped).
+pub fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique_and_ordered() {
+        let strs: Vec<&str> = Code::ALL.iter().map(|c| c.as_str()).collect();
+        let mut sorted = strs.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), Code::ALL.len(), "codes must be unique");
+        assert_eq!(sorted, strs, "Code::ALL must be in numeric order");
+        for c in Code::ALL {
+            assert!(c.as_str().starts_with("LL"));
+            assert_eq!(c.as_str().len(), 6);
+            assert!(!c.title().is_empty());
+            assert!(!c.paper_section().is_empty());
+        }
+    }
+
+    #[test]
+    fn report_sorts_and_dedups() {
+        let d1 = Diagnostic::new(
+            Code::DeadSplice,
+            Severity::Warning,
+            Location::Splice {
+                hole: HoleName(1),
+                index: 0,
+            },
+            "dead",
+        );
+        let d2 = Diagnostic::new(
+            Code::NotClosed,
+            Severity::Error,
+            Location::Hole(HoleName(0)),
+            "captured",
+        );
+        let report = Report::from_diagnostics(vec![d1.clone(), d2.clone(), d1.clone()]);
+        assert_eq!(report.len(), 2);
+        assert_eq!(report.diagnostics()[0], d2, "holes sort before splices");
+        assert_eq!(report.codes(), vec![Code::NotClosed, Code::DeadSplice]);
+    }
+
+    #[test]
+    fn json_escapes_and_shapes() {
+        let d = Diagnostic::new(
+            Code::UnboundLivelit,
+            Severity::Error,
+            Location::Hole(HoleName(3)),
+            "no \"$nope\"\nhere",
+        )
+        .with_note("try $slider");
+        let report = Report::from_diagnostics(vec![d]);
+        let json = report.to_json();
+        assert!(json.contains("\"code\": \"LL0001\""));
+        assert!(json.contains("\\\"$nope\\\"\\nhere"));
+        assert!(json.contains("{\"kind\": \"hole\", \"hole\": 3}"));
+        assert!(json.contains("\"errors\": 1"));
+        // Deterministic: same input, same bytes.
+        assert_eq!(json, report.to_json());
+    }
+}

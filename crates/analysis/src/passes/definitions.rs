@@ -1,0 +1,180 @@
+//! Livelit-definition lints, run over Φ (and, by the editor, at
+//! registration time instead of panicking).
+
+use hazel_lang::typ::Typ;
+use livelit_core::def::LivelitDef;
+
+use crate::analyzer::{AnalysisInput, Pass};
+use crate::diagnostic::{Code, Diagnostic, Location, Severity};
+
+/// The definition-lint pass: every definition in Φ is linted.
+pub struct DefinitionLints;
+
+impl Pass for DefinitionLints {
+    fn name(&self) -> &'static str {
+        "definition-lints"
+    }
+
+    fn run(&self, input: &AnalysisInput<'_>) -> Vec<Diagnostic> {
+        input
+            .phi
+            .iter()
+            .flat_map(|(_, def)| lint_def(def))
+            .collect()
+    }
+}
+
+/// Lints one livelit definition.
+///
+/// Returns, in order of discovery:
+///
+/// - [`Code::IllFormedDefinition`] when the object-language expansion
+///   function is not of type `τ_model → Exp` (Def. 4.3),
+/// - [`Code::NonFirstOrderModel`] when the model type contains functions
+///   or free type variables — models must round-trip through the source
+///   text (Sec. 3.1),
+/// - [`Code::OpenExpansionType`] when the expansion type has free type
+///   variables (Sec. 2.3),
+/// - [`Code::NameConvention`] when the name is not `$lower_snake_case`
+///   (Sec. 2.2).
+pub fn lint_def(def: &LivelitDef) -> Vec<Diagnostic> {
+    let location = Location::Livelit(def.name.clone());
+    let mut out = Vec::new();
+
+    if let Err(e) = def.check_well_formed() {
+        out.push(
+            Diagnostic::new(
+                Code::IllFormedDefinition,
+                Severity::Error,
+                location.clone(),
+                format!(
+                    "{}: expansion function is not of type {} -> Exp",
+                    def.name, def.model_ty
+                ),
+            )
+            .with_note(format!("{e}")),
+        );
+    }
+
+    if !is_first_order(&def.model_ty) {
+        out.push(
+            Diagnostic::new(
+                Code::NonFirstOrderModel,
+                Severity::Error,
+                location.clone(),
+                format!(
+                    "{}: model type {} is not first-order serializable data",
+                    def.name, def.model_ty
+                ),
+            )
+            .with_note(
+                "models persist in the source text, so they cannot contain \
+                 functions or open types (Sec. 3.1)"
+                    .to_string(),
+            ),
+        );
+    }
+
+    if !def.expansion_ty.is_closed() {
+        out.push(Diagnostic::new(
+            Code::OpenExpansionType,
+            Severity::Error,
+            location.clone(),
+            format!(
+                "{}: expansion type {} has free type variables; clients cannot \
+                 reason abstractly about the invocation's type",
+                def.name, def.expansion_ty
+            ),
+        ));
+    }
+
+    if !name_follows_convention(def.name.as_str()) {
+        out.push(
+            Diagnostic::new(
+                Code::NameConvention,
+                Severity::Warning,
+                location,
+                format!(
+                    "{}: livelit names are conventionally $lower_snake_case",
+                    def.name
+                ),
+            )
+            .with_note("expected: a lowercase ASCII letter, then [a-z0-9_]*".to_string()),
+        );
+    }
+
+    out
+}
+
+/// Whether every error-severity lint passes — the registration gate.
+pub fn definition_errors(def: &LivelitDef) -> Vec<Diagnostic> {
+    lint_def(def)
+        .into_iter()
+        .filter(|d| d.severity == Severity::Error)
+        .collect()
+}
+
+/// Whether a type is first-order serializable data: no functions anywhere,
+/// and no free type variables.
+pub fn is_first_order(ty: &Typ) -> bool {
+    ty.is_closed() && has_no_arrows(ty)
+}
+
+fn has_no_arrows(ty: &Typ) -> bool {
+    match ty {
+        Typ::Int | Typ::Float | Typ::Bool | Typ::Str | Typ::Unit | Typ::Var(_) => true,
+        Typ::Arrow(_, _) => false,
+        Typ::Prod(fields) | Typ::Sum(fields) => fields.iter().all(|(_, t)| has_no_arrows(t)),
+        Typ::List(t) | Typ::Rec(_, t) => has_no_arrows(t),
+    }
+}
+
+/// The `$lower_snake_case` convention: the part after `$` starts with a
+/// lowercase ASCII letter and continues with lowercase letters, digits,
+/// and underscores.
+fn name_follows_convention(bare: &str) -> bool {
+    let mut chars = bare.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_lowercase() => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_order_types() {
+        assert!(is_first_order(&Typ::Int));
+        assert!(is_first_order(&Typ::prod([
+            (hazel_lang::ident::Label::new("r"), Typ::Int),
+            (hazel_lang::ident::Label::new("g"), Typ::Int),
+        ])));
+        assert!(is_first_order(&Typ::list(Typ::Float)));
+        assert!(!is_first_order(&Typ::arrow(Typ::Int, Typ::Int)));
+        assert!(!is_first_order(&Typ::list(Typ::arrow(Typ::Int, Typ::Int))));
+        // A free type variable is not serializable data.
+        assert!(!is_first_order(&Typ::Var("t".into())));
+        // A closed recursive type of data is fine.
+        assert!(is_first_order(&Typ::rec(
+            "t",
+            Typ::sum([
+                (hazel_lang::ident::Label::new("Leaf"), Typ::Int),
+                (hazel_lang::ident::Label::new("Node"), Typ::Var("t".into())),
+            ])
+        )));
+    }
+
+    #[test]
+    fn name_conventions() {
+        assert!(name_follows_convention("slider"));
+        assert!(name_follows_convention("grade_cutoffs"));
+        assert!(name_follows_convention("v2"));
+        assert!(!name_follows_convention("Slider"));
+        assert!(!name_follows_convention("2d"));
+        assert!(!name_follows_convention(""));
+        assert!(!name_follows_convention("計"));
+    }
+}

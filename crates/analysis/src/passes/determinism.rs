@@ -1,0 +1,61 @@
+//! Expansion determinism: `expand` must be a pure function of the model.
+//!
+//! Object-language expansion functions are pure by construction, but
+//! native ones are arbitrary host code (Sec. 3.2.5 — the definition of
+//! `expand` is trusted, not checked). Expanding the same invocation twice
+//! and diffing the results catches the common failure: an expansion that
+//! depends on ambient state, so the program's meaning changes between
+//! edits without any edit to the model.
+
+use hazel_lang::unexpanded::LivelitAp;
+use livelit_core::def::LivelitCtx;
+use livelit_core::expansion::expand_invocation;
+
+use crate::analyzer::{AnalysisInput, Pass};
+use crate::diagnostic::{Code, Diagnostic, Location, Severity};
+
+/// The determinism pass.
+pub struct Determinism;
+
+impl Pass for Determinism {
+    fn name(&self) -> &'static str {
+        "determinism"
+    }
+
+    fn run(&self, input: &AnalysisInput<'_>) -> Vec<Diagnostic> {
+        input
+            .program
+            .livelit_aps()
+            .into_iter()
+            .flat_map(|ap| check_invocation(input.phi, ap))
+            .collect()
+    }
+}
+
+/// Expands one invocation twice and flags any difference.
+pub fn check_invocation(phi: &LivelitCtx, ap: &LivelitAp) -> Vec<Diagnostic> {
+    let (Ok(first), Ok(second)) = (expand_invocation(phi, ap), expand_invocation(phi, ap)) else {
+        return Vec::new();
+    };
+    if first == second {
+        return Vec::new();
+    }
+    vec![Diagnostic::new(
+        Code::ImpureExpansion,
+        Severity::Error,
+        Location::Hole(ap.hole),
+        format!(
+            "{}: expanding the same model twice produced different expansions; \
+             expand must be a pure function of the model",
+            ap.name
+        ),
+    )
+    .with_note(format!(
+        "first:  {}",
+        hazel_lang::pretty::print_eexp(&first.pexpansion, 60)
+    ))
+    .with_note(format!(
+        "second: {}",
+        hazel_lang::pretty::print_eexp(&second.pexpansion, 60)
+    ))]
+}

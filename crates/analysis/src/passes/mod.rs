@@ -1,0 +1,7 @@
+//! The standard analysis passes.
+
+pub mod definitions;
+pub mod determinism;
+pub mod holes;
+pub mod hygiene;
+pub mod splices;

@@ -1,0 +1,510 @@
+//! Pass-level tests: every `ELivelit` failure mode maps to a distinct
+//! stable code, the disciplines fire exactly when they should, and the
+//! report output is deterministic.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+
+use hazel_lang::build::*;
+use hazel_lang::ident::{HoleName, Label};
+use hazel_lang::typing::Ctx;
+use hazel_lang::unexpanded::{LivelitAp, Splice, UExp};
+use hazel_lang::{IExp, Typ};
+use livelit_analysis::{lint_def, AnalysisInput, Analyzer, Code, Location, Report, Severity};
+use livelit_core::def::{LivelitCtx, LivelitDef};
+
+fn error_codes(report: &Report) -> Vec<Code> {
+    report
+        .diagnostics()
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .map(|d| d.code)
+        .collect()
+}
+
+fn analyze(phi: &LivelitCtx, program: &UExp) -> Report {
+    Analyzer::with_default_passes().analyze(&AnalysisInput {
+        phi,
+        program,
+        ctx: &Ctx::empty(),
+    })
+}
+
+fn invoke(name: &str, model: IExp, splices: Vec<Splice>, hole: u64) -> UExp {
+    UExp::Livelit(Box::new(LivelitAp {
+        name: name.into(),
+        model,
+        splices,
+        hole: HoleName(hole),
+    }))
+}
+
+/// A well-behaved one-splice livelit: `$double(s) ~> (fun s -> s + s)`...
+/// intentionally NOT — that would duplicate the splice. This one uses its
+/// splice exactly once: `(fun s -> s + 1)`.
+fn good_def() -> LivelitDef {
+    LivelitDef::native("$bump", vec![Typ::Int], Typ::Int, Typ::Unit, |_| {
+        Ok(lam("s", Typ::Int, add(var("s"), int(1))))
+    })
+}
+
+// ----------------------------------------------------------------------
+// Hygiene: the six ELivelit failure modes, each with its own code.
+// ----------------------------------------------------------------------
+
+#[test]
+fn ll0001_unbound_livelit() {
+    let phi = LivelitCtx::new();
+    let report = analyze(&phi, &invoke("$ghost", IExp::Unit, vec![], 0));
+    assert_eq!(error_codes(&report), vec![Code::UnboundLivelit]);
+    assert_eq!(report.error_count(), 1);
+}
+
+#[test]
+fn ll0002_model_type_mismatch() {
+    let mut phi = LivelitCtx::new();
+    phi.define(good_def()).unwrap();
+    let program = invoke(
+        "$bump",
+        IExp::Bool(true), // model type is Unit
+        vec![Splice::new(UExp::Int(1), Typ::Int)],
+        0,
+    );
+    let report = analyze(&phi, &program);
+    assert_eq!(error_codes(&report), vec![Code::ModelType]);
+}
+
+#[test]
+fn ll0003_expand_failure() {
+    let mut phi = LivelitCtx::new();
+    phi.define(LivelitDef::native(
+        "$crashy",
+        vec![],
+        Typ::Int,
+        Typ::Unit,
+        |_| Err("the GUI fell over".into()),
+    ))
+    .unwrap();
+    let report = analyze(&phi, &invoke("$crashy", IExp::Unit, vec![], 0));
+    assert_eq!(error_codes(&report), vec![Code::ExpandFailure]);
+    assert!(report.diagnostics()[0].message.contains("fell over"));
+}
+
+#[test]
+fn ll0004_capture_is_flagged_with_the_captured_variables() {
+    let mut phi = LivelitCtx::new();
+    phi.define(LivelitDef::native(
+        "$leaky",
+        vec![],
+        Typ::Int,
+        Typ::Unit,
+        |_| Ok(add(var("client_x"), var("client_y"))),
+    ))
+    .unwrap();
+    let program = UExp::Let(
+        "client_x".into(),
+        None,
+        Box::new(UExp::Int(1)),
+        Box::new(invoke("$leaky", IExp::Unit, vec![], 0)),
+    );
+    let report = analyze(&phi, &program);
+    assert_eq!(error_codes(&report), vec![Code::NotClosed]);
+    let d = &report.diagnostics()[0];
+    assert_eq!(d.location, Location::Hole(HoleName(0)));
+    assert!(d.notes.iter().any(|n| n.contains("client_x")));
+    assert!(d.notes.iter().any(|n| n.contains("client_y")));
+}
+
+#[test]
+fn ll0005_expansion_type_mismatch() {
+    let mut phi = LivelitCtx::new();
+    phi.define(LivelitDef::native(
+        "$shifty",
+        vec![],
+        Typ::Int,
+        Typ::Unit,
+        |_| Ok(boolean(true)), // declared to expand at Int
+    ))
+    .unwrap();
+    let report = analyze(&phi, &invoke("$shifty", IExp::Unit, vec![], 0));
+    assert_eq!(error_codes(&report), vec![Code::ExpansionType]);
+}
+
+#[test]
+fn ll0006_splice_type_error_under_client_gamma() {
+    let mut phi = LivelitCtx::new();
+    phi.define(good_def()).unwrap();
+    // The splice claims Int but contains a Bool.
+    let program = invoke(
+        "$bump",
+        IExp::Unit,
+        vec![Splice::new(UExp::Bool(true), Typ::Int)],
+        0,
+    );
+    let report = analyze(&phi, &program);
+    assert!(report.codes().contains(&Code::SpliceType), "{report:?}");
+}
+
+#[test]
+fn ll0007_missing_parameters() {
+    let mut phi = LivelitCtx::new();
+    phi.define(good_def()).unwrap();
+    let report = analyze(&phi, &invoke("$bump", IExp::Unit, vec![], 0));
+    assert_eq!(error_codes(&report), vec![Code::MissingParameters]);
+}
+
+#[test]
+fn ll0008_parameter_type_mismatch() {
+    let mut phi = LivelitCtx::new();
+    phi.define(good_def()).unwrap();
+    let program = invoke(
+        "$bump",
+        IExp::Unit,
+        vec![Splice::new(UExp::Bool(true), Typ::Bool)], // declared Int
+        0,
+    );
+    let report = analyze(&phi, &program);
+    assert_eq!(error_codes(&report), vec![Code::ParameterType]);
+    let d = report
+        .diagnostics()
+        .iter()
+        .find(|d| d.code == Code::ParameterType)
+        .unwrap();
+    assert_eq!(
+        d.location,
+        Location::Splice {
+            hole: HoleName(0),
+            index: 0
+        }
+    );
+}
+
+#[test]
+fn a_clean_invocation_yields_zero_diagnostics() {
+    let mut phi = LivelitCtx::new();
+    phi.define(good_def()).unwrap();
+    let program = invoke(
+        "$bump",
+        IExp::Unit,
+        vec![Splice::new(UExp::Int(41), Typ::Int)],
+        0,
+    );
+    let report = analyze(&phi, &program);
+    assert!(report.is_empty(), "{}", report.render());
+}
+
+// ----------------------------------------------------------------------
+// Splice discipline.
+// ----------------------------------------------------------------------
+
+#[test]
+fn ll0101_and_ll0102_dead_and_duplicated_splices() {
+    let mut phi = LivelitCtx::new();
+    // (fun a -> fun b -> a + a): a referenced twice, b never.
+    phi.define(LivelitDef::native(
+        "$lopsided",
+        vec![Typ::Int, Typ::Int],
+        Typ::Int,
+        Typ::Unit,
+        |_| {
+            Ok(lam(
+                "a",
+                Typ::Int,
+                lam("b", Typ::Int, add(var("a"), var("a"))),
+            ))
+        },
+    ))
+    .unwrap();
+    let program = invoke(
+        "$lopsided",
+        IExp::Unit,
+        vec![
+            Splice::new(UExp::Int(1), Typ::Int),
+            Splice::new(UExp::Int(2), Typ::Int),
+        ],
+        0,
+    );
+    let report = analyze(&phi, &program);
+    assert_eq!(
+        report.codes(),
+        vec![Code::DuplicatedSplice, Code::DeadSplice]
+    );
+    assert_eq!(
+        report.diagnostics()[0].location,
+        Location::Splice {
+            hole: HoleName(0),
+            index: 0
+        }
+    );
+    assert_eq!(
+        report.diagnostics()[1].location,
+        Location::Splice {
+            hole: HoleName(0),
+            index: 1
+        }
+    );
+    assert!(report.error_count() == 0, "discipline lints are warnings");
+}
+
+#[test]
+fn splice_counting_respects_shadowing_in_the_expansion() {
+    let mut phi = LivelitCtx::new();
+    // (fun s -> let s = s + 1 in s): the outer s is referenced exactly
+    // once — the body's s is the let-bound one.
+    phi.define(LivelitDef::native(
+        "$shadow",
+        vec![Typ::Int],
+        Typ::Int,
+        Typ::Unit,
+        |_| {
+            Ok(lam(
+                "s",
+                Typ::Int,
+                elet("s", add(var("s"), int(1)), var("s")),
+            ))
+        },
+    ))
+    .unwrap();
+    let program = invoke(
+        "$shadow",
+        IExp::Unit,
+        vec![Splice::new(UExp::Int(1), Typ::Int)],
+        0,
+    );
+    assert!(analyze(&phi, &program).is_empty());
+}
+
+// ----------------------------------------------------------------------
+// Hole audit.
+// ----------------------------------------------------------------------
+
+#[test]
+fn ll0201_and_ll0202_hole_inventory_and_uninhabitable_holes() {
+    let mut phi = LivelitCtx::new();
+    phi.define(LivelitDef::native(
+        "$answer",
+        vec![],
+        Typ::Int,
+        Typ::Unit,
+        |_| Ok(int(42)),
+    ))
+    .unwrap();
+    // ?0 : Int is fillable by $answer; ?1 : Bool is not fillable by any
+    // registered livelit.
+    let program = UExp::Let(
+        "x".into(),
+        None,
+        Box::new(UExp::Asc(Box::new(UExp::EmptyHole(HoleName(0))), Typ::Int)),
+        Box::new(UExp::Asc(Box::new(UExp::EmptyHole(HoleName(1))), Typ::Bool)),
+    );
+    let report = analyze(&phi, &program);
+    assert_eq!(
+        report.codes(),
+        vec![
+            Code::HoleInventory,
+            Code::HoleInventory,
+            Code::HoleUninhabitable
+        ]
+    );
+    let u1 = report.for_hole(HoleName(1));
+    assert!(u1.iter().any(|d| d.code == Code::HoleUninhabitable));
+    // The inventory for ?1 sees `x : Int` in scope.
+    assert!(u1
+        .iter()
+        .any(|d| d.notes.iter().any(|n| n.contains("x : Int"))));
+    assert_eq!(report.error_count(), 0);
+}
+
+#[test]
+fn ll0203_failed_invocations_audit_as_live_nonempty_holes() {
+    let mut phi = LivelitCtx::new();
+    phi.define(LivelitDef::native(
+        "$crashy",
+        vec![],
+        Typ::Int,
+        Typ::Unit,
+        |_| Err("boom".into()),
+    ))
+    .unwrap();
+    // The failing invocation sits inside a larger program that still
+    // audits: its own hole is marked non-empty, not inventoried as empty.
+    let program = UExp::Bin(
+        hazel_lang::BinOp::Add,
+        Box::new(invoke("$crashy", IExp::Unit, vec![], 0)),
+        Box::new(UExp::Int(1)),
+    );
+    let report = analyze(&phi, &program);
+    assert!(report.codes().contains(&Code::ExpandFailure));
+    assert!(report.codes().contains(&Code::NonEmptyHole));
+    assert!(!report.codes().contains(&Code::HoleInventory));
+}
+
+// ----------------------------------------------------------------------
+// Definition lints.
+// ----------------------------------------------------------------------
+
+#[test]
+fn ll0301_non_first_order_model() {
+    let def = LivelitDef::native(
+        "$higher",
+        vec![],
+        Typ::Int,
+        Typ::arrow(Typ::Int, Typ::Int),
+        |_| Ok(int(0)),
+    );
+    let codes: Vec<Code> = lint_def(&def).iter().map(|d| d.code).collect();
+    assert_eq!(codes, vec![Code::NonFirstOrderModel]);
+}
+
+#[test]
+fn ll0302_name_convention_is_a_warning() {
+    let def = LivelitDef::native("$BigSlider", vec![], Typ::Int, Typ::Unit, |_| Ok(int(0)));
+    let lints = lint_def(&def);
+    assert_eq!(lints.len(), 1);
+    assert_eq!(lints[0].code, Code::NameConvention);
+    assert_eq!(lints[0].severity, Severity::Warning);
+    // Warnings do not gate registration.
+    assert!(livelit_analysis::definition_errors(&def).is_empty());
+}
+
+#[test]
+fn ll0303_open_expansion_type() {
+    let def = LivelitDef::native("$openly", vec![], Typ::Var("t".into()), Typ::Unit, |_| {
+        Ok(int(0))
+    });
+    let codes: Vec<Code> = lint_def(&def).iter().map(|d| d.code).collect();
+    assert_eq!(codes, vec![Code::OpenExpansionType]);
+}
+
+#[test]
+fn ll0304_ill_formed_object_definition() {
+    // An object-language expansion function that is not of type
+    // τ_model → Exp (it is Int, not a function at all).
+    let def = LivelitDef::object("$broken", vec![], Typ::Int, Typ::Unit, IExp::Int(3));
+    let codes: Vec<Code> = lint_def(&def).iter().map(|d| d.code).collect();
+    assert_eq!(codes, vec![Code::IllFormedDefinition]);
+}
+
+#[test]
+fn definition_lints_run_over_phi_in_the_default_analyzer() {
+    let mut phi = LivelitCtx::new();
+    phi.define(LivelitDef::native(
+        "$Odd_Name",
+        vec![],
+        Typ::Int,
+        Typ::Unit,
+        |_| Ok(int(1)),
+    ))
+    .unwrap();
+    let report = analyze(&phi, &UExp::Int(0));
+    assert_eq!(report.codes(), vec![Code::NameConvention]);
+    assert_eq!(
+        report.diagnostics()[0].location,
+        Location::Livelit("$Odd_Name".into())
+    );
+}
+
+// ----------------------------------------------------------------------
+// Determinism.
+// ----------------------------------------------------------------------
+
+#[test]
+fn ll0401_impure_expand_is_caught_by_expanding_twice() {
+    static TICKS: AtomicI64 = AtomicI64::new(0);
+    let mut phi = LivelitCtx::new();
+    phi.define(LivelitDef::native(
+        "$clock",
+        vec![],
+        Typ::Int,
+        Typ::Unit,
+        |_| Ok(int(TICKS.fetch_add(1, Ordering::SeqCst))),
+    ))
+    .unwrap();
+    let report = analyze(&phi, &invoke("$clock", IExp::Unit, vec![], 0));
+    assert!(
+        report.codes().contains(&Code::ImpureExpansion),
+        "{report:?}"
+    );
+    let d = report
+        .diagnostics()
+        .iter()
+        .find(|d| d.code == Code::ImpureExpansion)
+        .unwrap();
+    assert_eq!(d.severity, Severity::Error);
+    assert_eq!(d.notes.len(), 2, "both expansions are shown");
+}
+
+#[test]
+fn pure_expansions_pass_the_determinism_check() {
+    let mut phi = LivelitCtx::new();
+    phi.define(good_def()).unwrap();
+    let program = invoke(
+        "$bump",
+        IExp::Unit,
+        vec![Splice::new(UExp::Int(1), Typ::Int)],
+        0,
+    );
+    assert!(!analyze(&phi, &program)
+        .codes()
+        .contains(&Code::ImpureExpansion));
+}
+
+// ----------------------------------------------------------------------
+// Report output.
+// ----------------------------------------------------------------------
+
+#[test]
+fn reports_are_deterministic_and_machine_readable() {
+    let mut phi = LivelitCtx::new();
+    phi.define(LivelitDef::native(
+        "$leaky",
+        vec![],
+        Typ::Int,
+        Typ::Unit,
+        |_| Ok(var("outer")),
+    ))
+    .unwrap();
+    let program = UExp::Let(
+        "outer".into(),
+        None,
+        Box::new(UExp::Int(1)),
+        Box::new(invoke("$leaky", IExp::Unit, vec![], 7)),
+    );
+    let a = analyze(&phi, &program);
+    let b = analyze(&phi, &program);
+    assert_eq!(a, b);
+    assert_eq!(a.to_json(), b.to_json());
+    assert!(a.to_json().contains("\"code\": \"LL0004\""));
+    assert!(a.to_json().contains("{\"kind\": \"hole\", \"hole\": 7}"));
+}
+
+#[test]
+fn analyze_invocation_matches_the_invocation_scoped_passes() {
+    let mut phi = LivelitCtx::new();
+    phi.define(good_def()).unwrap();
+    let ap = LivelitAp {
+        name: "$bump".into(),
+        model: IExp::Unit,
+        splices: vec![],
+        hole: HoleName(3),
+    };
+    let found = livelit_analysis::analyze_invocation(&phi, &ap);
+    assert_eq!(found.len(), 1);
+    assert_eq!(found[0].code, Code::MissingParameters);
+}
+
+#[test]
+fn record_models_are_first_order() {
+    // The shapes the standard library actually uses must stay first-order.
+    let color_model = Typ::prod([
+        (Label::new("r"), Typ::Int),
+        (Label::new("g"), Typ::Int),
+        (Label::new("b"), Typ::Int),
+        (Label::new("a"), Typ::Int),
+    ]);
+    let def = LivelitDef::native("$color", vec![], color_model.clone(), color_model, |_| {
+        Ok(unit())
+    });
+    assert!(lint_def(&def)
+        .iter()
+        .all(|d| d.code != Code::NonFirstOrderModel));
+}

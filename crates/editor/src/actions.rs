@@ -9,8 +9,6 @@
 //! models and actions are object-language values — so whole sessions can be
 //! recorded, persisted, and replayed deterministically.
 
-use serde::{Deserialize, Serialize};
-
 use hazel_lang::ident::{HoleName, LivelitName};
 use hazel_lang::unexpanded::UExp;
 use hazel_lang::IExp;
@@ -20,7 +18,8 @@ use crate::doc::{DocError, Document};
 use crate::registry::LivelitRegistry;
 
 /// One editor-level edit action.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum EditAction {
     /// Fill the empty hole `at` with a livelit (the code-completion action
     /// of Fig. 1a/1b).
@@ -65,7 +64,8 @@ pub enum EditAction {
 }
 
 /// A recorded edit session.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct EditScript {
     /// The actions, in order.
     pub actions: Vec<EditAction>,

@@ -1,0 +1,128 @@
+//! Editor-side diagnostics: batch analysis of a document, and an
+//! incremental analyzer that recomputes per-invocation findings only for
+//! the invocations an edit actually touched.
+//!
+//! The invocation-scoped passes (hygiene, splice discipline, determinism)
+//! depend only on `(Φ, ap)` — the livelit context and the invocation's
+//! own model and splices. An edit to one livelit's model or splices
+//! therefore invalidates only that hole's findings; every other hole's
+//! findings are reused from cache. This is the same dirty-set discipline
+//! the evaluation engine uses (see [`crate::incremental`]).
+
+use std::collections::BTreeMap;
+
+use hazel_lang::ident::HoleName;
+use hazel_lang::unexpanded::{LivelitAp, UExp};
+use livelit_analysis::passes::definitions::DefinitionLints;
+use livelit_analysis::passes::holes::HoleAudit;
+use livelit_analysis::{analyze_invocation, AnalysisInput, Diagnostic, Pass, Report};
+use livelit_core::expansion::ExpandError;
+
+use crate::doc::Document;
+use crate::registry::LivelitRegistry;
+
+/// Runs the full default analysis over a document: the invocation-scoped
+/// passes for every livelit invocation, the hole audit, and the
+/// definition lints for every registered livelit.
+pub fn analyze_document(registry: &LivelitRegistry, doc: &Document) -> Report {
+    IncrementalAnalyzer::new().analyze(registry, doc)
+}
+
+/// A per-hole cache of invocation-scoped findings.
+#[derive(Debug, Default)]
+pub struct IncrementalAnalyzer {
+    cache: BTreeMap<HoleName, (LivelitAp, Vec<Diagnostic>)>,
+    /// How many invocations were (re)analyzed across all runs.
+    pub invocation_runs: usize,
+    /// How many invocations were served from cache across all runs.
+    pub cache_hits: usize,
+}
+
+impl IncrementalAnalyzer {
+    /// An analyzer with an empty cache.
+    pub fn new() -> IncrementalAnalyzer {
+        IncrementalAnalyzer::default()
+    }
+
+    /// Analyzes the document, reusing cached per-invocation findings for
+    /// every invocation whose `(name, model, splices)` is unchanged since
+    /// the last run.
+    pub fn analyze(&mut self, registry: &LivelitRegistry, doc: &Document) -> Report {
+        let phi = registry.phi();
+        let program = doc.full_program();
+        let ctx = hazel_lang::Ctx::empty();
+
+        // Invocation-scoped findings, through the cache.
+        let mut diagnostics = Vec::new();
+        let mut all_clean = true;
+        let mut live: BTreeMap<HoleName, (LivelitAp, Vec<Diagnostic>)> = BTreeMap::new();
+        for ap in program.livelit_aps() {
+            let found = match self.cache.get(&ap.hole) {
+                Some((cached_ap, cached)) if cached_ap == ap => {
+                    self.cache_hits += 1;
+                    cached.clone()
+                }
+                _ => {
+                    self.invocation_runs += 1;
+                    analyze_invocation(&phi, ap)
+                }
+            };
+            all_clean &= found.is_empty();
+            diagnostics.extend(found.iter().cloned());
+            live.insert(ap.hole, (ap.clone(), found));
+        }
+        // Holes that disappeared drop out of the cache with `live`.
+        self.cache = live;
+
+        // Program-scoped passes are cheap relative to expansion and run
+        // unconditionally: the hole audit and the definition lints...
+        let input = AnalysisInput {
+            phi: &phi,
+            program: &program,
+            ctx: &ctx,
+        };
+        diagnostics.extend(HoleAudit.run(&input));
+        diagnostics.extend(DefinitionLints.run(&input));
+        // ...plus the whole-program splice typing check (ELivelit premise
+        // 6, LL0006), meaningful only once every invocation validates.
+        if all_clean {
+            if let Err(ExpandError::Type(e)) =
+                livelit_core::expansion::expand_typed(&phi, &ctx, &program)
+            {
+                diagnostics.push(Diagnostic::new(
+                    livelit_analysis::Code::SpliceType,
+                    livelit_analysis::Severity::Error,
+                    livelit_analysis::Location::Program,
+                    format!("program does not type check after expansion: {e}"),
+                ));
+            }
+        }
+
+        Report::from_diagnostics(diagnostics)
+    }
+
+    /// Drops one hole's cached findings, forcing recomputation next run.
+    pub fn invalidate(&mut self, hole: HoleName) {
+        self.cache.remove(&hole);
+    }
+
+    /// Drops the whole cache (e.g. after the registry changed).
+    pub fn invalidate_all(&mut self) {
+        self.cache.clear();
+    }
+
+    /// The number of holes currently cached.
+    pub fn cached_holes(&self) -> usize {
+        self.cache.len()
+    }
+}
+
+/// The livelit invocations of a program, keyed by hole — a convenience
+/// for tools that want to correlate diagnostics with invocations.
+pub fn invocations_by_hole(program: &UExp) -> BTreeMap<HoleName, LivelitAp> {
+    program
+        .livelit_aps()
+        .into_iter()
+        .map(|ap| (ap.hole, ap.clone()))
+        .collect()
+}

@@ -9,6 +9,7 @@
 //!   is on the splice" (Sec. 2.4.2) — [`describe_splice`].
 
 use hazel_lang::ident::{HoleName, LivelitName};
+use livelit_analysis::Report;
 use livelit_mvu::splice::SpliceRef;
 
 use crate::doc::Document;
@@ -43,6 +44,26 @@ pub fn describe_livelit(registry: &LivelitRegistry, name: &LivelitName) -> Optio
             prefix.len(),
         ))
     }
+}
+
+/// The diagnostics shown when the cursor is on the hole `u` — the
+/// analysis findings for that invocation (or empty hole), one rendered
+/// block per finding, each tagged with its stable `LL` code.
+///
+/// Returns `None` when the report has nothing to say about this hole, so
+/// callers can suppress the panel entirely.
+pub fn describe_diagnostics(report: &Report, hole: HoleName) -> Option<String> {
+    let found = report.for_hole(hole);
+    if found.is_empty() {
+        return None;
+    }
+    Some(
+        found
+            .iter()
+            .map(|d| d.render())
+            .collect::<Vec<_>>()
+            .join("\n"),
+    )
 }
 
 /// The expected-type summary shown when the cursor is on a splice of the

@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 pub mod actions;
+pub mod analysis;
 pub mod doc;
 pub mod engine;
 pub mod incremental;
@@ -31,14 +32,15 @@ pub mod render;
 pub mod text;
 
 pub use actions::{apply_action, replay, EditAction, EditScript, Recorder, ReplayError};
+pub use analysis::{analyze_document, IncrementalAnalyzer};
 pub use doc::{DocError, Document, PreludeBinding};
 pub use engine::{run, run_with_fuel, EngineError, EngineOutput, MarkedError};
 pub use incremental::IncrementalEngine;
-pub use inspect::{describe_livelit, describe_splice};
+pub use inspect::{describe_diagnostics, describe_livelit, describe_splice};
 pub use module::{open_module, ModuleError, ObjectLivelit};
-pub use registry::LivelitRegistry;
+pub use registry::{LivelitRegistry, RegistryError};
 pub use render::{
-    render_boxed, render_dashboard, render_session, render_view, InstanceResolver, OpaqueResolver,
-    SpliceResolver,
+    render_boxed, render_dashboard, render_diagnostics, render_session, render_view,
+    InstanceResolver, OpaqueResolver, SpliceResolver,
 };
 pub use text::{load_buffer, save_buffer, BufferError};

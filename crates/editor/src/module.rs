@@ -165,6 +165,8 @@ pub enum ModuleError {
     Parse(ParseError),
     /// A livelit declaration failed to check.
     Decl(DeclError),
+    /// A checked declaration failed its registration lints.
+    Registry(crate::registry::RegistryError),
     /// A library definition is ill-typed.
     Def {
         /// The definition's name.
@@ -181,6 +183,7 @@ impl fmt::Display for ModuleError {
         match self {
             ModuleError::Parse(e) => write!(f, "{e}"),
             ModuleError::Decl(e) => write!(f, "{e}"),
+            ModuleError::Registry(e) => write!(f, "{e}"),
             ModuleError::Def { name, error } => write!(f, "def {name}: {error}"),
             ModuleError::Doc(e) => write!(f, "{e}"),
         }
@@ -208,7 +211,9 @@ pub fn open_module(
     // Livelit declarations.
     for decl in &module.livelits {
         let checked = livelit_core::module::load_decl(decl).map_err(ModuleError::Decl)?;
-        registry.register(Arc::new(ObjectLivelit::new(checked)));
+        registry
+            .register(Arc::new(ObjectLivelit::new(checked)))
+            .map_err(ModuleError::Registry)?;
     }
 
     // Library definitions, checked sequentially.

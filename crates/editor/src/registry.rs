@@ -7,14 +7,37 @@
 //! used by expansion and closure collection.
 
 use std::collections::BTreeMap;
+use std::fmt;
 use std::sync::Arc;
 
 use hazel_lang::ident::LivelitName;
 use hazel_lang::unexpanded::UExp;
+use livelit_analysis::Diagnostic;
 use livelit_core::def::LivelitCtx;
 use livelit_mvu::abbrev::{AbbrevCtx, AbbrevError};
 use livelit_mvu::host::def_for;
 use livelit_mvu::livelit::Livelit;
+
+/// A rejected registration: the definition failed its error-severity lints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegistryError {
+    /// The livelit that failed to register.
+    pub name: LivelitName,
+    /// The error-severity lint findings, with stable `LL` codes.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot register {}:", self.name)?;
+        for d in &self.diagnostics {
+            write!(f, "\n  {}", d.render())?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for RegistryError {}
 
 /// A resolved livelit: the base implementation and the prefix of applied
 /// parameter expressions contributed by abbreviations.
@@ -33,9 +56,32 @@ impl LivelitRegistry {
         LivelitRegistry::default()
     }
 
-    /// Registers a livelit implementation under its own name.
-    pub fn register(&mut self, livelit: Arc<dyn Livelit>) {
+    /// Registers a livelit implementation under its own name, after
+    /// linting its calculus-level definition.
+    ///
+    /// Registration is where Hazel "check[s] that the definition is
+    /// well-formed" rather than at every invocation; a definition that
+    /// fails an error-severity lint (`LL0301`, `LL0303`, `LL0304`) is
+    /// rejected with the findings instead of panicking later in [`phi`].
+    /// Warning-severity findings (e.g. `LL0302` naming) do not block
+    /// registration.
+    ///
+    /// [`phi`]: LivelitRegistry::phi
+    ///
+    /// # Errors
+    ///
+    /// Returns the error-severity lint findings for a rejected definition.
+    pub fn register(&mut self, livelit: Arc<dyn Livelit>) -> Result<(), RegistryError> {
+        let def = def_for(&livelit);
+        let diagnostics = livelit_analysis::definition_errors(&def);
+        if !diagnostics.is_empty() {
+            return Err(RegistryError {
+                name: livelit.name(),
+                diagnostics,
+            });
+        }
         self.impls.insert(livelit.name(), livelit);
+        Ok(())
     }
 
     /// Defines an abbreviation `let $name = $base e1 ... ek in ...`
@@ -71,11 +117,12 @@ impl LivelitRegistry {
     pub fn phi(&self) -> LivelitCtx {
         let mut phi = LivelitCtx::new();
         for livelit in self.impls.values() {
-            // def_for produces a well-formed native definition; native
-            // definitions are trusted at definition time (Sec. 3.2.5), so
-            // this cannot fail.
-            phi.define(def_for(livelit))
-                .expect("native definitions are well-formed by construction");
+            // register linted this definition, and def_for produces native
+            // definitions, which Φ-well-formedness trusts (Sec. 3.2.5) —
+            // so define cannot fail here. Defensively skip rather than
+            // panic if it somehow does; the hygiene pass will then report
+            // the invocation as unbound (LL0001).
+            let _ = phi.define(def_for(livelit));
         }
         phi
     }

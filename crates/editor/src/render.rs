@@ -116,6 +116,32 @@ fn render_row<A>(children: &[Html<A>], resolver: &impl SpliceResolver) -> Vec<St
     out
 }
 
+/// Renders an analysis report as character-grid lines: a gutter glyph per
+/// severity (`✗` error, `!` warning, `·` info), the stable `LL` code, the
+/// location, and the message, with notes indented beneath.
+///
+/// Returns no lines for an empty report, so callers can splice the block
+/// into a session rendering only when there is something to show.
+pub fn render_diagnostics(report: &livelit_analysis::Report) -> Vec<String> {
+    use livelit_analysis::Severity;
+    let mut out = Vec::new();
+    for d in report.diagnostics() {
+        let glyph = match d.severity {
+            Severity::Error => '✗',
+            Severity::Warning => '!',
+            Severity::Info => '·',
+        };
+        out.push(format!(
+            "{glyph} [{}] {}: {}",
+            d.code, d.location, d.message
+        ));
+        for note in &d.notes {
+            out.push(format!("    note: {note}"));
+        }
+    }
+    out
+}
+
 /// Renders a view inside a simple box frame, labeled with the livelit name
 /// — how multi-line livelits appear embedded in the program text.
 pub fn render_boxed<A>(label: &str, view: &Html<A>, resolver: &impl SpliceResolver) -> Vec<String> {

@@ -52,7 +52,7 @@ impl Livelit for Counter {
 
 fn registry() -> LivelitRegistry {
     let mut reg = LivelitRegistry::new();
-    reg.register(Arc::new(Counter));
+    reg.register(Arc::new(Counter)).unwrap();
     reg
 }
 
@@ -115,7 +115,10 @@ fn recorder_captures_exactly_what_was_applied() {
     );
 }
 
+/// JSON persistence of edit scripts needs the (non-hermetic) `serde`
+/// feature; see crates/editor/Cargo.toml.
 #[test]
+#[cfg(feature = "serde")]
 fn scripts_serialize_to_json() {
     let s = script();
     let json = serde_json::to_string(&s).unwrap();
@@ -195,9 +198,12 @@ fn edit_splice_action_replays() {
     );
 
     // The whole session — including the color splice edit — serializes.
-    let json = serde_json::to_string_pretty(&s).unwrap();
-    let back: EditScript = serde_json::from_str(&json).unwrap();
-    assert_eq!(back, s);
+    #[cfg(feature = "serde")]
+    {
+        let json = serde_json::to_string_pretty(&s).unwrap();
+        let back: EditScript = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
 
     // And the iv helper namespace is exercised for completeness.
     let _ = iv::int(1);

@@ -1,0 +1,215 @@
+//! Editor-side analysis tests: incremental per-hole recomputation,
+//! registration-time definition lints, and diagnostics rendering.
+
+use std::sync::Arc;
+
+use hazel_editor::{
+    analyze_document, describe_diagnostics, render_diagnostics, Document, IncrementalAnalyzer,
+    LivelitRegistry,
+};
+use hazel_lang::build::*;
+use hazel_lang::ident::{HoleName, LivelitName};
+use hazel_lang::parse::parse_uexp;
+use hazel_lang::typ::Typ;
+use hazel_lang::{EExp, IExp};
+use livelit_analysis::{Code, Severity};
+use livelit_mvu::livelit::{Action, CmdError, Livelit, Model, UpdateCtx, ViewCtx};
+use livelit_mvu::splice::SpliceRef;
+use livelit_mvu::Html;
+
+/// A minimal `$dial (seed : Int) at Int` livelit whose expansion uses its
+/// parameter exactly once.
+struct Dial;
+
+impl Livelit for Dial {
+    fn name(&self) -> LivelitName {
+        LivelitName::new("$dial")
+    }
+
+    fn param_tys(&self) -> Vec<Typ> {
+        vec![Typ::Int]
+    }
+
+    fn expansion_ty(&self) -> Typ {
+        Typ::Int
+    }
+
+    fn model_ty(&self) -> Typ {
+        Typ::Int
+    }
+
+    fn init(&self, _params: &[SpliceRef], _ctx: &mut UpdateCtx<'_>) -> Result<Model, CmdError> {
+        Ok(IExp::Int(1))
+    }
+
+    fn update(
+        &self,
+        _model: &Model,
+        action: &Action,
+        _ctx: &mut UpdateCtx<'_>,
+    ) -> Result<Model, CmdError> {
+        action
+            .field(&hazel_lang::Label::new("set"))
+            .cloned()
+            .ok_or_else(|| CmdError::Custom("unknown dial action".into()))
+    }
+
+    fn view(&self, _model: &Model, _ctx: &mut ViewCtx<'_>) -> Result<Html<Action>, CmdError> {
+        Ok(Html::text("(dial)"))
+    }
+
+    fn expand(&self, model: &Model) -> Result<(EExp, Vec<SpliceRef>), String> {
+        let value = model.as_int().ok_or("dial model must be an Int")?;
+        Ok((
+            lam("seed", Typ::Int, add(var("seed"), int(value))),
+            vec![SpliceRef(0)],
+        ))
+    }
+}
+
+/// A livelit with a function-typed model — rejected at registration.
+struct HigherOrder;
+
+impl Livelit for HigherOrder {
+    fn name(&self) -> LivelitName {
+        LivelitName::new("$higher")
+    }
+
+    fn expansion_ty(&self) -> Typ {
+        Typ::Int
+    }
+
+    fn model_ty(&self) -> Typ {
+        Typ::arrow(Typ::Int, Typ::Int)
+    }
+
+    fn init(&self, _params: &[SpliceRef], _ctx: &mut UpdateCtx<'_>) -> Result<Model, CmdError> {
+        Ok(IExp::Unit)
+    }
+
+    fn update(
+        &self,
+        model: &Model,
+        _action: &Action,
+        _ctx: &mut UpdateCtx<'_>,
+    ) -> Result<Model, CmdError> {
+        Ok(model.clone())
+    }
+
+    fn view(&self, _model: &Model, _ctx: &mut ViewCtx<'_>) -> Result<Html<Action>, CmdError> {
+        Ok(Html::text("(higher)"))
+    }
+
+    fn expand(&self, _model: &Model) -> Result<(EExp, Vec<SpliceRef>), String> {
+        Ok((int(0), vec![]))
+    }
+}
+
+fn registry() -> LivelitRegistry {
+    let mut reg = LivelitRegistry::new();
+    reg.register(Arc::new(Dial)).unwrap();
+    reg
+}
+
+fn two_dial_doc(registry: &LivelitRegistry) -> Document {
+    let program =
+        parse_uexp("let a = $dial@0{1}(10 : Int) in let b = $dial@1{2}(20 : Int) in a + b")
+            .unwrap();
+    Document::new(registry, vec![], program).unwrap()
+}
+
+#[test]
+fn a_dirty_edit_invalidates_only_the_affected_holes_diagnostics() {
+    let registry = registry();
+    let mut doc = two_dial_doc(&registry);
+    let mut analyzer = IncrementalAnalyzer::new();
+
+    let first = analyzer.analyze(&registry, &doc);
+    assert!(first.is_empty(), "{}", first.render());
+    assert_eq!(analyzer.invocation_runs, 2, "cold cache analyzes both");
+    assert_eq!(analyzer.cache_hits, 0);
+
+    // Re-analyzing an unchanged document is all cache hits.
+    analyzer.analyze(&registry, &doc);
+    assert_eq!(analyzer.invocation_runs, 2);
+    assert_eq!(analyzer.cache_hits, 2);
+
+    // Edit one splice of hole 0: only hole 0 recomputes.
+    doc.edit_splice(HoleName(0), SpliceRef(0), parse_uexp("11").unwrap())
+        .unwrap();
+    analyzer.analyze(&registry, &doc);
+    assert_eq!(
+        analyzer.invocation_runs, 3,
+        "exactly one invocation reanalyzed"
+    );
+    assert_eq!(
+        analyzer.cache_hits, 3,
+        "the untouched hole is served from cache"
+    );
+
+    // Dispatching an action to hole 1 changes its model: only hole 1
+    // recomputes.
+    doc.dispatch(
+        HoleName(1),
+        &hazel_lang::value::iv::record([("set", hazel_lang::value::iv::int(5))]),
+    )
+    .unwrap();
+    analyzer.analyze(&registry, &doc);
+    assert_eq!(analyzer.invocation_runs, 4);
+    assert_eq!(analyzer.cache_hits, 4);
+
+    // Explicit invalidation forces a recompute without an edit.
+    analyzer.invalidate(HoleName(0));
+    analyzer.analyze(&registry, &doc);
+    assert_eq!(analyzer.invocation_runs, 5);
+    assert_eq!(analyzer.cache_hits, 5);
+    assert_eq!(analyzer.cached_holes(), 2);
+}
+
+#[test]
+fn analyze_document_reports_splice_type_errors_in_client_scope() {
+    let registry = registry();
+    // The splice claims Int but supplies a Bool-typed expression.
+    let program = parse_uexp("$dial@0{1}(true : Int)").unwrap();
+    let doc = Document::new(&registry, vec![], program).unwrap();
+    let report = analyze_document(&registry, &doc);
+    assert!(
+        report.codes().contains(&Code::SpliceType),
+        "{}",
+        report.render()
+    );
+}
+
+#[test]
+fn registration_rejects_definitions_that_fail_error_lints() {
+    let mut reg = LivelitRegistry::new();
+    let err = reg.register(Arc::new(HigherOrder)).unwrap_err();
+    assert_eq!(err.name, LivelitName::new("$higher"));
+    assert_eq!(err.diagnostics.len(), 1);
+    assert_eq!(err.diagnostics[0].code, Code::NonFirstOrderModel);
+    assert_eq!(err.diagnostics[0].severity, Severity::Error);
+    assert!(err.to_string().contains("LL0301"), "{err}");
+    // The rejected livelit is not registered...
+    assert!(reg.is_empty());
+    // ...so phi has nothing to skip and invocations of it are unbound.
+    assert!(reg.phi().is_empty());
+}
+
+#[test]
+fn diagnostics_render_for_cursor_and_session() {
+    let registry = registry();
+    // The splice declares Bool where `$dial` expects Int: LL0008 at the
+    // splice, plus the LL0203 audit note at the failed hole.
+    let program = parse_uexp("$dial@0{1}(10 : Bool) + 1").unwrap();
+    let doc = Document::new(&registry, vec![], program).unwrap();
+    let report = analyze_document(&registry, &doc);
+
+    let cursor = describe_diagnostics(&report, HoleName(0)).expect("findings for u0");
+    assert!(cursor.contains("LL0008"), "{cursor}");
+
+    let lines = render_diagnostics(&report);
+    assert!(lines.iter().any(|l| l.contains("✗ [LL0008]")), "{lines:?}");
+
+    // No findings for a hole the report does not mention.
+    assert!(describe_diagnostics(&report, HoleName(9)).is_none());
+}

@@ -80,7 +80,7 @@ impl Livelit for Slider {
 
 fn registry() -> LivelitRegistry {
     let mut reg = LivelitRegistry::new();
-    reg.register(Arc::new(Slider));
+    reg.register(Arc::new(Slider)).unwrap();
     // let $percent = $slider 0 100 (Sec. 2.4.1).
     reg.define_abbrev("$percent", "$slider", vec![UExp::Int(0), UExp::Int(100)]);
     reg

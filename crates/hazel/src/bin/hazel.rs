@@ -1,0 +1,115 @@
+//! `hazel`: the livelit toolchain driver.
+//!
+//! ```console
+//! $ hazel analyze program.hzl          # diagnostics as JSON (stable codes)
+//! $ hazel analyze --text program.hzl   # human-readable diagnostics
+//! $ hazel codes                        # the LL lint-code table
+//! ```
+//!
+//! `analyze` loads a module file exactly as the editor would (standard
+//! livelit library preloaded, textual livelit declarations registered
+//! behind the generic GUI) and runs the full static analysis over it:
+//! hygiene/capture validation, splice discipline, the hole audit,
+//! definition lints, and expansion determinism. The JSON output is
+//! deterministic — same module, same bytes — so it can be diffed and
+//! asserted on in CI.
+//!
+//! Exit status: 0 when no error-severity diagnostics were found, 1 when
+//! some were, 2 on usage or load errors.
+
+use std::io::Write;
+use std::process::ExitCode;
+
+use hazel::analysis::{json_string, Code};
+use hazel::prelude::*;
+
+/// Prints to stdout, tolerating a closed pipe (`hazel codes | head`).
+fn emit(s: &str) {
+    let _ = std::io::stdout().write_all(s.as_bytes());
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: hazel <command> [options]\n\n\
+         commands:\n  \
+         analyze [--text] <file.hzl>   run static diagnostics over a module\n  \
+         codes                         list every lint code"
+    );
+    ExitCode::from(2)
+}
+
+fn analyze(args: &[String]) -> ExitCode {
+    let mut text = false;
+    let mut path = None;
+    for arg in args {
+        match arg.as_str() {
+            "--text" => text = true,
+            "--json" => text = false,
+            _ if arg.starts_with('-') => return usage(),
+            _ => path = Some(arg.clone()),
+        }
+    }
+    let Some(path) = path else {
+        return usage();
+    };
+    let src = match std::fs::read_to_string(&path) {
+        Ok(src) => src,
+        Err(e) => {
+            eprintln!("hazel: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut registry = LivelitRegistry::new();
+    hazel::std::register_all(&mut registry);
+    let (registry, doc) = match hazel::editor::open_module(registry, &src) {
+        Ok(opened) => opened,
+        Err(e) => {
+            eprintln!("hazel: {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = hazel::editor::analyze_document(&registry, &doc);
+    if text {
+        emit(&report.render());
+    } else {
+        emit(&report.to_json());
+    }
+    if report.error_count() > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn codes() -> ExitCode {
+    let mut out = String::from("{\n  \"codes\": [");
+    for (i, code) in Code::ALL.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {\"code\": ");
+        json_string(&mut out, code.as_str());
+        out.push_str(", \"title\": ");
+        json_string(&mut out, code.title());
+        out.push_str(", \"paper\": ");
+        json_string(&mut out, code.paper_section());
+        out.push('}');
+    }
+    out.push_str("\n  ]\n}\n");
+    emit(&out);
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.split_first() {
+        Some((cmd, rest)) => match cmd.as_str() {
+            "analyze" => analyze(rest),
+            "codes" => codes(),
+            _ => usage(),
+        },
+        None => usage(),
+    }
+}

@@ -12,6 +12,9 @@
 //! - [`editor`] — the live programming engine (`hazel-editor`): documents,
 //!   the edit pipeline with error marking, closure selection, rendering,
 //!   and text-buffer integration.
+//! - [`analysis`] — static diagnostics (`livelit-analysis`): hygiene and
+//!   capture validation, splice discipline, hole audits, definition lints,
+//!   and expansion determinism, each with a stable `LLxxxx` code.
 //! - [`std`] — the standard livelit library (`livelit-std`): `$color`,
 //!   `$slider`/`$percent`, `$checkbox`, `$dataframe`, `$grade_cutoffs`,
 //!   `$basic_adjustments`, the image substrate, and the grading library.
@@ -41,6 +44,7 @@
 
 pub use hazel_editor as editor;
 pub use hazel_lang as lang;
+pub use livelit_analysis as analysis;
 pub use livelit_core as core;
 pub use livelit_mvu as mvu;
 pub use livelit_std as std;
@@ -55,6 +59,7 @@ pub mod prelude {
         BinOp, Ctx, Delta, EExp, HoleName, IExp, Label, LivelitAp, LivelitName, Sigma, Splice, Typ,
         TypeError, UExp, Var,
     };
+    pub use livelit_analysis::{AnalysisInput, Analyzer, Code, Diagnostic, Report, Severity};
     pub use livelit_core::{collect, expand, expand_typed, LivelitCtx, LivelitDef};
     pub use livelit_mvu::{
         Action, CmdError, ContextBinding, Dim, Html, Instance, Livelit, Model, SpliceRef,

@@ -1,0 +1,98 @@
+//! Acceptance tests for the `hazel analyze` pipeline over the checked-in
+//! grading fixtures: the clean module yields zero diagnostics and the
+//! seeded-bug module yields exactly the expected stable codes.
+
+use hazel::analysis::{Code, Location, Severity};
+use hazel::editor::{analyze_document, open_module, LivelitRegistry};
+use hazel_lang::HoleName;
+
+fn analyze_fixture(name: &str) -> hazel::analysis::Report {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/");
+    let src = std::fs::read_to_string(format!("{path}{name}")).unwrap();
+    let mut registry = LivelitRegistry::new();
+    hazel::std::register_all(&mut registry);
+    let (registry, doc) = open_module(registry, &src).unwrap();
+    analyze_document(&registry, &doc)
+}
+
+#[test]
+fn the_clean_fixture_yields_zero_diagnostics() {
+    let report = analyze_fixture("grading_clean.hzl");
+    assert!(report.is_empty(), "{}", report.render());
+    assert_eq!(report.error_count(), 0);
+    let json = report.to_json();
+    assert!(json.contains("\"diagnostics\": []"), "{json}");
+    assert!(json.contains("\"errors\": 0"), "{json}");
+}
+
+#[test]
+fn the_seeded_bug_fixture_yields_exactly_the_expected_codes() {
+    let report = analyze_fixture("grading_buggy.hzl");
+    assert_eq!(
+        report.codes(),
+        vec![Code::NotClosed, Code::NonEmptyHole, Code::DeadSplice],
+        "{}",
+        report.render()
+    );
+
+    // LL0004: $leaky_curve's expansion captures `midterm` from the
+    // client's scope.
+    let capture = report
+        .diagnostics()
+        .iter()
+        .find(|d| d.code == Code::NotClosed)
+        .unwrap();
+    assert_eq!(capture.severity, Severity::Error);
+    assert_eq!(capture.location, Location::Hole(HoleName(0)));
+    assert!(
+        capture.notes.iter().any(|n| n.contains("midterm")),
+        "{capture:?}"
+    );
+
+    // LL0203: the failed invocation audits as a live non-empty hole.
+    let audit = report
+        .diagnostics()
+        .iter()
+        .find(|d| d.code == Code::NonEmptyHole)
+        .unwrap();
+    assert_eq!(audit.severity, Severity::Info);
+    assert_eq!(audit.location, Location::Hole(HoleName(0)));
+
+    // LL0101: $flat_curve abstracts over its score splice but never
+    // evaluates it.
+    let dead = report
+        .diagnostics()
+        .iter()
+        .find(|d| d.code == Code::DeadSplice)
+        .unwrap();
+    assert_eq!(dead.severity, Severity::Warning);
+    assert_eq!(
+        dead.location,
+        Location::Splice {
+            hole: HoleName(1),
+            index: 0
+        }
+    );
+
+    assert_eq!(report.error_count(), 1);
+}
+
+#[test]
+fn reports_serialize_deterministically() {
+    let first = analyze_fixture("grading_buggy.hzl");
+    let second = analyze_fixture("grading_buggy.hzl");
+    assert_eq!(first, second);
+    assert_eq!(first.to_json(), second.to_json());
+    // Stable machine-readable shape: every diagnostic carries its code,
+    // severity, and structured location.
+    let json = first.to_json();
+    assert!(json.contains("\"code\": \"LL0004\""), "{json}");
+    assert!(
+        json.contains("\"location\": {\"kind\": \"hole\", \"hole\": 0}"),
+        "{json}"
+    );
+    assert!(
+        json.contains("\"location\": {\"kind\": \"splice\", \"hole\": 1, \"index\": 0}"),
+        "{json}"
+    );
+}

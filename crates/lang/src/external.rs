@@ -10,14 +10,13 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::ident::{HoleName, Label, Var};
 use crate::ops::BinOp;
 use crate::typ::Typ;
 
 /// One arm of a `case` expression over a labeled sum: `.label x -> body`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CaseArm {
     /// The sum constructor this arm matches.
     pub label: Label,
@@ -28,7 +27,8 @@ pub struct CaseArm {
 }
 
 /// An external (expanded) expression.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum EExp {
     /// A variable `x`.
     Var(Var),

@@ -9,14 +9,11 @@
 use std::borrow::Borrow;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 macro_rules! string_ident {
     ($(#[$doc:meta])* $name:ident) => {
         $(#[$doc])*
-        #[derive(
-            Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-        )]
+        #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
         pub struct $name(String);
 
         impl $name {
@@ -92,7 +89,8 @@ string_ident! {
 ///
 /// Printed with the `$` sigil the paper uses to distinguish livelit names
 /// from variables (Sec. 1.2, "Decentralized Extensibility").
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LivelitName(String);
 
 impl LivelitName {
@@ -131,9 +129,8 @@ impl From<String> for LivelitName {
 /// Hole names are unique within an external expression but may be duplicated
 /// during internal evaluation (Sec. 4.1), which is why internal holes carry
 /// environments distinguishing their instances.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct HoleName(pub u64);
 
 impl HoleName {

@@ -10,8 +10,6 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::ident::{HoleName, Label, Var};
 use crate::ops::BinOp;
 use crate::typ::Typ;
@@ -22,7 +20,8 @@ use crate::typ::Typ;
 /// Elaboration initializes each hole's substitution to the identity
 /// substitution `id(Γ)`; evaluation then records each surrounding
 /// substitution by mapping it over the codomain (Sec. 4.1).
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Sigma(pub BTreeMap<Var, IExp>);
 
 impl Sigma {
@@ -87,7 +86,8 @@ impl FromIterator<(Var, IExp)> for Sigma {
 }
 
 /// One arm of an internal `case` expression.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ICaseArm {
     /// The sum constructor this arm matches.
     pub label: Label,
@@ -98,7 +98,8 @@ pub struct ICaseArm {
 }
 
 /// An internal expression.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum IExp {
     /// A variable `x`.
     Var(Var),
@@ -396,7 +397,7 @@ impl IExp {
         match self {
             Var(_) | Int(_) | Float(_) | Bool(_) | Str(_) | Unit | Nil(_) => {}
             Lam(_, _, e) | Fix(_, _, e) | Proj(e, _) | Inj(_, _, e) | Roll(_, e) | Unroll(e) => {
-                e.visit(f)
+                e.visit(f);
             }
             Ap(a, b) | Bin(_, a, b) | Cons(a, b) => {
                 a.visit(f);

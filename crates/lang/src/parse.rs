@@ -227,7 +227,7 @@ fn lex(src: &str) -> Result<Vec<SpannedTok>, ParseError> {
             let mut is_float = false;
             if chars.get(j) == Some(&'.') {
                 let after = chars.get(j + 1);
-                if after.is_some_and(|c| c.is_ascii_digit()) {
+                if after.is_some_and(char::is_ascii_digit) {
                     is_float = true;
                     j += 1;
                     while j < chars.len() && chars[j].is_ascii_digit() {

@@ -8,12 +8,11 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::ident::{Label, TVar};
 
 /// A type of the livelit calculus.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Typ {
     /// Machine integers. Used for splice types throughout the paper
     /// (e.g. the `$color` components in Fig. 3).

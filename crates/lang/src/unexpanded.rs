@@ -10,8 +10,6 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::external::{CaseArm, EExp};
 use crate::ident::{HoleName, Label, LivelitName, Var};
 use crate::internal::IExp;
@@ -20,7 +18,8 @@ use crate::typ::Typ;
 
 /// A splice `ψ = ê : τ`: a spliced unexpanded expression paired with the
 /// type the livelit assigned when it created the splice (Sec. 3.2.1).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Splice {
     /// The spliced expression. May itself contain livelit invocations
     /// ("livelits are compositional", Sec. 2.4.2).
@@ -37,7 +36,8 @@ impl Splice {
 }
 
 /// A livelit invocation `$a⟨d_model; {ψi}⟩u`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LivelitAp {
     /// The livelit being invoked.
     pub name: LivelitName,
@@ -52,7 +52,8 @@ pub struct LivelitAp {
 }
 
 /// One arm of an unexpanded `case`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct UCaseArm {
     /// The sum constructor this arm matches.
     pub label: Label,
@@ -63,7 +64,8 @@ pub struct UCaseArm {
 }
 
 /// An unexpanded expression.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum UExp {
     /// A variable.
     Var(Var),

@@ -37,11 +37,25 @@ use std::sync::Arc;
 /// Registers the complete standard library (and the `$uslider`/`$percent`
 /// abbreviations) into an editor registry.
 pub fn register_all(registry: &mut hazel_editor::LivelitRegistry) {
-    registry.register(Arc::new(color::ColorLivelit));
-    registry.register(Arc::new(slider::CheckboxLivelit));
-    registry.register(Arc::new(dataframe::DataframeLivelit));
-    registry.register(Arc::new(grade_cutoffs::GradeCutoffsLivelit));
-    registry.register(Arc::new(adjustments::BasicAdjustmentsLivelit));
-    registry.register(Arc::new(plot::PlotLivelit));
+    // The standard library passes every registration lint; see the
+    // std_library_passes_registration_lints test.
+    registry
+        .register(Arc::new(color::ColorLivelit))
+        .expect("$color passes registration lints");
+    registry
+        .register(Arc::new(slider::CheckboxLivelit))
+        .expect("$checkbox passes registration lints");
+    registry
+        .register(Arc::new(dataframe::DataframeLivelit))
+        .expect("$dataframe passes registration lints");
+    registry
+        .register(Arc::new(grade_cutoffs::GradeCutoffsLivelit))
+        .expect("$grade_cutoffs passes registration lints");
+    registry
+        .register(Arc::new(adjustments::BasicAdjustmentsLivelit))
+        .expect("$basic_adjustments passes registration lints");
+    registry
+        .register(Arc::new(plot::PlotLivelit))
+        .expect("$plot passes registration lints");
     slider::register_percent(registry);
 }

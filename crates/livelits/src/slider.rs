@@ -151,7 +151,9 @@ impl Livelit for SliderLivelit {
 /// Installs `$slider`, plus the Fig. 1b abbreviations
 /// `let $uslider = $slider 0` and `let $percent = $uslider 100`.
 pub fn register_percent(registry: &mut hazel_editor::LivelitRegistry) {
-    registry.register(std::sync::Arc::new(SliderLivelit));
+    registry
+        .register(std::sync::Arc::new(SliderLivelit))
+        .expect("$slider passes registration lints");
     registry.define_abbrev("$uslider", "$slider", vec![UExp::Int(0)]);
     registry.define_abbrev("$percent", "$uslider", vec![UExp::Int(100)]);
 }

@@ -6,14 +6,13 @@
 //! node kinds — splice editors and result views — are opaque regions that
 //! the editor controls when the view is rendered.
 
-use serde::{Deserialize, Serialize};
-
 use crate::splice::SpliceRef;
 
 /// A size in *character units* (Sec. 5.3: layout "relies fundamentally on
 /// character counts", so livelits specify dimensions in characters, not
 /// pixels).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Dim {
     /// Width in character columns.
     pub width: usize,
@@ -34,7 +33,8 @@ impl Dim {
 }
 
 /// The DOM events a handler can be attached to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum EventKind {
     /// A mouse click.
     Click,
@@ -45,7 +45,8 @@ pub enum EventKind {
 }
 
 /// An immutable HTML view tree emitting actions of type `A`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Html<A> {
     /// An element with a tag, attributes, event handlers, and children.
     Element {

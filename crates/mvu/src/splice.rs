@@ -16,14 +16,13 @@ use hazel_lang::internal::IExp;
 use hazel_lang::typ::Typ;
 use hazel_lang::typing::{ana, Ctx, TypeError};
 use hazel_lang::unexpanded::{Splice, UExp};
-use serde::{Deserialize, Serialize};
-
 /// A reference to a splice, opaque to the livelit.
 ///
 /// Within livelit definitions, splice references have the object-language
 /// type [`splice_ref_typ`] so they can be stored in models (which must be
 /// serializable values).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SpliceRef(pub u64);
 
 impl SpliceRef {
@@ -54,7 +53,8 @@ pub fn splice_ref_typ() -> Typ {
 }
 
 /// A stored splice: its expected type and current contents.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SpliceInfo {
     /// The expected type, fixed when the splice is created.
     pub ty: Typ,
@@ -99,7 +99,8 @@ impl fmt::Display for SpliceError {
 impl std::error::Error for SpliceError {}
 
 /// The splice store for one livelit invocation.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SpliceStore {
     splices: BTreeMap<SpliceRef, SpliceInfo>,
     next: u64,

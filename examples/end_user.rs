@@ -32,7 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     registry.register(std::sync::Arc::new(hazel::std::derive::derive_livelit(
         "$schedule",
         schedule_ty.clone(),
-    )?));
+    )?))?;
 
     // The underlying typed functional program — which the end user never
     // needs to read.

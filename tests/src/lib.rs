@@ -9,12 +9,69 @@
 //! livelit context of [`test_phi`], and generated programs avoid partial
 //! operations (`/`) and general recursion so they always evaluate to a
 //! final result.
+//!
+//! Randomness comes from a self-contained xorshift generator ([`XorShift`])
+//! rather than the `rand` crate, so the suite builds with no network access.
 
 use hazel::lang::external::EExp;
 use hazel::lang::unexpanded::{Splice, UCaseArm};
 use hazel::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+
+/// A small, deterministic xorshift64* pseudo-random generator.
+///
+/// Quality is far beyond what type-directed program generation needs, the
+/// stream is stable across platforms and Rust versions (unlike `StdRng`),
+/// and it keeps the test suite free of external dependencies.
+#[derive(Debug, Clone)]
+pub struct XorShift {
+    state: u64,
+}
+
+impl XorShift {
+    /// Creates a generator from a seed. Any seed is fine, including 0
+    /// (seeds are scrambled through a splitmix64 step first).
+    pub fn new(seed: u64) -> XorShift {
+        // One splitmix64 round guarantees a nonzero internal state and
+        // decorrelates consecutive seeds.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        XorShift {
+            state: if z == 0 { 0x9E37_79B9_7F4A_7C15 } else { z },
+        }
+    }
+
+    /// The next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// A uniform value in `0..n` (`n` must be nonzero).
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// A uniform index into a slice of length `len` (`len` must be nonzero).
+    pub fn index(&mut self, len: usize) -> usize {
+        self.below(len as u64) as usize
+    }
+
+    /// A uniform value in `lo..hi`.
+    pub fn range(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + self.below((hi - lo) as u64) as i64
+    }
+
+    /// A uniform boolean.
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
 
 /// The test livelit context: simple livelits at several types, used to
 /// pepper generated programs with invocations.
@@ -103,7 +160,7 @@ impl Default for GenConfig {
 
 /// A seeded, type-directed program generator.
 pub struct Gen {
-    rng: StdRng,
+    rng: XorShift,
     next_hole: u64,
     /// Configuration.
     pub config: GenConfig,
@@ -118,7 +175,7 @@ impl Gen {
     /// Creates a generator with explicit configuration.
     pub fn with_config(seed: u64, config: GenConfig) -> Gen {
         Gen {
-            rng: StdRng::seed_from_u64(seed),
+            rng: XorShift::new(seed),
             next_hole: 0,
             config,
         }
@@ -131,12 +188,12 @@ impl Gen {
     }
 
     fn pct(&mut self, p: u32) -> bool {
-        self.rng.gen_range(0..100) < p
+        self.rng.below(100) < u64::from(p)
     }
 
     fn fresh_var(&mut self, ctx: &Ctx) -> Var {
         loop {
-            let x = Var::new(format!("v{}", self.rng.gen_range(0..10_000)));
+            let x = Var::new(format!("v{}", self.rng.below(10_000)));
             if ctx.get(&x).is_none() {
                 return x;
             }
@@ -146,7 +203,7 @@ impl Gen {
     /// Generates a random (closed) type.
     pub fn typ(&mut self, depth: u32) -> Typ {
         if depth == 0 {
-            return match self.rng.gen_range(0..5) {
+            return match self.rng.below(5) {
                 0 => Typ::Int,
                 1 => Typ::Float,
                 2 => Typ::Bool,
@@ -154,17 +211,17 @@ impl Gen {
                 _ => Typ::Unit,
             };
         }
-        match self.rng.gen_range(0..8) {
+        match self.rng.below(8) {
             0 => Typ::Int,
             1 => Typ::Float,
             2 => Typ::Bool,
             3 => Typ::arrow(self.typ(depth - 1), self.typ(depth - 1)),
             4 => {
-                let n = self.rng.gen_range(1..=3);
+                let n = 1 + self.rng.below(3);
                 Typ::tuple((0..n).map(|_| self.typ(depth - 1)))
             }
             5 => {
-                let n = self.rng.gen_range(1..=3);
+                let n = 1 + self.rng.below(3);
                 Typ::sum((0..n).map(|i| (Label::new(format!("C{i}")), self.typ(depth - 1))))
             }
             6 => Typ::list(self.typ(depth - 1)),
@@ -188,7 +245,7 @@ impl Gen {
         if depth == 0 {
             return self.leaf(ctx, ty);
         }
-        match self.rng.gen_range(0..10) {
+        match self.rng.below(10) {
             0 => {
                 // let x : τ' = e' in e
                 let def_ty = self.typ(self.config.typ_depth.min(depth - 1));
@@ -217,7 +274,7 @@ impl Gen {
             3 => {
                 // Projection from a tuple containing ty.
                 let extra = self.typ(self.config.typ_depth.min(depth - 1));
-                let pos = self.rng.gen_range(0..2usize);
+                let pos = self.rng.index(2);
                 let fields: Vec<Typ> = if pos == 0 {
                     vec![ty.clone(), extra]
                 } else {
@@ -268,7 +325,7 @@ impl Gen {
     fn intro(&mut self, phi: &LivelitCtx, ctx: &Ctx, ty: &Typ, depth: u32) -> UExp {
         match ty {
             Typ::Int => {
-                let op = [BinOp::Add, BinOp::Sub, BinOp::Mul][self.rng.gen_range(0..3)];
+                let op = [BinOp::Add, BinOp::Sub, BinOp::Mul][self.rng.index(3)];
                 UExp::Bin(
                     op,
                     Box::new(self.uexp(phi, ctx, &Typ::Int, depth - 1)),
@@ -276,7 +333,7 @@ impl Gen {
                 )
             }
             Typ::Float => {
-                let op = [BinOp::FAdd, BinOp::FSub, BinOp::FMul][self.rng.gen_range(0..3)];
+                let op = [BinOp::FAdd, BinOp::FSub, BinOp::FMul][self.rng.index(3)];
                 UExp::Bin(
                     op,
                     Box::new(self.uexp(phi, ctx, &Typ::Float, depth - 1)),
@@ -284,8 +341,8 @@ impl Gen {
                 )
             }
             Typ::Bool => {
-                let op = [BinOp::Lt, BinOp::Le, BinOp::Eq, BinOp::And, BinOp::Or]
-                    [self.rng.gen_range(0..5)];
+                let op =
+                    [BinOp::Lt, BinOp::Le, BinOp::Eq, BinOp::And, BinOp::Or][self.rng.index(5)];
                 let operand = op.operand_typ();
                 UExp::Bin(
                     op,
@@ -310,11 +367,11 @@ impl Gen {
                     .collect(),
             ),
             Typ::Sum(arms) => {
-                let (l, t) = arms[self.rng.gen_range(0..arms.len())].clone();
+                let (l, t) = arms[self.rng.index(arms.len())].clone();
                 UExp::Inj(ty.clone(), l, Box::new(self.uexp(phi, ctx, &t, depth - 1)))
             }
             Typ::List(elem) => {
-                let n = self.rng.gen_range(0..3);
+                let n = self.rng.below(3);
                 (0..n).fold(UExp::Nil((**elem).clone()), |acc, _| {
                     UExp::Cons(
                         Box::new(self.uexp(phi, ctx, elem, depth - 1)),
@@ -340,14 +397,14 @@ impl Gen {
             .map(|(x, _)| x.clone())
             .collect();
         if !candidates.is_empty() && self.pct(50) {
-            let x = candidates[self.rng.gen_range(0..candidates.len())].clone();
+            let x = candidates[self.rng.index(candidates.len())].clone();
             return UExp::Var(x);
         }
         match ty {
-            Typ::Int => UExp::Int(self.rng.gen_range(-100..100)),
-            Typ::Float => UExp::Float(self.rng.gen_range(-100..100) as f64 / 2.0),
-            Typ::Bool => UExp::Bool(self.rng.gen()),
-            Typ::Str => UExp::Str(format!("s{}", self.rng.gen_range(0..100))),
+            Typ::Int => UExp::Int(self.rng.range(-100, 100)),
+            Typ::Float => UExp::Float(self.rng.range(-100, 100) as f64 / 2.0),
+            Typ::Bool => UExp::Bool(self.rng.bool()),
+            Typ::Str => UExp::Str(format!("s{}", self.rng.below(100))),
             Typ::Unit => UExp::Unit,
             Typ::Arrow(dom, cod) => {
                 let x = self.fresh_var(ctx);
@@ -361,7 +418,7 @@ impl Gen {
                     .collect(),
             ),
             Typ::Sum(arms) => {
-                let (l, t) = arms[self.rng.gen_range(0..arms.len())].clone();
+                let (l, t) = arms[self.rng.index(arms.len())].clone();
                 UExp::Inj(ty.clone(), l, Box::new(self.leaf(ctx, &t)))
             }
             Typ::List(elem) => UExp::Nil((**elem).clone()),
@@ -389,7 +446,7 @@ impl Gen {
         if matching.is_empty() {
             return None;
         }
-        let (name, splice_tys) = matching[self.rng.gen_range(0..matching.len())].clone();
+        let (name, splice_tys) = matching[self.rng.index(matching.len())].clone();
         let splices = splice_tys
             .into_iter()
             .map(|st| {
@@ -428,6 +485,22 @@ impl Gen {
 mod tests {
     use super::*;
     use hazel::lang::typing::syn;
+
+    #[test]
+    fn xorshift_is_deterministic_and_spread() {
+        let mut a = XorShift::new(7);
+        let mut b = XorShift::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        // Seed 0 must not degenerate into a constant stream.
+        let mut z = XorShift::new(0);
+        let mut counts = [0u32; 10];
+        for _ in 0..1_000 {
+            counts[z.index(10)] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 50), "{counts:?}");
+    }
 
     #[test]
     fn generated_programs_are_well_typed_by_construction() {

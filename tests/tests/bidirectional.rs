@@ -113,9 +113,11 @@ fn derived_livelit_through_the_full_editor() {
     // edit a leaf splice, and check the program result.
     let point = Typ::prod([(Label::new("x"), Typ::Float), (Label::new("y"), Typ::Float)]);
     let mut registry = std_registry();
-    registry.register(std::sync::Arc::new(
-        hazel::std::derive::derive_livelit("$point", point.clone()).unwrap(),
-    ));
+    registry
+        .register(std::sync::Arc::new(
+            hazel::std::derive::derive_livelit("$point", point.clone()).unwrap(),
+        ))
+        .unwrap();
 
     let program = parse_uexp("(?0 : (.x Float, .y Float))").unwrap();
     let mut doc = Document::new(&registry, vec![], program).unwrap();

@@ -1,64 +1,63 @@
 //! Encoding-scheme properties over generated programs: both `Exp` schemes
 //! mediate the same isomorphism (Sec. 4.2.1, "any scheme is sufficient").
 
-use hazel::prelude::*;
 use integration_tests::{Gen, GenConfig};
-use proptest::prelude::*;
 
-proptest! {
-    // The structural scheme is allocation-heavy (see EXPERIMENTS B9), so
-    // the case count and program depth are kept moderate.
-    #![proptest_config(ProptestConfig::with_cases(40))]
+// The structural scheme is allocation-heavy (see EXPERIMENTS B9), so the
+// case count and program depth are kept moderate.
+const CASES: u64 = 40;
 
-    /// decode ∘ encode = id for the structural scheme, on random programs.
-    #[test]
-    fn structural_roundtrip(seed in any::<u64>()) {
-        let mut g = Gen::with_config(seed, GenConfig {
+fn small_gen(seed: u64) -> Gen {
+    Gen::with_config(
+        seed,
+        GenConfig {
             exp_depth: 3,
             hole_pct: 5,
             livelit_pct: 0,
             typ_depth: 2,
-        });
+        },
+    )
+}
+
+/// decode ∘ encode = id for the structural scheme, on random programs.
+#[test]
+fn structural_roundtrip() {
+    for seed in 0..CASES {
+        let (e, _) = small_gen(seed).eexp_program();
+        let d = hazel::core::encoding_structural::encode(&e);
+        let back =
+            hazel::core::encoding_structural::decode(&d).expect("structural encodings decode");
+        assert_eq!(back, e, "seed {seed}");
+    }
+}
+
+/// The two schemes agree: decoding either encoding of `e` yields `e`.
+#[test]
+fn schemes_agree() {
+    for seed in 0..CASES {
+        let (e, _) = small_gen(seed).eexp_program();
+        let via_text = hazel::core::encoding::decode(&hazel::core::encoding::encode(&e))
+            .expect("text decodes");
+        let via_structural =
+            hazel::core::encoding_structural::decode(&hazel::core::encoding_structural::encode(&e))
+                .expect("structural decodes");
+        assert_eq!(via_text, e, "seed {seed}");
+        assert_eq!(via_structural, e, "seed {seed}");
+    }
+}
+
+/// Structural encodings are well-typed values of the recursive-sum
+/// `Exp` type — Def. 4.3's typing, checked at the value level.
+#[test]
+fn structural_encodings_inhabit_exp() {
+    for seed in 0..CASES {
+        let mut g = small_gen(seed);
+        g.config.exp_depth = 2;
         let (e, _) = g.eexp_program();
         let d = hazel::core::encoding_structural::encode(&e);
-        let back = hazel::core::encoding_structural::decode(&d)
-            .expect("structural encodings decode");
-        prop_assert_eq!(back, e);
-    }
-
-    /// The two schemes agree: decoding either encoding of `e` yields `e`.
-    #[test]
-    fn schemes_agree(seed in any::<u64>()) {
-        let mut g = Gen::with_config(seed, GenConfig {
-            exp_depth: 3,
-            hole_pct: 5,
-            livelit_pct: 0,
-            typ_depth: 2,
-        });
-        let (e, _) = g.eexp_program();
-        let via_text = hazel::core::encoding::decode(
-            &hazel::core::encoding::encode(&e)).expect("text decodes");
-        let via_structural = hazel::core::encoding_structural::decode(
-            &hazel::core::encoding_structural::encode(&e)).expect("structural decodes");
-        prop_assert_eq!(&via_text, &e);
-        prop_assert_eq!(&via_structural, &e);
-    }
-
-    /// Structural encodings are well-typed values of the recursive-sum
-    /// `Exp` type — Def. 4.3's typing, checked at the value level.
-    #[test]
-    fn structural_encodings_inhabit_exp(seed in any::<u64>()) {
-        let mut g = Gen::with_config(seed, GenConfig {
-            exp_depth: 2,
-            hole_pct: 5,
-            livelit_pct: 0,
-            typ_depth: 2,
-        });
-        let (e, _) = g.eexp_program();
-        let d = hazel::core::encoding_structural::encode(&e);
-        prop_assert!(hazel::lang::value::value_has_typ(
-            &d,
-            &hazel::core::encoding_structural::exp_typ()
-        ));
+        assert!(
+            hazel::lang::value::value_has_typ(&d, &hazel::core::encoding_structural::exp_typ()),
+            "seed {seed}"
+        );
     }
 }

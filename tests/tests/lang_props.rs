@@ -1,6 +1,10 @@
 //! Language-level properties beyond the headline metatheorems: evaluation
 //! idempotence, type/print round-trips, value-typing agreement, parser
 //! robustness, and layout discipline.
+//!
+//! All properties run over explicit seed ranges through the deterministic
+//! [`integration_tests::XorShift`] generator; a richer shrinking-capable
+//! fuzz pass lives behind the `proptest` feature (see `proptest_fuzz.rs`).
 
 use hazel::lang::elab::elab_syn;
 use hazel::lang::eval::{run_on_big_stack, Evaluator};
@@ -8,18 +12,16 @@ use hazel::lang::internal_typing::syn_internal;
 use hazel::lang::parse::{parse_typ, parse_uexp};
 use hazel::lang::pretty::{print_uexp, Doc};
 use hazel::prelude::*;
-use integration_tests::{test_phi, Gen, GenConfig};
-use proptest::prelude::*;
+use integration_tests::{test_phi, Gen, GenConfig, XorShift};
 
 const FUEL: u64 = 2_000_000;
+const CASES: u64 = 120;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(120))]
-
-    /// Evaluation is idempotent on results: eval(eval(d)) = eval(d).
-    #[test]
-    fn evaluation_is_idempotent(seed in any::<u64>()) {
-        let phi = test_phi();
+/// Evaluation is idempotent on results: eval(eval(d)) = eval(d).
+#[test]
+fn evaluation_is_idempotent() {
+    let phi = test_phi();
+    for seed in 0..CASES {
         let mut g = Gen::new(seed);
         let (u, _) = g.program(&phi);
         let (e, _, _) = hazel::core::expand_typed(&phi, &Ctx::empty(), &u).expect("types");
@@ -27,107 +29,142 @@ proptest! {
         let once = run_on_big_stack(|| Evaluator::with_fuel(FUEL).eval(&d)).expect("terminates");
         let twice =
             run_on_big_stack(|| Evaluator::with_fuel(FUEL).eval(&once)).expect("terminates");
-        prop_assert_eq!(once, twice);
+        assert_eq!(once, twice, "seed {seed}");
     }
+}
 
-    /// Types round-trip through their surface syntax.
-    #[test]
-    fn typ_print_parse_roundtrip(seed in any::<u64>()) {
+/// Types round-trip through their surface syntax.
+#[test]
+fn typ_print_parse_roundtrip() {
+    for seed in 0..CASES {
         let mut g = Gen::new(seed);
         for depth in 0..4 {
             let ty = g.typ(depth);
             let printed = ty.to_string();
-            let reparsed = parse_typ(&printed)
-                .unwrap_or_else(|e| panic!("reparse {printed:?}: {e}"));
-            prop_assert_eq!(reparsed, ty);
+            let reparsed =
+                parse_typ(&printed).unwrap_or_else(|e| panic!("reparse {printed:?}: {e}"));
+            assert_eq!(reparsed, ty, "seed {seed}");
         }
     }
+}
 
-    /// `value_has_typ` agrees with the internal type system on evaluation
-    /// results that are values.
-    #[test]
-    fn value_typing_agrees_with_internal_typing(seed in any::<u64>()) {
+/// `value_has_typ` agrees with the internal type system on evaluation
+/// results that are values.
+#[test]
+fn value_typing_agrees_with_internal_typing() {
+    for seed in 0..CASES {
         let mut g = Gen::new(seed);
         let (e, ty) = g.eexp_program();
         let (d, _, delta) = elab_syn(&Ctx::empty(), &e).expect("elaborates");
-        let result =
-            run_on_big_stack(|| Evaluator::with_fuel(FUEL).eval(&d)).expect("terminates");
+        let result = run_on_big_stack(|| Evaluator::with_fuel(FUEL).eval(&d)).expect("terminates");
         // Hole-free results are values...
-        prop_assert!(hazel::lang::final_form::is_value(&result));
+        assert!(hazel::lang::final_form::is_value(&result), "seed {seed}");
         // ...and the first-order ones satisfy value_has_typ exactly when
         // internal typing agrees (functions are not "serializable values",
         // so skip results containing lambdas).
         let first_order = hazel::lang::value::iexp_value_to_eexp(&result).is_some();
         if first_order {
-            prop_assert!(hazel::lang::value::value_has_typ(&result, &ty));
+            assert!(
+                hazel::lang::value::value_has_typ(&result, &ty),
+                "seed {seed}"
+            );
             let internal = syn_internal(&delta, &Ctx::empty(), &result).expect("types");
-            prop_assert_eq!(internal, ty);
+            assert_eq!(internal, ty, "seed {seed}");
         }
     }
+}
 
-    /// The parser never panics, whatever the input.
-    #[test]
-    fn parser_is_panic_free(src in "\\PC{0,80}") {
+/// The parser never panics on arbitrary printable garbage.
+#[test]
+fn parser_is_panic_free() {
+    let mut rng = XorShift::new(0xF00D);
+    for _ in 0..500 {
+        let len = rng.index(81);
+        let src: String = (0..len)
+            .map(|_| {
+                // Printable ASCII plus a sprinkling of multibyte chars.
+                match rng.below(20) {
+                    0 => 'λ',
+                    1 => '→',
+                    2 => '⊢',
+                    _ => char::from(32 + rng.below(95) as u8),
+                }
+            })
+            .collect();
         let _ = parse_uexp(&src);
         let _ = parse_typ(&src);
     }
+}
 
-    /// The parser never panics on inputs built from the language's own
-    /// token vocabulary (denser than uniformly random strings).
-    #[test]
-    fn parser_is_panic_free_on_tokens(parts in proptest::collection::vec(
-        prop_oneof![
-            Just("let"), Just("in"), Just("fun"), Just("->"), Just(":"),
-            Just("Int"), Just("("), Just(")"), Just("["), Just("]"),
-            Just("|"), Just("$x"), Just("@"), Just("{"), Just("}"),
-            Just("?"), Just("1"), Just("x"), Just("+"), Just("."),
-            Just("\""), Just("case"), Just("end"), Just("::"),
-        ],
-        0..25,
-    )) {
-        let src = parts.join(" ");
+/// The parser never panics on inputs built from the language's own
+/// token vocabulary (denser than uniformly random strings).
+#[test]
+fn parser_is_panic_free_on_tokens() {
+    const TOKENS: [&str; 24] = [
+        "let", "in", "fun", "->", ":", "Int", "(", ")", "[", "]", "|", "$x", "@", "{", "}", "?",
+        "1", "x", "+", ".", "\"", "case", "end", "::",
+    ];
+    let mut rng = XorShift::new(0xBEEF);
+    for _ in 0..500 {
+        let n = rng.index(25);
+        let src = (0..n)
+            .map(|_| TOKENS[rng.index(TOKENS.len())])
+            .collect::<Vec<_>>()
+            .join(" ");
         let _ = parse_uexp(&src);
     }
+}
 
-    /// Layout discipline: when a flat rendering would fit the width budget,
-    /// the pretty printer produces a single line; groups only break when
-    /// they must (Sec. 5.3's character-count discipline).
-    #[test]
-    fn printer_uses_one_line_when_it_fits(seed in any::<u64>()) {
-        let phi = test_phi();
-        let mut g = Gen::with_config(seed, GenConfig {
-            exp_depth: 2,
-            ..GenConfig::default()
-        });
+/// Layout discipline: when a flat rendering would fit the width budget,
+/// the pretty printer produces a single line; groups only break when
+/// they must (Sec. 5.3's character-count discipline).
+#[test]
+fn printer_uses_one_line_when_it_fits() {
+    let phi = test_phi();
+    for seed in 0..CASES {
+        let mut g = Gen::with_config(
+            seed,
+            GenConfig {
+                exp_depth: 2,
+                ..GenConfig::default()
+            },
+        );
         let (u, _) = g.program(&phi);
         let flat = print_uexp(&u, usize::MAX);
         if !flat.contains('\n') {
             let within = print_uexp(&u, flat.chars().count());
-            prop_assert_eq!(&within, &flat, "breaking despite fitting");
+            assert_eq!(within, flat, "seed {seed}: breaking despite fitting");
         }
     }
+}
 
-    /// Substitution does not change hole names, only environments.
-    #[test]
-    fn substitution_preserves_hole_names(seed in any::<u64>()) {
-        let phi = test_phi();
-        let mut g = Gen::with_config(seed, GenConfig {
-            hole_pct: 30,
-            livelit_pct: 0,
-            ..GenConfig::default()
-        });
+/// Substitution does not change hole names, only environments.
+#[test]
+fn substitution_preserves_hole_names() {
+    let phi = test_phi();
+    for seed in 0..CASES {
+        let mut g = Gen::with_config(
+            seed,
+            GenConfig {
+                hole_pct: 30,
+                livelit_pct: 0,
+                ..GenConfig::default()
+            },
+        );
         let (u, _) = g.program(&phi);
         let e = u.to_eexp().expect("no livelits");
         let (d, _, _) = elab_syn(&Ctx::empty(), &e).expect("elaborates");
-        let result =
-            run_on_big_stack(|| Evaluator::with_fuel(FUEL).eval(&d)).expect("terminates");
+        let result = run_on_big_stack(|| Evaluator::with_fuel(FUEL).eval(&d)).expect("terminates");
         let before: std::collections::BTreeSet<HoleName> =
             d.hole_closures().iter().map(|(u, _)| *u).collect();
         let after: std::collections::BTreeSet<HoleName> =
             result.hole_closures().iter().map(|(u, _)| *u).collect();
         // Evaluation can drop holes (untaken branches) but never invent
         // names.
-        prop_assert!(after.is_subset(&before), "{after:?} ⊄ {before:?}");
+        assert!(
+            after.is_subset(&before),
+            "seed {seed}: {after:?} ⊄ {before:?}"
+        );
     }
 }
 

@@ -5,8 +5,7 @@
 use hazel::prelude::*;
 use hazel::std::dataframe::DataframeModel;
 use hazel::std::grading::grading_prelude;
-use integration_tests::{test_phi, Gen, GenConfig};
-use proptest::prelude::*;
+use integration_tests::{test_phi, Gen, GenConfig, XorShift};
 
 use hazel::editor::run;
 
@@ -240,56 +239,60 @@ fn engine_error_marking_keeps_program_alive() {
 // View-diff properties over random trees
 // ------------------------------------------------------------------------
 
-fn arb_html(depth: u32) -> BoxedStrategy<hazel::mvu::Html<u32>> {
+fn rand_html(rng: &mut XorShift, depth: u32) -> hazel::mvu::Html<u32> {
     use hazel::mvu::html::{Dim, Html};
     use hazel::mvu::SpliceRef;
-    let leaf = prop_oneof![
-        "[a-z]{0,6}".prop_map(Html::<u32>::text),
-        (0u64..5, 1usize..30).prop_map(|(r, w)| Html::Editor {
-            splice: SpliceRef(r),
-            dim: Dim::fixed_width(w),
-        }),
-        (0u64..5, 1usize..30).prop_map(|(r, w)| Html::ResultView {
-            splice: SpliceRef(r),
-            dim: Dim::fixed_width(w),
-        }),
-    ];
-    if depth == 0 {
-        return leaf.boxed();
+    let leaf_kind = rng.below(3);
+    let leaf = |rng: &mut XorShift| match leaf_kind {
+        0 => {
+            let len = rng.index(7);
+            Html::<u32>::text(
+                (0..len)
+                    .map(|_| char::from(b'a' + rng.below(26) as u8))
+                    .collect::<String>(),
+            )
+        }
+        1 => Html::Editor {
+            splice: SpliceRef(rng.below(5)),
+            dim: Dim::fixed_width(1 + rng.index(29)),
+        },
+        _ => Html::ResultView {
+            splice: SpliceRef(rng.below(5)),
+            dim: Dim::fixed_width(1 + rng.index(29)),
+        },
+    };
+    if depth == 0 || rng.bool() {
+        return leaf(rng);
     }
-    let child = arb_html(depth - 1);
-    prop_oneof![
-        leaf,
-        (
-            prop_oneof![Just("div"), Just("span"), Just("tr")],
-            proptest::collection::vec(child, 0..4),
-            proptest::option::of(0u32..10),
-        )
-            .prop_map(|(tag, children, handler)| {
-                let node = hazel::mvu::Html::node(tag, children);
-                match handler {
-                    Some(a) => node.on_click(a),
-                    None => node,
-                }
-            }),
-    ]
-    .boxed()
+    let tag = ["div", "span", "tr"][rng.index(3)];
+    let n = rng.index(4);
+    let children: Vec<_> = (0..n).map(|_| rand_html(rng, depth - 1)).collect();
+    let node = hazel::mvu::Html::node(tag, children);
+    if rng.bool() {
+        node.on_click(rng.below(10) as u32)
+    } else {
+        node
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(200))]
-
-    /// apply(old, diff(old, new)) == new, for arbitrary tree pairs.
-    #[test]
-    fn diff_apply_roundtrip(old in arb_html(3), new in arb_html(3)) {
+/// apply(old, diff(old, new)) == new, for arbitrary tree pairs.
+#[test]
+fn diff_apply_roundtrip() {
+    let mut rng = XorShift::new(0xD1FF);
+    for case in 0..200 {
+        let old = rand_html(&mut rng, 3);
+        let new = rand_html(&mut rng, 3);
         let patches = hazel::mvu::diff(&old, &new);
-        prop_assert_eq!(hazel::mvu::apply(&old, &patches), new);
+        assert_eq!(hazel::mvu::apply(&old, &patches), new, "case {case}");
     }
+}
 
-    /// diff(t, t) is empty — re-rendering an unchanged view patches
-    /// nothing.
-    #[test]
-    fn diff_identity_is_empty(t in arb_html(3)) {
-        prop_assert!(hazel::mvu::diff(&t, &t.clone()).is_empty());
+/// diff(t, t) is empty — re-rendering an unchanged view patches nothing.
+#[test]
+fn diff_identity_is_empty() {
+    let mut rng = XorShift::new(0x1DE0);
+    for case in 0..200 {
+        let t = rand_html(&mut rng, 3);
+        assert!(hazel::mvu::diff(&t, &t.clone()).is_empty(), "case {case}");
     }
 }

@@ -1,0 +1,72 @@
+//! Shrinking-capable fuzz properties, behind the `proptest` feature.
+//!
+//! The default build is hermetic (no crates.io dependencies), so this whole
+//! file is compiled out unless the `proptest` feature is enabled *and* the
+//! `proptest` dev-dependency is restored in `tests/Cargo.toml` (see the
+//! comment there). The seeded-loop ports of these properties in
+//! `lang_props.rs` and `pipeline.rs` run unconditionally; this pass adds
+//! proptest's input shrinking for debugging new failures.
+#![cfg(feature = "proptest")]
+
+use hazel::lang::parse::{parse_typ, parse_uexp};
+use proptest::prelude::*;
+
+fn arb_html(depth: u32) -> BoxedStrategy<hazel::mvu::Html<u32>> {
+    use hazel::mvu::html::{Dim, Html};
+    use hazel::mvu::SpliceRef;
+    let leaf = prop_oneof![
+        "[a-z]{0,6}".prop_map(Html::<u32>::text),
+        (0u64..5, 1usize..30).prop_map(|(r, w)| Html::Editor {
+            splice: SpliceRef(r),
+            dim: Dim::fixed_width(w),
+        }),
+        (0u64..5, 1usize..30).prop_map(|(r, w)| Html::ResultView {
+            splice: SpliceRef(r),
+            dim: Dim::fixed_width(w),
+        }),
+    ];
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    let child = arb_html(depth - 1);
+    prop_oneof![
+        leaf,
+        (
+            prop_oneof![Just("div"), Just("span"), Just("tr")],
+            proptest::collection::vec(child, 0..4),
+            proptest::option::of(0u32..10),
+        )
+            .prop_map(|(tag, children, handler)| {
+                let node = hazel::mvu::Html::node(tag, children);
+                match handler {
+                    Some(a) => node.on_click(a),
+                    None => node,
+                }
+            }),
+    ]
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// The parser never panics, whatever the input.
+    #[test]
+    fn parser_is_panic_free(src in "\\PC{0,80}") {
+        let _ = parse_uexp(&src);
+        let _ = parse_typ(&src);
+    }
+
+    /// apply(old, diff(old, new)) == new, for arbitrary tree pairs.
+    #[test]
+    fn diff_apply_roundtrip(old in arb_html(3), new in arb_html(3)) {
+        let patches = hazel::mvu::diff(&old, &new);
+        prop_assert_eq!(hazel::mvu::apply(&old, &patches), new);
+    }
+
+    /// diff(t, t) is empty.
+    #[test]
+    fn diff_identity_is_empty(t in arb_html(3)) {
+        prop_assert!(hazel::mvu::diff(&t, &t.clone()).is_empty());
+    }
+}
