@@ -66,8 +66,10 @@ impl Analyzer {
     /// Runs every pass and collects the findings into a deterministic
     /// [`Report`].
     pub fn analyze(&self, input: &AnalysisInput<'_>) -> Report {
+        let _span = livelit_trace::span("analysis.run");
         let mut diagnostics = Vec::new();
         for pass in &self.passes {
+            let _span = livelit_trace::span_prefixed("analysis.pass.", pass.name());
             diagnostics.extend(pass.run(input));
         }
         Report::from_diagnostics(diagnostics)
@@ -89,9 +91,19 @@ impl std::fmt::Debug for Analyzer {
 /// on `(Φ, ap)`, so an editor can cache them per hole and recompute only
 /// the invocations an edit actually touched.
 pub fn analyze_invocation(phi: &LivelitCtx, ap: &LivelitAp) -> Vec<Diagnostic> {
+    let _span = livelit_trace::span("analysis.invocation");
     let mut out = Vec::new();
-    out.extend(passes::hygiene::check_invocation(phi, ap));
-    out.extend(passes::splices::check_invocation(phi, ap));
-    out.extend(passes::determinism::check_invocation(phi, ap));
+    {
+        let _span = livelit_trace::span("analysis.pass.hygiene");
+        out.extend(passes::hygiene::check_invocation(phi, ap));
+    }
+    {
+        let _span = livelit_trace::span("analysis.pass.splice-discipline");
+        out.extend(passes::splices::check_invocation(phi, ap));
+    }
+    {
+        let _span = livelit_trace::span("analysis.pass.determinism");
+        out.extend(passes::determinism::check_invocation(phi, ap));
+    }
     out
 }

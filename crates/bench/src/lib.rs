@@ -1,5 +1,6 @@
 //! Workload builders shared by the benchmark harness (see EXPERIMENTS.md
-//! for the experiment index B1–B9 each bench regenerates).
+//! for the experiment index B1–B10 the `livelit-bench` binary regenerates;
+//! `livelit-bench --only Bn` runs a single experiment).
 
 use hazel::lang::build;
 use hazel::lang::unexpanded::{LivelitAp, Splice};

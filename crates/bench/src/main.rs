@@ -1,0 +1,594 @@
+//! `livelit-bench`: the manual benchmark harness behind EXPERIMENTS.md
+//! Part II (B1–B10).
+//!
+//! Each experiment times its workload over `--iters` iterations (median-of-N
+//! with a warmup iteration; no external benchmarking dependency) and the
+//! whole suite is then replayed once under an installed
+//! [`livelit_trace`] stats tracer, so the report carries per-phase span
+//! timings and counter totals from the same probes `hazel trace` uses.
+//! Finally an overhead experiment times a representative workload untraced
+//! versus with a no-op sink installed — the measured backing for the
+//! "near-zero overhead when off" contract.
+//!
+//! ```console
+//! $ livelit-bench                  # full suite, writes BENCH_trace.json
+//! $ livelit-bench --quick          # smaller sizes/iteration counts
+//! $ livelit-bench --only B3        # one experiment (plus phases/overhead)
+//! $ livelit-bench --out report.json
+//! ```
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use hazel::editor::IncrementalEngine;
+use hazel::lang::parse::parse_uexp;
+use hazel::lang::value::iv;
+use hazel::prelude::*;
+use hazel::std::dataframe::DataframeModel;
+use hazel::std::grading::grading_prelude;
+use hazel::trace::{NullSink, StatsSink, Tracer};
+use livelit_bench::{
+    bench_phi, deep_scope_invocation, expensive_then_livelit, many_invocations, sized_program,
+    sized_view, sized_view_edited, wide_invocation,
+};
+
+/// One timed case: experiment id, group, case label, and the statistics of
+/// the per-iteration wall times.
+struct CaseResult {
+    id: &'static str,
+    group: &'static str,
+    case: String,
+    iters: u32,
+    median_ns: u64,
+    mean_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+/// Times `f` over `iters` iterations (after one warmup), returning the
+/// per-iteration wall times in nanoseconds.
+fn sample<R>(iters: u32, mut f: impl FnMut() -> R) -> Vec<u64> {
+    black_box(f());
+    (0..iters)
+        .map(|_| {
+            let start = Instant::now();
+            black_box(f());
+            u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+        })
+        .collect()
+}
+
+fn summarize(
+    id: &'static str,
+    group: &'static str,
+    case: String,
+    mut samples: Vec<u64>,
+) -> CaseResult {
+    samples.sort_unstable();
+    let iters = u32::try_from(samples.len()).expect("sane iteration count");
+    let sum: u64 = samples.iter().sum();
+    CaseResult {
+        id,
+        group,
+        case,
+        iters,
+        median_ns: samples[samples.len() / 2],
+        mean_ns: sum / samples.len() as u64,
+        min_ns: samples[0],
+        max_ns: *samples.last().expect("non-empty"),
+    }
+}
+
+/// Harness configuration from the command line.
+struct Config {
+    iters: u32,
+    quick: bool,
+    only: Option<String>,
+    out: String,
+}
+
+/// Scales a size list down in `--quick` mode by dropping the largest entry.
+fn sizes<T: Copy>(config: &Config, full: &[T]) -> Vec<T> {
+    if config.quick && full.len() > 1 {
+        full[..full.len() - 1].to_vec()
+    } else {
+        full.to_vec()
+    }
+}
+
+fn wants(config: &Config, id: &str) -> bool {
+    config.only.as_deref().is_none_or(|only| only == id)
+}
+
+fn run_suite(config: &Config, results: &mut Vec<CaseResult>) {
+    // B1 — typed expansion: scaling in invocation count and splice width.
+    if wants(config, "B1") {
+        let phi = bench_phi(&[]);
+        for n in sizes(config, &[1usize, 4, 16, 64, 256]) {
+            let program = many_invocations(n);
+            results.push(summarize(
+                "B1",
+                "expansion/invocations",
+                n.to_string(),
+                sample(config.iters, || {
+                    expand_typed(&phi, &Ctx::empty(), &program).expect("expands")
+                }),
+            ));
+        }
+        let widths = [1usize, 4, 16, 64];
+        let phi = bench_phi(&widths);
+        for k in sizes(config, &widths) {
+            let program = wide_invocation(k, 0);
+            results.push(summarize(
+                "B1",
+                "expansion/splices",
+                k.to_string(),
+                sample(config.iters, || {
+                    expand_typed(&phi, &Ctx::empty(), &program).expect("expands")
+                }),
+            ));
+        }
+    }
+
+    // B2 — closure collection: scaling in livelit count and env size.
+    if wants(config, "B2") {
+        let phi = bench_phi(&[]);
+        for n in sizes(config, &[1usize, 4, 16, 64]) {
+            let program = many_invocations(n);
+            results.push(summarize(
+                "B2",
+                "closure_collection/livelits",
+                n.to_string(),
+                sample(config.iters, || {
+                    hazel::core::collect(&phi, &program).expect("collects")
+                }),
+            ));
+        }
+        for n in sizes(config, &[1usize, 16, 64, 256]) {
+            let program = deep_scope_invocation(n);
+            results.push(summarize(
+                "B2",
+                "closure_collection/env_size",
+                n.to_string(),
+                sample(config.iters, || {
+                    hazel::core::collect(&phi, &program).expect("collects")
+                }),
+            ));
+        }
+    }
+
+    // B3 — fill-and-resume vs full re-evaluation (Sec. 4.3.2).
+    if wants(config, "B3") {
+        let phi = bench_phi(&[]);
+        for n in sizes(config, &[100i64, 400, 1600]) {
+            let program = expensive_then_livelit(n);
+            let collection = hazel::core::collect(&phi, &program).expect("collects");
+            results.push(summarize(
+                "B3",
+                "fill_resume/resume",
+                n.to_string(),
+                sample(config.iters, || {
+                    collection.resume_result().expect("resumes")
+                }),
+            ));
+            results.push(summarize(
+                "B3",
+                "fill_resume/full_reeval",
+                n.to_string(),
+                sample(config.iters, || {
+                    hazel::core::cc::eval_full(&phi, &program, 4_000_000).expect("evaluates")
+                }),
+            ));
+        }
+    }
+
+    // B4 — live splice evaluation under growing environments.
+    if wants(config, "B4") {
+        let phi = bench_phi(&[]);
+        for n in sizes(config, &[1usize, 16, 64, 256]) {
+            let program = deep_scope_invocation(n);
+            let collection = hazel::core::collect(&phi, &program).expect("collects");
+            let splice = UExp::Bin(
+                BinOp::Add,
+                Box::new(UExp::Var(Var::new(format!("x{}", n - 1)))),
+                Box::new(UExp::Int(1)),
+            );
+            results.push(summarize(
+                "B4",
+                "live_eval/env_size",
+                n.to_string(),
+                sample(config.iters, || {
+                    hazel::core::eval_splice(&phi, &collection, HoleName(0), 0, &splice, &Typ::Int)
+                        .expect("live eval")
+                        .expect("closure available")
+                }),
+            ));
+        }
+    }
+
+    // B5 — view diffing versus tree size and edit locality.
+    if wants(config, "B5") {
+        for n in sizes(config, &[10usize, 100, 1000]) {
+            let old = sized_view(n);
+            let same = old.clone();
+            let edited = sized_view_edited(n, n / 2);
+            results.push(summarize(
+                "B5",
+                "view_diff/identical",
+                n.to_string(),
+                sample(config.iters, || hazel::mvu::diff(&old, &same)),
+            ));
+            results.push(summarize(
+                "B5",
+                "view_diff/one_edit",
+                n.to_string(),
+                sample(config.iters, || hazel::mvu::diff(&old, &edited)),
+            ));
+            let patches = hazel::mvu::diff(&old, &edited);
+            results.push(summarize(
+                "B5",
+                "view_diff/apply_one_edit",
+                n.to_string(),
+                sample(config.iters, || hazel::mvu::apply(&old, &patches)),
+            ));
+        }
+    }
+
+    // B6 — character-count layout versus size and width budget.
+    if wants(config, "B6") {
+        for target in sizes(config, &[100usize, 1000, 5000]) {
+            let program = sized_program(7, target);
+            let actual = program.size();
+            for width in [40usize, 120] {
+                results.push(summarize(
+                    "B6",
+                    "layout",
+                    format!("width{width}/{actual}"),
+                    sample(config.iters, || {
+                        hazel::lang::pretty::print_eexp(&program, width)
+                    }),
+                ));
+            }
+        }
+    }
+
+    // B7 — grading case study end-to-end (Fig. 1c).
+    if wants(config, "B7") {
+        for students in sizes(config, &[5usize, 20, 50]) {
+            let (registry, doc) = grading_doc(students);
+            results.push(summarize(
+                "B7",
+                "grading_e2e",
+                students.to_string(),
+                sample(config.iters, || {
+                    hazel::editor::run(&registry, &doc).expect("pipeline")
+                }),
+            ));
+        }
+    }
+
+    // B8 — multi-closure collection for the image-filter preset (Fig. 2).
+    if wants(config, "B8") {
+        let mut registry = LivelitRegistry::new();
+        hazel::std::register_all(&mut registry);
+        let phi = registry.phi();
+        for n in sizes(config, &[1usize, 2, 4, 8]) {
+            let program = photo_program(n);
+            results.push(summarize(
+                "B8",
+                "image_closures/collect",
+                n.to_string(),
+                sample(config.iters, || {
+                    let collection = hazel::core::collect(&phi, &program).expect("collects");
+                    assert_eq!(collection.envs_for(HoleName(0)).len(), n);
+                    collection
+                }),
+            ));
+        }
+    }
+
+    // B9 — `Exp` encoding round-trip, string vs structural scheme.
+    if wants(config, "B9") {
+        for target in sizes(config, &[100usize, 1000, 5000]) {
+            let program = sized_program(11, target);
+            let actual = program.size();
+            let encoded = hazel::core::encoding::encode(&program);
+            results.push(summarize(
+                "B9",
+                "encoding/encode",
+                actual.to_string(),
+                sample(config.iters, || hazel::core::encoding::encode(&program)),
+            ));
+            results.push(summarize(
+                "B9",
+                "encoding/decode",
+                actual.to_string(),
+                sample(config.iters, || {
+                    hazel::core::encoding::decode(&encoded).expect("decodes")
+                }),
+            ));
+            // Structural-scheme ablation at the small size only: without
+            // hash-consing it is orders of magnitude slower (DESIGN.md).
+            if target == 100 {
+                let structural = hazel::core::encoding_structural::encode(&program);
+                results.push(summarize(
+                    "B9",
+                    "encoding/encode_structural",
+                    actual.to_string(),
+                    sample(config.iters, || {
+                        hazel::core::encoding_structural::encode(&program)
+                    }),
+                ));
+                results.push(summarize(
+                    "B9",
+                    "encoding/decode_structural",
+                    actual.to_string(),
+                    sample(config.iters, || {
+                        hazel::core::encoding_structural::decode(&structural).expect("decodes")
+                    }),
+                ));
+            }
+        }
+    }
+
+    // B10 — incremental engine vs full pipeline on model-only edits.
+    if wants(config, "B10") {
+        for n in sizes(config, &[100i64, 400, 1600]) {
+            let (registry, mut doc) = doc_with_work(n);
+            let mut engine = IncrementalEngine::new();
+            engine.run(&registry, &doc).expect("pipeline");
+            let mut value = 10i64;
+            results.push(summarize(
+                "B10",
+                "incremental_drag/incremental",
+                n.to_string(),
+                sample(config.iters, || {
+                    value = (value + 1) % 100;
+                    doc.dispatch(HoleName(0), &iv::record([("set", iv::int(value))]))
+                        .expect("drag");
+                    let out = engine.run(&registry, &doc).expect("fast path");
+                    out.result.clone()
+                }),
+            ));
+            let (registry, mut doc) = doc_with_work(n);
+            results.push(summarize(
+                "B10",
+                "incremental_drag/full",
+                n.to_string(),
+                sample(config.iters, || {
+                    value = (value + 1) % 100;
+                    doc.dispatch(HoleName(0), &iv::record([("set", iv::int(value))]))
+                        .expect("drag");
+                    hazel::editor::run(&registry, &doc).expect("full pipeline")
+                }),
+            ));
+        }
+    }
+}
+
+/// The grading document of B7: a `$dataframe` with two score columns and
+/// one row per student, feeding the grading library.
+fn grading_doc(students: usize) -> (LivelitRegistry, Document) {
+    let mut registry = LivelitRegistry::new();
+    hazel::std::register_all(&mut registry);
+    let program = parse_uexp(
+        "let grades = ?0 in \
+         let averages = compute_weighted_averages grades [Float| 1., 1.] in \
+         let cutoffs = (.A 86., .B 76., .C 67., .D 48.) in \
+         format_for_university (assign_grades averages cutoffs)",
+    )
+    .expect("parses");
+    let mut doc = Document::new(&registry, grading_prelude(), program).expect("doc");
+    doc.fill_hole_with_livelit(&registry, HoleName(0), "$dataframe", vec![])
+        .expect("fill");
+    for _ in 0..2 {
+        doc.dispatch(HoleName(0), &iv::record([("add_col", IExp::Unit)]))
+            .expect("col");
+    }
+    for _ in 0..students {
+        doc.dispatch(HoleName(0), &iv::record([("add_row", IExp::Unit)]))
+            .expect("row");
+    }
+    let m = DataframeModel::from_value(doc.instance(HoleName(0)).unwrap().model()).expect("model");
+    for (ri, (key, cells)) in m.rows.iter().enumerate() {
+        doc.edit_splice(HoleName(0), *key, UExp::Str(format!("student{ri}")))
+            .expect("key");
+        for (ci, cell) in cells.iter().enumerate() {
+            doc.edit_splice(
+                HoleName(0),
+                *cell,
+                UExp::Float(50.0 + ((ri * 7 + ci * 13) % 50) as f64),
+            )
+            .expect("cell");
+        }
+    }
+    (registry, doc)
+}
+
+/// The image-filter preset of B8, mapped over `n` photos — one collected
+/// closure per application.
+fn photo_program(n: usize) -> UExp {
+    let urls: Vec<String> = (0..n).map(|i| format!("\"img://photo{i}\"")).collect();
+    parse_uexp(&format!(
+        "let classic_look = fun url : Str -> \
+           $basic_adjustments@0{{(.contrast 1, .brightness 2)}}(\
+             url : Str; 10 : Int; 5 : Int) in \
+         let photos = [Str| {}] in \
+         (fix go : (List(Str) -> List((.w Int, .h Int, .px List(Int)))) -> \
+          fun urls : List(Str) -> \
+          lcase urls \
+          | [] -> [(.w Int, .h Int, .px List(Int))|] \
+          | u :: rest -> classic_look u :: go rest \
+          end) photos",
+        urls.join(", ")
+    ))
+    .expect("parses")
+}
+
+/// The B10 document: a `$slider` plus `n` units of surrounding evaluation
+/// work, so a drag exercises the incremental fast path.
+fn doc_with_work(n: i64) -> (LivelitRegistry, Document) {
+    let mut registry = LivelitRegistry::new();
+    hazel::std::register_all(&mut registry);
+    let program = parse_uexp(&format!(
+        "let v = $slider@0{{10}}(0 : Int; 100 : Int) in \
+         let heavy = (fix go : (Int -> Int) -> fun k : Int -> \
+            if k <= 0 then 0 else k + go (k - 1)) {n} in \
+         v + heavy"
+    ))
+    .expect("parses");
+    let doc = Document::new(&registry, vec![], program).expect("doc");
+    (registry, doc)
+}
+
+/// Runs one representative slice of the suite under an installed tracer to
+/// populate the per-phase section of the report — the same spans and
+/// counters `hazel stats` surfaces.
+fn traced_representative_run() -> hazel::trace::Stats {
+    let sink = StatsSink::new();
+    let tracer = Tracer::monotonic(sink.clone());
+    let guard = hazel::trace::install(&tracer);
+
+    let phi = bench_phi(&[]);
+    expand_typed(&phi, &Ctx::empty(), &many_invocations(16)).expect("expands");
+    let collection = hazel::core::collect(&phi, &deep_scope_invocation(16)).expect("collects");
+    collection.resume_result().expect("resumes");
+    let splice = UExp::Bin(
+        BinOp::Add,
+        Box::new(UExp::Var(Var::new("x15"))),
+        Box::new(UExp::Int(1)),
+    );
+    hazel::core::eval_splice(&phi, &collection, HoleName(0), 0, &splice, &Typ::Int)
+        .expect("live eval");
+    let (registry, doc) = grading_doc(5);
+    hazel::editor::run(&registry, &doc).expect("pipeline");
+    let old = sized_view(100);
+    let edited = sized_view_edited(100, 50);
+    hazel::mvu::diff(&old, &edited);
+
+    drop(guard);
+    sink.snapshot()
+}
+
+/// The overhead experiment: wall time of a representative workload
+/// untraced versus with a [`NullSink`] tracer installed (which keeps the
+/// probes on the disabled fast path — see `Sink::is_noop`). The contract
+/// is a ratio under 1.02 (2%).
+///
+/// The two configurations are interleaved round-robin and compared by
+/// their minimum per-round time, so slow drift on a shared machine cannot
+/// masquerade as probe overhead.
+fn overhead_experiment(iters: u32) -> (u64, u64) {
+    let phi = bench_phi(&[]);
+    let program = many_invocations(16);
+    let workload = || hazel::core::collect(&phi, &program).expect("collects");
+    let tracer = Tracer::monotonic(NullSink);
+
+    let mut baseline = u64::MAX;
+    let mut noop = u64::MAX;
+    // ABBA ordering: alternate which configuration runs first in a round,
+    // so cache/allocator state warmed by one cannot systematically favor
+    // the other.
+    for round in 0..iters.max(41) {
+        for first in [round % 2 == 0, round % 2 != 0] {
+            if first {
+                baseline = baseline.min(sample(1, workload)[0]);
+            } else {
+                let guard = hazel::trace::install(&tracer);
+                noop = noop.min(sample(1, workload)[0]);
+                drop(guard);
+            }
+        }
+    }
+    (baseline, noop)
+}
+
+fn render_report(
+    results: &[CaseResult],
+    phases: &hazel::trace::Stats,
+    baseline_ns: u64,
+    noop_ns: u64,
+) -> String {
+    use hazel::trace::event::json_string;
+    let mut out = String::from("{\"results\":[");
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"id\":");
+        json_string(&mut out, r.id);
+        out.push_str(",\"group\":");
+        json_string(&mut out, r.group);
+        out.push_str(",\"case\":");
+        json_string(&mut out, &r.case);
+        out.push_str(&format!(
+            ",\"iters\":{},\"median_ns\":{},\"mean_ns\":{},\"min_ns\":{},\"max_ns\":{}}}",
+            r.iters, r.median_ns, r.mean_ns, r.min_ns, r.max_ns
+        ));
+    }
+    out.push_str("],\"phases\":");
+    phases.write_json(&mut out);
+    let ratio = noop_ns as f64 / baseline_ns.max(1) as f64;
+    out.push_str(&format!(
+        ",\"overhead\":{{\"baseline_min_ns\":{baseline_ns},\
+         \"noop_traced_min_ns\":{noop_ns},\"ratio\":{ratio:.4}}}}}\n"
+    ));
+    out
+}
+
+fn main() {
+    let mut config = Config {
+        iters: 7,
+        quick: false,
+        only: None,
+        out: "BENCH_trace.json".to_string(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => {
+                config.quick = true;
+                config.iters = 3;
+            }
+            "--iters" => {
+                config.iters = args.next().and_then(|v| v.parse().ok()).expect("--iters N");
+            }
+            "--only" => config.only = Some(args.next().expect("--only Bn")),
+            "--out" => config.out = args.next().expect("--out PATH"),
+            other => {
+                eprintln!("livelit-bench: unknown argument {other}");
+                eprintln!("usage: livelit-bench [--quick] [--iters N] [--only Bn] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut results = Vec::new();
+    run_suite(&config, &mut results);
+    for r in &results {
+        println!(
+            "{:<4} {:<32} {:>8}  median {:>12}  (min {} / max {})",
+            r.id,
+            r.group,
+            r.case,
+            hazel::trace::fmt_ns(r.median_ns),
+            hazel::trace::fmt_ns(r.min_ns),
+            hazel::trace::fmt_ns(r.max_ns),
+        );
+    }
+
+    let phases = traced_representative_run();
+    let (baseline_ns, noop_ns) = overhead_experiment(config.iters.max(9));
+    let ratio = noop_ns as f64 / baseline_ns.max(1) as f64;
+    println!("\nper-phase stats (one traced representative run):");
+    print!("{}", phases.render());
+    println!(
+        "\ntracing-off overhead: baseline {} vs no-op-sink {} (ratio {ratio:.4})",
+        hazel::trace::fmt_ns(baseline_ns),
+        hazel::trace::fmt_ns(noop_ns),
+    );
+
+    let report = render_report(&results, &phases, baseline_ns, noop_ns);
+    std::fs::write(&config.out, &report).expect("write report");
+    println!("\nwrote {}", config.out);
+}

@@ -28,7 +28,9 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use hazel_lang::elab::elab_syn;
-use hazel_lang::eval::{fill, resume_sigma, run_on_big_stack, EvalError, Evaluator, DEFAULT_FUEL};
+use hazel_lang::eval::{
+    eval_traced, fill, resume_sigma, run_on_big_stack, EvalError, DEFAULT_FUEL,
+};
 use hazel_lang::external::{CaseArm, EExp};
 use hazel_lang::ident::HoleName;
 use hazel_lang::internal::{IExp, Sigma};
@@ -324,9 +326,10 @@ impl Collection {
     ///
     /// Propagates evaluation errors from resumption.
     pub fn resume_result(&self) -> Result<IExp, EvalError> {
+        let _span = livelit_trace::span("cc.resume_result");
         let filled = self.omega.fill(&self.proto_result);
         // The program is closed, so resumption is ordinary evaluation.
-        run_on_big_stack(|| Evaluator::with_fuel(self.fuel).eval(&filled))
+        run_on_big_stack(|| eval_traced(&filled, self.fuel))
     }
 }
 
@@ -341,12 +344,19 @@ pub fn collect_with_fuel(
     program: &UExp,
     fuel: u64,
 ) -> Result<Collection, CollectError> {
+    let _span = livelit_trace::span("cc.collect");
     // Phase 1: cc-expand, type, elaborate, evaluate.
     let mut omega = Omega::default();
-    let cc_exp = cc_expand(phi, program, &mut omega)?;
+    let cc_exp = {
+        let _span = livelit_trace::span("cc.expand");
+        cc_expand(phi, program, &mut omega)?
+    };
     let (ty, _) = syn(&Ctx::empty(), &cc_exp)?;
     let (d_cc, _, delta) = elab_syn(&Ctx::empty(), &cc_exp)?;
-    let proto_result = run_on_big_stack(|| Evaluator::with_fuel(fuel).eval(&d_cc))?;
+    let proto_result = {
+        let _span = livelit_trace::span("cc.eval");
+        run_on_big_stack(|| eval_traced(&d_cc, fuel))?
+    };
 
     let envs = collect_envs(&proto_result, &omega, fuel)?;
 
@@ -370,6 +380,7 @@ fn collect_envs(
     omega: &Omega,
     fuel: u64,
 ) -> Result<BTreeMap<HoleName, Vec<Sigma>>, EvalError> {
+    let _span = livelit_trace::span("cc.resume_envs");
     let mut proto_envs: BTreeMap<HoleName, Vec<Sigma>> = BTreeMap::new();
     for (u, sigma) in proto_result.hole_closures() {
         if omega.contains(u) {
@@ -381,6 +392,10 @@ fn collect_envs(
     }
     let mut envs = BTreeMap::new();
     for (u, sigmas) in proto_envs {
+        livelit_trace::count(
+            livelit_trace::Counter::ClosuresCollected,
+            sigmas.len() as u64,
+        );
         let mut resumed = Vec::with_capacity(sigmas.len());
         for sigma in sigmas {
             let filled = omega.fill_sigma(&sigma);
@@ -410,7 +425,7 @@ pub fn collect(phi: &LivelitCtx, program: &UExp) -> Result<Collection, CollectEr
 pub fn eval_full(phi: &LivelitCtx, program: &UExp, fuel: u64) -> Result<IExp, CollectError> {
     let expanded = expand(phi, program)?;
     let (d, _, _) = elab_syn(&Ctx::empty(), &expanded)?;
-    Ok(run_on_big_stack(|| Evaluator::with_fuel(fuel).eval(&d))?)
+    Ok(run_on_big_stack(|| eval_traced(&d, fuel))?)
 }
 
 #[cfg(test)]

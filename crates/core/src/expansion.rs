@@ -207,6 +207,7 @@ pub struct PExpansion {
 ///
 /// Any of the `ELivelit` failure modes; see [`ExpandError`].
 pub fn expand_invocation(phi: &LivelitCtx, ap: &LivelitAp) -> Result<PExpansion, ExpandError> {
+    livelit_trace::count(livelit_trace::Counter::ExpansionsPerformed, 1);
     // 1. Lookup.
     let def = phi
         .get(&ap.name)
@@ -418,6 +419,7 @@ pub fn expand_typed(
     ctx: &Ctx,
     e: &UExp,
 ) -> Result<(EExp, Typ, Delta), ExpandError> {
+    let _span = livelit_trace::span("expand.typed");
     let expanded = expand(phi, e)?;
     let (ty, delta) = syn(ctx, &expanded)?;
     Ok((expanded, ty, delta))
@@ -434,6 +436,7 @@ pub fn expand_typed_ana(
     e: &UExp,
     ty: &Typ,
 ) -> Result<(EExp, Delta), ExpandError> {
+    let _span = livelit_trace::span("expand.typed");
     let expanded = expand(phi, e)?;
     let delta = ana(ctx, &expanded, ty)?;
     Ok((expanded, delta))

@@ -10,7 +10,7 @@
 use std::fmt;
 
 use hazel_lang::elab::elab_ana;
-use hazel_lang::eval::{run_on_big_stack, EvalError, Evaluator, DEFAULT_FUEL};
+use hazel_lang::eval::{eval_traced, run_on_big_stack, EvalError, DEFAULT_FUEL};
 use hazel_lang::final_form::is_value;
 use hazel_lang::internal::{IExp, Sigma};
 use hazel_lang::typ::Typ;
@@ -111,6 +111,8 @@ pub fn eval_splice_in_env(
     ty: &Typ,
     fuel: u64,
 ) -> Result<Option<LiveResult>, LiveError> {
+    let _span = livelit_trace::span("live.eval_splice");
+    livelit_trace::count(livelit_trace::Counter::SplicesEvaluated, 1);
     // Splices may themselves contain livelits (compositionality); expand
     // them first.
     let expanded = expand(phi, splice)?;
@@ -122,7 +124,7 @@ pub fn eval_splice_in_env(
         // A variable in the splice has no collected value.
         return Ok(None);
     }
-    let result = run_on_big_stack(|| Evaluator::with_fuel(fuel).eval(&closed))?;
+    let result = run_on_big_stack(|| eval_traced(&closed, fuel))?;
     Ok(Some(if is_value(&result) {
         LiveResult::Val(result)
     } else {

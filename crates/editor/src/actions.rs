@@ -120,6 +120,13 @@ pub fn apply_action(
     doc: &mut Document,
     action: &EditAction,
 ) -> Result<(), DocError> {
+    let _span = livelit_trace::span(match action {
+        EditAction::FillHole { .. } => "action.fill_hole",
+        EditAction::Dispatch { .. } => "action.dispatch",
+        EditAction::EditSplice { .. } => "action.edit_splice",
+        EditAction::SelectClosure { .. } => "action.select_closure",
+        EditAction::PushResult { .. } => "action.push_result",
+    });
     match action {
         EditAction::FillHole {
             at,

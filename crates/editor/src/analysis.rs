@@ -48,6 +48,7 @@ impl IncrementalAnalyzer {
     /// every invocation whose `(name, model, splices)` is unchanged since
     /// the last run.
     pub fn analyze(&mut self, registry: &LivelitRegistry, doc: &Document) -> Report {
+        let _span = livelit_trace::span("analysis.run");
         let phi = registry.phi();
         let program = doc.full_program();
         let ctx = hazel_lang::Ctx::empty();
@@ -60,10 +61,12 @@ impl IncrementalAnalyzer {
             let found = match self.cache.get(&ap.hole) {
                 Some((cached_ap, cached)) if cached_ap == ap => {
                     self.cache_hits += 1;
+                    livelit_trace::count(livelit_trace::Counter::AnalyzerCacheHits, 1);
                     cached.clone()
                 }
                 _ => {
                     self.invocation_runs += 1;
+                    livelit_trace::count(livelit_trace::Counter::AnalyzerCacheMisses, 1);
                     analyze_invocation(&phi, ap)
                 }
             };
@@ -81,8 +84,14 @@ impl IncrementalAnalyzer {
             program: &program,
             ctx: &ctx,
         };
-        diagnostics.extend(HoleAudit.run(&input));
-        diagnostics.extend(DefinitionLints.run(&input));
+        {
+            let _span = livelit_trace::span("analysis.pass.hole-audit");
+            diagnostics.extend(HoleAudit.run(&input));
+        }
+        {
+            let _span = livelit_trace::span("analysis.pass.definition-lints");
+            diagnostics.extend(DefinitionLints.run(&input));
+        }
         // ...plus the whole-program splice typing check (ELivelit premise
         // 6, LL0006), meaningful only once every invocation validates.
         if all_clean {

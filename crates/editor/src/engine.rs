@@ -146,21 +146,40 @@ pub fn run_with_fuel(
     doc: &Document,
     fuel: u64,
 ) -> Result<EngineOutput, EngineError> {
+    let _span = livelit_trace::span("engine.run");
     let phi = registry.phi();
     let program = doc.full_program();
 
     // Pre-pass: absorb livelit failures into holes.
-    let (marked, errors) = mark_livelit_errors(&phi, &program);
+    let (marked, errors) = {
+        let _span = livelit_trace::span("engine.mark");
+        mark_livelit_errors(&phi, &program)
+    };
 
     // Full expansion (for display/inspection, Sec. 2.2's toggle).
-    let (expansion, ty, _delta) = expand_typed(&phi, &hazel_lang::typing::Ctx::empty(), &marked)
-        .map_err(CollectError::Expand)?;
+    let (expansion, ty, _delta) = {
+        let _span = livelit_trace::span("engine.expand");
+        expand_typed(&phi, &hazel_lang::typing::Ctx::empty(), &marked)
+            .map_err(CollectError::Expand)?
+    };
 
     // Closure collection over the marked program.
-    let collection = collect_with_fuel(&phi, &marked, fuel)?;
+    let collection = {
+        let _span = livelit_trace::span("engine.collect");
+        collect_with_fuel(&phi, &marked, fuel)?
+    };
 
     // Final result by fill-and-resume (Sec. 4.3.2).
-    let result = collection.resume_result().map_err(CollectError::Eval)?;
+    let result = {
+        let _span = livelit_trace::span("engine.resume");
+        collection.resume_result().map_err(CollectError::Eval)?
+    };
+    if livelit_trace::enabled() {
+        livelit_trace::count(
+            livelit_trace::Counter::HolesRemaining,
+            result.hole_closures().len() as u64,
+        );
+    }
 
     let mut output = EngineOutput {
         expansion,
@@ -184,6 +203,7 @@ pub(crate) fn recompute_views(
     output: &mut EngineOutput,
     fuel: u64,
 ) {
+    let _span = livelit_trace::span("engine.views");
     let phi = registry.phi();
     output.views.clear();
     output.view_errors.clear();

@@ -120,6 +120,7 @@ impl IncrementalEngine {
                             crate::engine::recompute_views(registry, doc, &mut output, self.fuel);
                             cached.output = output;
                             self.incremental_hits += 1;
+                            livelit_trace::count(livelit_trace::Counter::IncrementalFastPaths, 1);
                             return Ok(&self.cached.as_ref().expect("set above").output);
                         }
                         Err(e) => return Err(EngineError::Collect(CollectError::Eval(e))),
@@ -136,6 +137,7 @@ impl IncrementalEngine {
         // Full path.
         let output = run_with_fuel(registry, doc, self.fuel)?;
         self.full_runs += 1;
+        livelit_trace::count(livelit_trace::Counter::IncrementalFullRuns, 1);
         self.cached = Some(Cached {
             skeleton: current_skeleton,
             output,

@@ -7,10 +7,14 @@
 //! - "The livelit provides an expected type for each splice when it is
 //!   created. ... Hazel displays and uses the expected type when the cursor
 //!   is on the splice" (Sec. 2.4.2) — [`describe_splice`].
+//! - [`describe_timings`] — the observability panel: per-phase timings and
+//!   pipeline counters for the most recent edit, fed by a
+//!   [`livelit_trace::StatsSink`] the host installs around edit handling.
 
 use hazel_lang::ident::{HoleName, LivelitName};
 use livelit_analysis::Report;
 use livelit_mvu::splice::SpliceRef;
+use livelit_trace::{fmt_ns, Counter, Stats};
 
 use crate::doc::Document;
 use crate::registry::LivelitRegistry;
@@ -64,6 +68,57 @@ pub fn describe_diagnostics(report: &Report, hole: HoleName) -> Option<String> {
             .collect::<Vec<_>>()
             .join("\n"),
     )
+}
+
+/// The per-edit timing panel: what each pipeline phase cost during the
+/// edits aggregated in `stats`, plus the pipeline counters that explain
+/// the work (expansions, closures, splices, cache hits).
+///
+/// The host wires this up by installing a tracer over a
+/// [`livelit_trace::StatsSink`] around its edit loop (exactly what the
+/// `hazel stats` subcommand does for a batch run) and handing the
+/// [`Stats`] snapshot here after each edit. Returns `None` when nothing
+/// was recorded, so callers can suppress the panel entirely.
+pub fn describe_timings(stats: &Stats) -> Option<String> {
+    if stats.spans.is_empty() && stats.counters.is_empty() {
+        return None;
+    }
+    let mut out = String::new();
+    // Engine phases first — the per-edit story — then everything else
+    // alphabetically (both halves inherit the BTreeMap order).
+    for engine_pass in [true, false] {
+        for (name, s) in &stats.spans {
+            if name.starts_with("engine.") == engine_pass {
+                out.push_str(&format!(
+                    "{:<28} {:>10}  ×{}\n",
+                    name,
+                    fmt_ns(s.total_ns),
+                    s.count
+                ));
+            }
+        }
+    }
+    let interesting = [
+        Counter::ExpansionsPerformed,
+        Counter::ClosuresCollected,
+        Counter::SplicesEvaluated,
+        Counter::EvalSteps,
+        Counter::ViewDiffPatches,
+        Counter::AnalyzerCacheHits,
+        Counter::AnalyzerCacheMisses,
+        Counter::IncrementalFastPaths,
+        Counter::IncrementalFullRuns,
+    ];
+    let counters: Vec<String> = interesting
+        .iter()
+        .filter(|c| stats.counter(**c) > 0)
+        .map(|c| format!("{} {}", c.as_str(), stats.counter(*c)))
+        .collect();
+    if !counters.is_empty() {
+        out.push_str(&counters.join(" · "));
+        out.push('\n');
+    }
+    Some(out)
 }
 
 /// The expected-type summary shown when the cursor is on a splice of the

@@ -36,7 +36,7 @@ pub use analysis::{analyze_document, IncrementalAnalyzer};
 pub use doc::{DocError, Document, PreludeBinding};
 pub use engine::{run, run_with_fuel, EngineError, EngineOutput, MarkedError};
 pub use incremental::IncrementalEngine;
-pub use inspect::{describe_diagnostics, describe_livelit, describe_splice};
+pub use inspect::{describe_diagnostics, describe_livelit, describe_splice, describe_timings};
 pub use module::{open_module, ModuleError, ObjectLivelit};
 pub use registry::{LivelitRegistry, RegistryError};
 pub use render::{

@@ -124,6 +124,12 @@ fn a_dirty_edit_invalidates_only_the_affected_holes_diagnostics() {
     let mut doc = two_dial_doc(&registry);
     let mut analyzer = IncrementalAnalyzer::new();
 
+    // The analyzer's cache behavior is also routed through the trace
+    // counters; aggregate the whole scenario and check them at the end.
+    let sink = livelit_trace::StatsSink::new();
+    let tracer = livelit_trace::Tracer::deterministic(sink.clone());
+    let _guard = livelit_trace::install(&tracer);
+
     let first = analyzer.analyze(&registry, &doc);
     assert!(first.is_empty(), "{}", first.render());
     assert_eq!(analyzer.invocation_runs, 2, "cold cache analyzes both");
@@ -164,6 +170,18 @@ fn a_dirty_edit_invalidates_only_the_affected_holes_diagnostics() {
     assert_eq!(analyzer.invocation_runs, 5);
     assert_eq!(analyzer.cache_hits, 5);
     assert_eq!(analyzer.cached_holes(), 2);
+
+    // The trace counters tell the same story: a real (non-zero) hit rate
+    // on this single-hole re-edit scenario, mirroring the struct fields.
+    let stats = sink.snapshot();
+    let hits = stats.counter(livelit_trace::Counter::AnalyzerCacheHits);
+    let misses = stats.counter(livelit_trace::Counter::AnalyzerCacheMisses);
+    assert_eq!(hits, analyzer.cache_hits as u64);
+    assert_eq!(misses, analyzer.invocation_runs as u64);
+    assert!(
+        hits > 0 && hits * 2 >= misses,
+        "incremental analysis should hit its cache: {hits} hits / {misses} misses"
+    );
 }
 
 #[test]

@@ -1,6 +1,7 @@
-//! Cursor-inspection tests (Secs. 2.3, 2.4.2).
+//! Cursor-inspection tests (Secs. 2.3, 2.4.2) and the per-edit timing
+//! panel.
 
-use hazel_editor::inspect::{describe_livelit, describe_splice};
+use hazel_editor::inspect::{describe_livelit, describe_splice, describe_timings};
 use hazel_editor::{Document, LivelitRegistry};
 use hazel_lang::ident::{HoleName, LivelitName};
 use livelit_mvu::splice::SpliceRef;
@@ -46,6 +47,35 @@ fn describes_splices() {
     assert_eq!(text, "parameter s0 of $slider : Int = baseline");
     assert!(describe_splice(&doc, HoleName(0), SpliceRef(9)).is_none());
     assert!(describe_splice(&doc, HoleName(7), SpliceRef(0)).is_none());
+}
+
+#[test]
+fn the_timing_panel_reports_per_edit_phases_and_counters() {
+    use livelit_trace::{StatsSink, Tracer};
+
+    // Empty stats suppress the panel entirely.
+    assert!(describe_timings(&livelit_trace::Stats::default()).is_none());
+
+    let registry = registry();
+    let program = parse_uexp("let v = $slider@0{10}(0 : Int; 100 : Int) in v + 1").unwrap();
+    let doc = Document::new(&registry, vec![], program).unwrap();
+
+    // The host installs a stats tracer around edit handling; one pipeline
+    // run stands in for an edit here.
+    let sink = StatsSink::new();
+    let tracer = Tracer::deterministic(sink.clone());
+    {
+        let _guard = livelit_trace::install(&tracer);
+        hazel_editor::run(&registry, &doc).unwrap();
+    }
+    let panel = describe_timings(&sink.snapshot()).expect("events were recorded");
+
+    // Engine phases lead the panel; counters close it.
+    assert!(panel.starts_with("engine."), "{panel}");
+    assert!(panel.contains("engine.collect"), "{panel}");
+    assert!(panel.contains("eval"), "{panel}");
+    assert!(panel.contains("expansions_performed"), "{panel}");
+    assert!(panel.contains("closures_collected 1"), "{panel}");
 }
 
 #[test]

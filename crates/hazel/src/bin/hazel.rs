@@ -3,6 +3,9 @@
 //! ```console
 //! $ hazel analyze program.hzl          # diagnostics as JSON (stable codes)
 //! $ hazel analyze --text program.hzl   # human-readable diagnostics
+//! $ hazel trace program.hzl            # structured trace of the pipeline (JSONL)
+//! $ hazel trace --text program.hzl     # the same trace as an indented tree
+//! $ hazel stats program.hzl            # per-phase timings and counter totals
 //! $ hazel codes                        # the LL lint-code table
 //! ```
 //!
@@ -14,14 +17,25 @@
 //! deterministic — same module, same bytes — so it can be diffed and
 //! asserted on in CI.
 //!
-//! Exit status: 0 when no error-severity diagnostics were found, 1 when
-//! some were, 2 on usage or load errors.
+//! `trace` runs the whole live pipeline — parse, expand, closure-collect,
+//! fill-and-resume, view computation, static analysis — under an installed
+//! tracer and prints the event stream. It uses the deterministic test
+//! clock, so the JSONL output is byte-identical across runs of the same
+//! module: same module, same bytes, diffable in CI. `stats` runs the same
+//! pipeline under the real monotonic clock and prints the per-phase
+//! duration table and counter totals (wall times vary; `--json` keys do
+//! not).
+//!
+//! Exit status: 0 when no error-severity diagnostics were found (for
+//! `trace`/`stats`: when the pipeline ran), 1 when some were (pipeline
+//! failed), 2 on usage or load errors.
 
 use std::io::Write;
 use std::process::ExitCode;
 
 use hazel::analysis::{json_string, Code};
 use hazel::prelude::*;
+use hazel::trace::{render_events, RingSink, StatsSink, Tracer};
 
 /// Prints to stdout, tolerating a closed pipe (`hazel codes | head`).
 fn emit(s: &str) {
@@ -33,9 +47,112 @@ fn usage() -> ExitCode {
         "usage: hazel <command> [options]\n\n\
          commands:\n  \
          analyze [--text] <file.hzl>   run static diagnostics over a module\n  \
+         trace [--json|--text] <file.hzl>\n                                \
+         trace the pipeline (deterministic JSONL, or an indented tree)\n  \
+         stats [--json] <file.hzl>     per-phase timings and counter totals\n  \
          codes                         list every lint code"
     );
     ExitCode::from(2)
+}
+
+/// Parses a `[--json|--text] <file.hzl>` argument list. Returns
+/// `(text_mode, path)`.
+fn parse_output_args(args: &[String]) -> Option<(bool, String)> {
+    let mut text = false;
+    let mut path = None;
+    for arg in args {
+        match arg.as_str() {
+            "--text" => text = true,
+            "--json" => text = false,
+            _ if arg.starts_with('-') => return None,
+            _ => path = Some(arg.clone()),
+        }
+    }
+    Some((text, path?))
+}
+
+/// Loads a module file as the editor would, then runs the full live
+/// pipeline (engine + static analysis) with whatever tracer the caller has
+/// installed. Returns `Err` with the exit code on failure.
+fn run_pipeline(path: &str) -> Result<(), ExitCode> {
+    let src = match std::fs::read_to_string(path) {
+        Ok(src) => src,
+        Err(e) => {
+            eprintln!("hazel: cannot read {path}: {e}");
+            return Err(ExitCode::from(2));
+        }
+    };
+    let mut registry = LivelitRegistry::new();
+    hazel::std::register_all(&mut registry);
+    let (registry, doc) = match hazel::editor::open_module(registry, &src) {
+        Ok(opened) => opened,
+        Err(e) => {
+            eprintln!("hazel: {path}: {e}");
+            return Err(ExitCode::from(2));
+        }
+    };
+    if let Err(e) = hazel::editor::run(&registry, &doc) {
+        eprintln!("hazel: {path}: {e}");
+        return Err(ExitCode::FAILURE);
+    }
+    let _report = hazel::editor::analyze_document(&registry, &doc);
+    Ok(())
+}
+
+/// Ring capacity for `hazel trace`: enough for any realistic module; the
+/// oldest events are dropped beyond it rather than growing without bound.
+const TRACE_CAPACITY: usize = 1 << 20;
+
+fn trace(args: &[String]) -> ExitCode {
+    let Some((text, path)) = parse_output_args(args) else {
+        return usage();
+    };
+    let sink = RingSink::new(TRACE_CAPACITY);
+    // The deterministic clock makes the serialized trace byte-identical
+    // across runs: timestamps advance by a fixed tick per clock query.
+    let tracer = Tracer::deterministic(sink.clone());
+    let result = {
+        let _guard = hazel::trace::install(&tracer);
+        run_pipeline(&path)
+    };
+    if let Err(code) = result {
+        return code;
+    }
+    let events = sink.events();
+    if text {
+        emit(&render_events(&events));
+    } else {
+        let mut out = String::new();
+        for event in &events {
+            event.to_jsonl(&mut out);
+        }
+        emit(&out);
+    }
+    ExitCode::SUCCESS
+}
+
+fn stats(args: &[String]) -> ExitCode {
+    let Some((_, path)) = parse_output_args(args) else {
+        return usage();
+    };
+    // `stats` defaults to the text table; `--json` opts into JSON.
+    let json = args.iter().any(|a| a == "--json");
+    let sink = StatsSink::new();
+    let tracer = Tracer::monotonic(sink.clone());
+    let result = {
+        let _guard = hazel::trace::install(&tracer);
+        run_pipeline(&path)
+    };
+    if let Err(code) = result {
+        return code;
+    }
+    let stats = sink.snapshot();
+    if json {
+        emit(&stats.to_json());
+    } else {
+        emit(&stats.render());
+    }
+    ExitCode::SUCCESS
 }
 
 fn analyze(args: &[String]) -> ExitCode {
@@ -107,6 +224,8 @@ fn main() -> ExitCode {
     match args.split_first() {
         Some((cmd, rest)) => match cmd.as_str() {
             "analyze" => analyze(rest),
+            "trace" => trace(rest),
+            "stats" => stats(rest),
             "codes" => codes(),
             _ => usage(),
         },

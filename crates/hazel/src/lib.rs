@@ -18,6 +18,9 @@
 //! - [`std`] — the standard livelit library (`livelit-std`): `$color`,
 //!   `$slider`/`$percent`, `$checkbox`, `$dataframe`, `$grade_cutoffs`,
 //!   `$basic_adjustments`, the image substrate, and the grading library.
+//! - [`trace`] — structured observability (`livelit-trace`): spans,
+//!   counters, and pluggable sinks over every phase of the pipeline; see
+//!   `hazel trace` / `hazel stats` on the CLI.
 //!
 //! # Quickstart
 //!
@@ -48,6 +51,7 @@ pub use livelit_analysis as analysis;
 pub use livelit_core as core;
 pub use livelit_mvu as mvu;
 pub use livelit_std as std;
+pub use livelit_trace as trace;
 
 /// Commonly used items, for `use hazel::prelude::*`.
 pub mod prelude {

@@ -20,6 +20,7 @@ use crate::typing::{Ctx, Delta, TypeError};
 /// Elaboration fails exactly when typing fails (Theorem 4.1, typed
 /// elaboration, says the converse: well-typed expressions always elaborate).
 pub fn elab_syn(ctx: &Ctx, e: &EExp) -> Result<(IExp, Typ, Delta), TypeError> {
+    let _span = livelit_trace::span("elab.syn");
     let mut delta = Delta::empty();
     let (d, ty) = syn_in(ctx, e, &mut delta)?;
     Ok((d, ty, delta))
@@ -31,6 +32,7 @@ pub fn elab_syn(ctx: &Ctx, e: &EExp) -> Result<(IExp, Typ, Delta), TypeError> {
 ///
 /// Fails exactly when `ana` typing fails.
 pub fn elab_ana(ctx: &Ctx, e: &EExp, ty: &Typ) -> Result<(IExp, Delta), TypeError> {
+    let _span = livelit_trace::span("elab.ana");
     let mut delta = Delta::empty();
     let d = ana_in(ctx, e, ty, &mut delta)?;
     Ok((d, delta))

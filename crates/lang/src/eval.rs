@@ -274,6 +274,27 @@ fn eval_bin(op: BinOp, da: IExp, db: IExp) -> Result<IExp, EvalError> {
     }
 }
 
+/// Evaluates `d` with an explicit fuel budget under a `"eval"` trace span,
+/// reporting the consumed steps to the
+/// [`EvalSteps`](livelit_trace::Counter::EvalSteps) counter.
+///
+/// This is the instrumented entry point the pipeline's top-level
+/// evaluations route through. It changes nothing about evaluation itself:
+/// with no tracer installed the probes are single atomic loads, and the
+/// result is bit-identical either way (property-tested in the integration
+/// suite).
+///
+/// # Errors
+///
+/// See [`EvalError`].
+pub fn eval_traced(d: &IExp, fuel: u64) -> Result<IExp, EvalError> {
+    let _span = livelit_trace::span("eval");
+    let mut evaluator = Evaluator::with_fuel(fuel);
+    let result = evaluator.eval(d);
+    livelit_trace::count(livelit_trace::Counter::EvalSteps, evaluator.steps());
+    result
+}
+
 /// Evaluates `d` with the default fuel budget.
 ///
 /// Evaluation is recursive; for programs with deep recursion (or very long

@@ -84,6 +84,7 @@ pub struct Module {
 ///
 /// Returns a [`ParseError`] on malformed input.
 pub fn parse_module(src: &str) -> Result<Module, ParseError> {
+    let _span = livelit_trace::span("parse.module");
     crate::parse::parse_module_items(src)
 }
 

@@ -49,6 +49,7 @@ impl std::error::Error for ParseError {}
 ///
 /// Returns a [`ParseError`] on malformed input.
 pub fn parse_uexp(src: &str) -> Result<UExp, ParseError> {
+    let _span = livelit_trace::span("parse");
     let tokens = lex(src)?;
     let mut p = Parser {
         tokens,

@@ -46,8 +46,19 @@ impl<A> Patch<A> {
 
 /// Computes a patch script transforming `old` into `new`.
 pub fn diff<A: Clone + PartialEq>(old: &Html<A>, new: &Html<A>) -> Vec<Patch<A>> {
+    let _span = livelit_trace::span("mvu.diff");
     let mut patches = Vec::new();
     diff_at(old, new, &mut Vec::new(), &mut patches);
+    if livelit_trace::enabled() {
+        livelit_trace::count(
+            livelit_trace::Counter::ViewDiffNodes,
+            (old.size() + new.size()) as u64,
+        );
+        livelit_trace::count(
+            livelit_trace::Counter::ViewDiffPatches,
+            patches.len() as u64,
+        );
+    }
     patches
 }
 

@@ -1,0 +1,134 @@
+//! Time sources for tracing.
+//!
+//! All timestamps in the event stream come from a [`Clock`] injected into
+//! the [`crate::Tracer`]. Production tracing uses [`MonotonicClock`]
+//! (wall-clock-independent, monotonic nanoseconds); tests and the
+//! byte-deterministic `hazel trace` output use [`TestClock`], whose
+//! readings are a pure function of how many times it has been queried — no
+//! `SystemTime` or `Instant` value ever reaches the serialized output.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A monotonic nanosecond time source.
+///
+/// Implementations must be cheap to query and non-decreasing across calls.
+pub trait Clock: Send {
+    /// Nanoseconds since this clock's epoch (construction, for the
+    /// monotonic clock; zero, for the test clock).
+    fn now_ns(&self) -> u64;
+}
+
+/// Real monotonic time, anchored at construction so readings start near
+/// zero and are meaningful as durations.
+#[derive(Debug)]
+pub struct MonotonicClock {
+    anchor: Instant,
+}
+
+impl MonotonicClock {
+    /// A clock anchored at the moment of construction.
+    pub fn new() -> MonotonicClock {
+        MonotonicClock {
+            anchor: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> MonotonicClock {
+        MonotonicClock::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_ns(&self) -> u64 {
+        u64::try_from(self.anchor.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+/// A deterministic clock: each query returns the previous reading plus a
+/// fixed tick. Two traces of the same computation under fresh `TestClock`s
+/// are therefore byte-identical.
+///
+/// Clones share state, so a test can keep a handle to inspect or advance
+/// the clock while a tracer owns the other clone.
+#[derive(Debug, Clone)]
+pub struct TestClock {
+    state: Arc<AtomicU64>,
+    tick: u64,
+}
+
+/// The default tick of [`TestClock::new`], in nanoseconds per query.
+pub const TEST_CLOCK_TICK_NS: u64 = 1_000;
+
+impl TestClock {
+    /// A clock starting at zero, advancing [`TEST_CLOCK_TICK_NS`] per query.
+    pub fn new() -> TestClock {
+        TestClock::with_tick(TEST_CLOCK_TICK_NS)
+    }
+
+    /// A clock starting at zero, advancing `tick_ns` per query.
+    pub fn with_tick(tick_ns: u64) -> TestClock {
+        TestClock {
+            state: Arc::new(AtomicU64::new(0)),
+            tick: tick_ns,
+        }
+    }
+
+    /// Manually advances the clock by `ns` without consuming a query.
+    pub fn advance(&self, ns: u64) {
+        self.state.fetch_add(ns, Ordering::SeqCst);
+    }
+
+    /// The current reading, without advancing.
+    pub fn peek(&self) -> u64 {
+        self.state.load(Ordering::SeqCst)
+    }
+}
+
+impl Default for TestClock {
+    fn default() -> TestClock {
+        TestClock::new()
+    }
+}
+
+impl Clock for TestClock {
+    fn now_ns(&self) -> u64 {
+        self.state.fetch_add(self.tick, Ordering::SeqCst) + self.tick
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_clock_is_deterministic() {
+        let a = TestClock::new();
+        let b = TestClock::new();
+        let ra: Vec<u64> = (0..5).map(|_| a.now_ns()).collect();
+        let rb: Vec<u64> = (0..5).map(|_| b.now_ns()).collect();
+        assert_eq!(ra, rb);
+        assert_eq!(ra[0], TEST_CLOCK_TICK_NS);
+    }
+
+    #[test]
+    fn test_clock_clones_share_state() {
+        let a = TestClock::with_tick(10);
+        let b = a.clone();
+        a.now_ns();
+        assert_eq!(b.peek(), 10);
+        b.advance(5);
+        assert_eq!(a.peek(), 15);
+    }
+
+    #[test]
+    fn monotonic_clock_is_non_decreasing() {
+        let c = MonotonicClock::new();
+        let t1 = c.now_ns();
+        let t2 = c.now_ns();
+        assert!(t2 >= t1);
+    }
+}

@@ -1,0 +1,271 @@
+//! The event vocabulary: spans with parent links and typed counters.
+//!
+//! Events are plain data; serialization to JSONL is byte-deterministic —
+//! fixed field order, integer timestamps, minimal string escaping — so two
+//! traces of the same computation under the same [`crate::clock::Clock`]
+//! readings serialize to identical bytes.
+
+use std::borrow::Cow;
+use std::fmt;
+
+/// A span identifier, unique within one [`crate::Tracer`]'s lifetime.
+/// Identifiers are assigned sequentially from 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpanId(pub u64);
+
+impl fmt::Display for SpanId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// The typed counters the pipeline reports. Each counter is additive: a
+/// `Count` event carries a delta, and sinks aggregate by summing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Counter {
+    /// Hole closures remaining in the final result after fill-and-resume.
+    HolesRemaining,
+    /// Livelit invocations put through the six `ELivelit` premises.
+    ExpansionsPerformed,
+    /// Splices evaluated live under a collected closure.
+    SplicesEvaluated,
+    /// Closure environments collected across all livelit holes.
+    ClosuresCollected,
+    /// Nodes visited by a view diff (size of the new tree).
+    ViewDiffNodes,
+    /// Patches produced by a view diff.
+    ViewDiffPatches,
+    /// Incremental-analyzer invocations served from cache.
+    AnalyzerCacheHits,
+    /// Incremental-analyzer invocations recomputed.
+    AnalyzerCacheMisses,
+    /// Recursive evaluation steps consumed by an evaluator run.
+    EvalSteps,
+    /// Incremental-engine runs that took the fill-and-resume fast path.
+    IncrementalFastPaths,
+    /// Incremental-engine runs that re-collected from scratch.
+    IncrementalFullRuns,
+}
+
+impl Counter {
+    /// Every counter, in serialization order.
+    pub const ALL: [Counter; 11] = [
+        Counter::HolesRemaining,
+        Counter::ExpansionsPerformed,
+        Counter::SplicesEvaluated,
+        Counter::ClosuresCollected,
+        Counter::ViewDiffNodes,
+        Counter::ViewDiffPatches,
+        Counter::AnalyzerCacheHits,
+        Counter::AnalyzerCacheMisses,
+        Counter::EvalSteps,
+        Counter::IncrementalFastPaths,
+        Counter::IncrementalFullRuns,
+    ];
+
+    /// The stable snake_case name used in serialized output.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Counter::HolesRemaining => "holes_remaining",
+            Counter::ExpansionsPerformed => "expansions_performed",
+            Counter::SplicesEvaluated => "splices_evaluated",
+            Counter::ClosuresCollected => "closures_collected",
+            Counter::ViewDiffNodes => "view_diff_nodes",
+            Counter::ViewDiffPatches => "view_diff_patches",
+            Counter::AnalyzerCacheHits => "analyzer_cache_hits",
+            Counter::AnalyzerCacheMisses => "analyzer_cache_misses",
+            Counter::EvalSteps => "eval_steps",
+            Counter::IncrementalFastPaths => "incremental_fast_paths",
+            Counter::IncrementalFullRuns => "incremental_full_runs",
+        }
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One structured trace event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// A span opened.
+    Begin {
+        /// The new span.
+        id: SpanId,
+        /// The enclosing open span, if any.
+        parent: Option<SpanId>,
+        /// The phase name (e.g. `"engine.collect"`).
+        name: Cow<'static, str>,
+        /// Clock reading at open.
+        t_ns: u64,
+    },
+    /// A span closed.
+    End {
+        /// The span being closed.
+        id: SpanId,
+        /// Its phase name, repeated so sinks need no id → name map.
+        name: Cow<'static, str>,
+        /// Clock reading at close.
+        t_ns: u64,
+        /// `t_ns` minus the span's begin reading.
+        dur_ns: u64,
+    },
+    /// A counter increment.
+    Count {
+        /// Which counter.
+        counter: Counter,
+        /// The amount added.
+        delta: u64,
+        /// The innermost open span when the count was recorded, if any.
+        span: Option<SpanId>,
+        /// Clock reading at record time.
+        t_ns: u64,
+    },
+}
+
+/// Appends `s` to `out` as a JSON string literal (deterministic escaping).
+pub fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_opt_span(out: &mut String, span: Option<SpanId>) {
+    match span {
+        Some(s) => out.push_str(&s.0.to_string()),
+        None => out.push_str("null"),
+    }
+}
+
+impl Event {
+    /// Appends this event's JSONL line (including the trailing newline) to
+    /// `out`. Field order is fixed, so serialization is byte-deterministic.
+    pub fn to_jsonl(&self, out: &mut String) {
+        match self {
+            Event::Begin {
+                id,
+                parent,
+                name,
+                t_ns,
+            } => {
+                out.push_str("{\"ev\":\"begin\",\"id\":");
+                out.push_str(&id.0.to_string());
+                out.push_str(",\"parent\":");
+                push_opt_span(out, *parent);
+                out.push_str(",\"name\":");
+                json_string(out, name);
+                out.push_str(",\"t\":");
+                out.push_str(&t_ns.to_string());
+                out.push_str("}\n");
+            }
+            Event::End {
+                id,
+                name,
+                t_ns,
+                dur_ns,
+            } => {
+                out.push_str("{\"ev\":\"end\",\"id\":");
+                out.push_str(&id.0.to_string());
+                out.push_str(",\"name\":");
+                json_string(out, name);
+                out.push_str(",\"t\":");
+                out.push_str(&t_ns.to_string());
+                out.push_str(",\"dur\":");
+                out.push_str(&dur_ns.to_string());
+                out.push_str("}\n");
+            }
+            Event::Count {
+                counter,
+                delta,
+                span,
+                t_ns,
+            } => {
+                out.push_str("{\"ev\":\"count\",\"counter\":");
+                json_string(out, counter.as_str());
+                out.push_str(",\"delta\":");
+                out.push_str(&delta.to_string());
+                out.push_str(",\"span\":");
+                push_opt_span(out, *span);
+                out.push_str(",\"t\":");
+                out.push_str(&t_ns.to_string());
+                out.push_str("}\n");
+            }
+        }
+    }
+}
+
+/// Renders an event stream as indented text, one line per event — the
+/// human-readable form behind `hazel trace --text`.
+pub fn render_events(events: &[Event]) -> String {
+    let mut out = String::new();
+    let mut depth: usize = 0;
+    for event in events {
+        match event {
+            Event::Begin { id, name, .. } => {
+                out.push_str(&"  ".repeat(depth));
+                out.push_str(&format!("▶ {name} {id}\n"));
+                depth += 1;
+            }
+            Event::End { name, dur_ns, .. } => {
+                depth = depth.saturating_sub(1);
+                out.push_str(&"  ".repeat(depth));
+                out.push_str(&format!("◀ {name} ({})\n", crate::sink::fmt_ns(*dur_ns)));
+            }
+            Event::Count { counter, delta, .. } => {
+                out.push_str(&"  ".repeat(depth));
+                out.push_str(&format!("+ {counter} += {delta}\n"));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_field_order_is_fixed() {
+        let mut out = String::new();
+        Event::Begin {
+            id: SpanId(1),
+            parent: None,
+            name: Cow::Borrowed("parse"),
+            t_ns: 7,
+        }
+        .to_jsonl(&mut out);
+        assert_eq!(
+            out,
+            "{\"ev\":\"begin\",\"id\":1,\"parent\":null,\"name\":\"parse\",\"t\":7}\n"
+        );
+    }
+
+    #[test]
+    fn json_string_escapes_controls() {
+        let mut out = String::new();
+        json_string(&mut out, "a\"b\\c\nd\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn counter_names_are_unique() {
+        let mut names: Vec<&str> = Counter::ALL.iter().map(Counter::as_str).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Counter::ALL.len());
+    }
+}
