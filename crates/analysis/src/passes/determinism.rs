@@ -9,7 +9,7 @@
 
 use hazel_lang::unexpanded::LivelitAp;
 use livelit_core::def::LivelitCtx;
-use livelit_core::expansion::expand_invocation;
+use livelit_core::expansion::expand_invocation_uncached;
 
 use crate::analyzer::{AnalysisInput, Pass};
 use crate::diagnostic::{Code, Diagnostic, Location, Severity};
@@ -32,9 +32,14 @@ impl Pass for Determinism {
     }
 }
 
-/// Expands one invocation twice and flags any difference.
+/// Expands one invocation twice and flags any difference. Uses the
+/// uncached entry point: served from the expansion cache, the second
+/// expansion would trivially equal the first.
 pub fn check_invocation(phi: &LivelitCtx, ap: &LivelitAp) -> Vec<Diagnostic> {
-    let (Ok(first), Ok(second)) = (expand_invocation(phi, ap), expand_invocation(phi, ap)) else {
+    let (Ok(first), Ok(second)) = (
+        expand_invocation_uncached(phi, ap),
+        expand_invocation_uncached(phi, ap),
+    ) else {
         return Vec::new();
     };
     if first == second {

@@ -1,5 +1,5 @@
 //! Workload builders shared by the benchmark harness (see EXPERIMENTS.md
-//! for the experiment index B1–B10 the `livelit-bench` binary regenerates;
+//! for the experiment index B1–B11 the `livelit-bench` binary regenerates;
 //! `livelit-bench --only Bn` runs a single experiment).
 
 use hazel::lang::build;
@@ -140,6 +140,27 @@ pub fn sized_program(seed: u64, target_nodes: usize) -> EExp {
         }
         depth += 1;
     }
+}
+
+/// An internal expression with `n` nested redexes:
+/// `(λx_n. x_n + (λx_{n-1}. x_{n-1} + (... 0 ...)) (n-1)) n`.
+///
+/// Each β-reduction substitutes into a body whose tail is the entire
+/// remaining chain, so a tree-copying substitution does O(n) work per redex
+/// — O(n²) total — while the term store's free-variable mask sees the tail
+/// is closed and skips it, for O(n) total. This is the B11 workload.
+pub fn deep_redex_chain(n: usize) -> IExp {
+    (1..=n).fold(IExp::Int(0), |acc, i| {
+        let x = Var::new(format!("x{i}"));
+        IExp::Ap(
+            Box::new(IExp::Lam(
+                x.clone(),
+                Typ::Int,
+                Box::new(IExp::Bin(BinOp::Add, Box::new(IExp::Var(x)), Box::new(acc))),
+            )),
+            Box::new(IExp::Int(i as i64)),
+        )
+    })
 }
 
 /// A view tree with `n` leaf nodes for diff benchmarks.

@@ -1,5 +1,5 @@
 //! `livelit-bench`: the manual benchmark harness behind EXPERIMENTS.md
-//! Part II (B1–B10).
+//! Part II (B1–B11).
 //!
 //! Each experiment times its workload over `--iters` iterations (median-of-N
 //! with a warmup iteration; no external benchmarking dependency) and the
@@ -28,8 +28,8 @@ use hazel::std::dataframe::DataframeModel;
 use hazel::std::grading::grading_prelude;
 use hazel::trace::{NullSink, StatsSink, Tracer};
 use livelit_bench::{
-    bench_phi, deep_scope_invocation, expensive_then_livelit, many_invocations, sized_program,
-    sized_view, sized_view_edited, wide_invocation,
+    bench_phi, deep_redex_chain, deep_scope_invocation, expensive_then_livelit, many_invocations,
+    sized_program, sized_view, sized_view_edited, wide_invocation,
 };
 
 /// One timed case: experiment id, group, case label, and the statistics of
@@ -360,6 +360,44 @@ fn run_suite(config: &Config, results: &mut Vec<CaseResult>) {
                     doc.dispatch(HoleName(0), &iv::record([("set", iv::int(value))]))
                         .expect("drag");
                     hazel::editor::run(&registry, &doc).expect("full pipeline")
+                }),
+            ));
+        }
+    }
+
+    // B11 — deep-nested β-reduction: tree-copying substitution vs the
+    // term store's path-copying substitution with free-variable skipping.
+    if wants(config, "B11") {
+        use hazel::lang::eval::{Evaluator, StoreEvaluator, DEFAULT_FUEL};
+        use hazel::lang::TermStore;
+        for n in sizes(config, &[1usize, 4, 16, 64, 256]) {
+            let chain = deep_redex_chain(n);
+            let expected = IExp::Int((1..=n as i64).sum());
+            results.push(summarize(
+                "B11",
+                "subst/tree",
+                n.to_string(),
+                sample(config.iters, || {
+                    let result = Evaluator::with_fuel(DEFAULT_FUEL)
+                        .eval(&chain)
+                        .expect("evaluates");
+                    assert_eq!(result, expected);
+                    result
+                }),
+            ));
+            results.push(summarize(
+                "B11",
+                "subst/interned",
+                n.to_string(),
+                sample(config.iters, || {
+                    let mut store = TermStore::new();
+                    let t = store.intern_iexp(&chain);
+                    let r = StoreEvaluator::with_fuel(&mut store, DEFAULT_FUEL)
+                        .eval(t)
+                        .expect("evaluates");
+                    let result = store.to_iexp(r);
+                    assert_eq!(result, expected);
+                    result
                 }),
             ));
         }

@@ -26,6 +26,7 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::{Arc, Mutex};
 
 use hazel_lang::elab::elab_syn;
 use hazel_lang::eval::{
@@ -34,12 +35,13 @@ use hazel_lang::eval::{
 use hazel_lang::external::{CaseArm, EExp};
 use hazel_lang::ident::HoleName;
 use hazel_lang::internal::{IExp, Sigma};
+use hazel_lang::store::{TermId, TermStore, VarId};
 use hazel_lang::typ::Typ;
 use hazel_lang::typing::{syn, Ctx, Delta, TypeError};
 use hazel_lang::unexpanded::UExp;
 
 use crate::def::LivelitCtx;
-use crate::expansion::{expand, expand_invocation, ExpandError};
+use crate::expansion::{expand, expand_invocation_elab, ExpandError};
 
 /// The cc-context Ω: maps each livelit hole to the elaboration of its
 /// parameterized expansion, `u ↩ d_pexpansion`.
@@ -160,9 +162,7 @@ impl From<EvalError> for CollectError {
 pub fn cc_expand(phi: &LivelitCtx, e: &UExp, omega: &mut Omega) -> Result<EExp, ExpandError> {
     match e {
         UExp::Livelit(ap) => {
-            let pe = expand_invocation(phi, ap)?;
-            let (d_pexpansion, _, _) =
-                elab_syn(&Ctx::empty(), &pe.pexpansion).map_err(ExpandError::Type)?;
+            let (pe, d_pexpansion) = expand_invocation_elab(phi, ap)?;
             omega.map.insert(
                 ap.hole,
                 OmegaEntry {
@@ -270,6 +270,21 @@ pub fn cc_expand(phi: &LivelitCtx, e: &UExp, omega: &mut Omega) -> Result<EExp, 
     }
 }
 
+/// One σ interned into a term store: sorted (variable, value) pairs ready
+/// for simultaneous substitution.
+pub type InternedSigma = Box<[(VarId, TermId)]>;
+
+/// Lazily interned collected environments: one term store shared by every
+/// live splice evaluation against the same collection, so σ values are
+/// interned once per closure rather than deep-copied per evaluation.
+#[derive(Debug, Default)]
+pub struct InternedEnvs {
+    /// The store holding interned σ values, splice terms, and results.
+    pub store: TermStore,
+    /// σ interned per (livelit hole, closure index), built on first use.
+    pub envs: BTreeMap<(HoleName, usize), InternedSigma>,
+}
+
 /// The result of running closure collection on a program.
 #[derive(Debug, Clone)]
 pub struct Collection {
@@ -294,6 +309,10 @@ pub struct Collection {
     pub envs: BTreeMap<HoleName, Vec<Sigma>>,
     /// Evaluation fuel used for collection and resumption.
     fuel: u64,
+    /// Interned mirror of [`Self::envs`], built lazily by live splice
+    /// evaluation. Clones share it (the environments are immutable between
+    /// refreshes); a refresh replaces it wholesale.
+    interned: Arc<Mutex<InternedEnvs>>,
 }
 
 impl Collection {
@@ -301,6 +320,11 @@ impl Collection {
     /// none were collected.
     pub fn envs_for(&self, u: HoleName) -> &[Sigma] {
         self.envs.get(&u).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The shared interned-environment state for live splice evaluation.
+    pub(crate) fn interned(&self) -> &Arc<Mutex<InternedEnvs>> {
+        &self.interned
     }
 
     /// Recomputes the collected environments after Ω changed (a livelit
@@ -314,6 +338,10 @@ impl Collection {
     /// Propagates resumption errors.
     pub fn refresh_after_omega_change(&mut self) -> Result<(), EvalError> {
         self.envs = collect_envs(&self.proto_result, &self.omega, self.fuel)?;
+        // The interned mirror is stale now; start a fresh one (clones of
+        // the pre-refresh collection keep the old state, which still
+        // matches *their* envs).
+        self.interned = Arc::default();
         Ok(())
     }
 
@@ -368,6 +396,7 @@ pub fn collect_with_fuel(
         proto_result,
         envs,
         fuel,
+        interned: Arc::default(),
     })
 }
 

@@ -8,14 +8,16 @@
 //! Rust — mirroring Hazel's OCaml/JavaScript "primitive livelits"
 //! (Sec. 5.1).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use hazel_lang::external::EExp;
 use hazel_lang::ident::LivelitName;
 use hazel_lang::internal::IExp;
 use hazel_lang::internal_typing::check_internal;
+use hazel_lang::store::{TermId, TermStore};
 use hazel_lang::typ::Typ;
 use hazel_lang::typing::{Ctx, Delta, TypeError};
 
@@ -66,6 +68,9 @@ impl fmt::Debug for ExpandFn {
     }
 }
 
+/// Source of unique definition identities for the expansion cache.
+static NEXT_DEF_ID: AtomicU64 = AtomicU64::new(1);
+
 /// A livelit definition.
 #[derive(Debug, Clone)]
 pub struct LivelitDef {
@@ -81,9 +86,21 @@ pub struct LivelitDef {
     pub model_ty: Typ,
     /// The expansion function.
     pub expand: ExpandFn,
+    def_id: u64,
 }
 
 impl LivelitDef {
+    fn fresh_def_id() -> u64 {
+        NEXT_DEF_ID.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// The identity of this definition, used to key the expansion cache.
+    /// Clones share it; two definitions constructed separately never do,
+    /// even when their names and fields are equal — so cache entries can
+    /// never be served across a redefinition.
+    pub fn def_id(&self) -> u64 {
+        self.def_id
+    }
     /// Creates a definition with a native expansion function.
     pub fn native(
         name: impl Into<LivelitName>,
@@ -98,6 +115,7 @@ impl LivelitDef {
             expansion_ty,
             model_ty,
             expand: ExpandFn::Native(Arc::new(expand)),
+            def_id: LivelitDef::fresh_def_id(),
         }
     }
 
@@ -116,6 +134,7 @@ impl LivelitDef {
             expansion_ty,
             model_ty,
             expand: ExpandFn::Object(d_expand, EncodingScheme::Text),
+            def_id: LivelitDef::fresh_def_id(),
         }
     }
 
@@ -134,6 +153,7 @@ impl LivelitDef {
             expansion_ty,
             model_ty,
             expand: ExpandFn::Object(d_expand, EncodingScheme::Structural),
+            def_id: LivelitDef::fresh_def_id(),
         }
     }
 
@@ -170,10 +190,120 @@ impl LivelitDef {
     }
 }
 
+/// One cached, validated parameterized expansion — the output of premises
+/// 2–5 of `ELivelit` — plus the elaboration of that expansion, filled in
+/// lazily the first time closure collection needs it.
+#[derive(Debug, Clone)]
+pub struct CachedExpansion {
+    /// The closed, validated parameterized expansion.
+    pub pexpansion: EExp,
+    /// Its curried type `{τi}^(i<n) → τ_expand`.
+    pub full_ty: Typ,
+    /// The expansion type `τ_expand`.
+    pub expansion_ty: Typ,
+    /// `elab_syn` of the parameterized expansion, once computed.
+    pub elab: Option<IExp>,
+}
+
+/// Cache key: definition identity, interned model, splice types — exactly
+/// the inputs premises 2–5 of `ELivelit` read.
+type CacheKey = (u64, TermId, Box<[Typ]>);
+
+#[derive(Debug, Default)]
+struct ExpansionCacheInner {
+    /// Interns models so the key carries a compact, hashable `TermId`
+    /// (models contain floats, which the tree representation cannot hash).
+    models: TermStore,
+    map: HashMap<CacheKey, CachedExpansion>,
+}
+
+/// Bound on cached expansions; on overflow the cache is cleared wholesale
+/// (the same epoch-style eviction the term store uses for its subst memo).
+const EXPANSION_CACHE_CAP: usize = 1024;
+
+/// A shared memo of validated livelit expansions. Clones share storage, so
+/// every Φ derived from the same registry serves hits across engine runs;
+/// only successes are cached, so failing invocations re-run all premises
+/// and report the same error every time.
+#[derive(Debug, Clone, Default)]
+pub struct ExpansionCache {
+    inner: Arc<Mutex<ExpansionCacheInner>>,
+}
+
+impl ExpansionCache {
+    fn key(inner: &mut ExpansionCacheInner, def_id: u64, model: &IExp, tys: &[Typ]) -> CacheKey {
+        let model_id = inner.models.intern_iexp(model);
+        (def_id, model_id, tys.to_vec().into_boxed_slice())
+    }
+
+    /// Looks up a validated expansion, counting a hit or a miss.
+    pub fn lookup(&self, def_id: u64, model: &IExp, tys: &[Typ]) -> Option<CachedExpansion> {
+        let mut inner = self.inner.lock().expect("expansion cache poisoned");
+        let key = ExpansionCache::key(&mut inner, def_id, model, tys);
+        let found = inner.map.get(&key).cloned();
+        livelit_trace::count(
+            if found.is_some() {
+                livelit_trace::Counter::ExpansionCacheHits
+            } else {
+                livelit_trace::Counter::ExpansionCacheMisses
+            },
+            1,
+        );
+        found
+    }
+
+    /// Like [`ExpansionCache::lookup`] but without hit/miss accounting —
+    /// for follow-up reads that are part of the same logical lookup.
+    pub fn peek(&self, def_id: u64, model: &IExp, tys: &[Typ]) -> Option<CachedExpansion> {
+        let mut inner = self.inner.lock().expect("expansion cache poisoned");
+        let key = ExpansionCache::key(&mut inner, def_id, model, tys);
+        inner.map.get(&key).cloned()
+    }
+
+    /// Caches a validated expansion.
+    pub fn insert(&self, def_id: u64, model: &IExp, tys: &[Typ], entry: CachedExpansion) {
+        let mut inner = self.inner.lock().expect("expansion cache poisoned");
+        if inner.map.len() >= EXPANSION_CACHE_CAP {
+            // Clearing the model store restarts ids, so the map (whose keys
+            // embed them) must go in the same breath.
+            inner.map.clear();
+            inner.models = TermStore::new();
+        }
+        let key = ExpansionCache::key(&mut inner, def_id, model, tys);
+        inner.map.insert(key, entry);
+    }
+
+    /// Records the elaboration of an already-cached expansion.
+    pub fn set_elab(&self, def_id: u64, model: &IExp, tys: &[Typ], d: &IExp) {
+        let mut inner = self.inner.lock().expect("expansion cache poisoned");
+        let key = ExpansionCache::key(&mut inner, def_id, model, tys);
+        if let Some(entry) = inner.map.get_mut(&key) {
+            if entry.elab.is_none() {
+                entry.elab = Some(d.clone());
+            }
+        }
+    }
+
+    /// The number of cached expansions.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("expansion cache poisoned")
+            .map
+            .len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 /// A livelit context Φ: the set of livelit definitions in scope.
 #[derive(Debug, Clone, Default)]
 pub struct LivelitCtx {
     defs: BTreeMap<LivelitName, LivelitDef>,
+    cache: ExpansionCache,
 }
 
 impl LivelitCtx {
@@ -197,6 +327,11 @@ impl LivelitCtx {
     /// Looks up a livelit by name (premise 1 of `ELivelit`).
     pub fn get(&self, name: &LivelitName) -> Option<&LivelitDef> {
         self.defs.get(name)
+    }
+
+    /// The expansion cache shared by this context and its clones.
+    pub fn expansion_cache(&self) -> &ExpansionCache {
+        &self.cache
     }
 
     /// Iterates over definitions in name order.

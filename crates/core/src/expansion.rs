@@ -24,6 +24,7 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
+use hazel_lang::elab::elab_syn;
 use hazel_lang::eval::{EvalError, Evaluator, DEFAULT_FUEL};
 use hazel_lang::external::{CaseArm, EExp};
 use hazel_lang::ident::{LivelitName, Var};
@@ -33,7 +34,7 @@ use hazel_lang::typing::{ana, syn, Ctx, Delta, TypeError};
 use hazel_lang::unexpanded::{LivelitAp, UExp};
 use hazel_lang::value::value_has_typ;
 
-use crate::def::{ExpandFn, LivelitCtx};
+use crate::def::{CachedExpansion, ExpandFn, LivelitCtx};
 use crate::encoding::{decode, DecodeError};
 
 /// An expansion failure.
@@ -207,11 +208,52 @@ pub struct PExpansion {
 ///
 /// Any of the `ELivelit` failure modes; see [`ExpandError`].
 pub fn expand_invocation(phi: &LivelitCtx, ap: &LivelitAp) -> Result<PExpansion, ExpandError> {
+    expand_invocation_with(phi, ap, true)
+}
+
+/// [`expand_invocation`] with the expansion cache bypassed: every premise
+/// re-runs, including the definition's `expand` function. The determinism
+/// lint (`LL0401`) depends on this — it expands twice and diffs, which the
+/// cache would otherwise render vacuous.
+///
+/// # Errors
+///
+/// See [`ExpandError`].
+pub fn expand_invocation_uncached(
+    phi: &LivelitCtx,
+    ap: &LivelitAp,
+) -> Result<PExpansion, ExpandError> {
+    expand_invocation_with(phi, ap, false)
+}
+
+fn expand_invocation_with(
+    phi: &LivelitCtx,
+    ap: &LivelitAp,
+    use_cache: bool,
+) -> Result<PExpansion, ExpandError> {
     livelit_trace::count(livelit_trace::Counter::ExpansionsPerformed, 1);
     // 1. Lookup.
     let def = phi
         .get(&ap.name)
         .ok_or_else(|| ExpandError::UnboundLivelit(ap.name.clone()))?;
+
+    // Premises 2–5 are a pure function of the definition, the model, and
+    // the splice types — exactly the cache key. A hit means an invocation
+    // with this key already passed every premise, so the cached expansion
+    // can be returned without re-running them.
+    let splice_tys: Vec<Typ> = ap.splices.iter().map(|s| s.ty.clone()).collect();
+    if use_cache {
+        if let Some(cached) = phi
+            .expansion_cache()
+            .lookup(def.def_id(), &ap.model, &splice_tys)
+        {
+            return Ok(PExpansion {
+                pexpansion: cached.pexpansion,
+                full_ty: cached.full_ty,
+                expansion_ty: cached.expansion_ty,
+            });
+        }
+    }
 
     // Parameter arity and types (Sec. 2.4.1): parameters are the leading
     // splices and must be present at the declared types before the livelit
@@ -304,11 +346,54 @@ pub fn expand_invocation(phi: &LivelitCtx, ap: &LivelitAp) -> Result<PExpansion,
         }
     }
 
+    if use_cache {
+        phi.expansion_cache().insert(
+            def.def_id(),
+            &ap.model,
+            &splice_tys,
+            CachedExpansion {
+                pexpansion: pexpansion.clone(),
+                full_ty: full_ty.clone(),
+                expansion_ty: def.expansion_ty.clone(),
+                elab: None,
+            },
+        );
+    }
+
     Ok(PExpansion {
         pexpansion,
         full_ty,
         expansion_ty: def.expansion_ty.clone(),
     })
+}
+
+/// [`expand_invocation`] plus the elaboration of the parameterized
+/// expansion, memoized alongside it in the expansion cache (closure
+/// collection elaborates every invocation's expansion into Ω).
+///
+/// # Errors
+///
+/// See [`ExpandError`].
+pub fn expand_invocation_elab(
+    phi: &LivelitCtx,
+    ap: &LivelitAp,
+) -> Result<(PExpansion, IExp), ExpandError> {
+    let pe = expand_invocation(phi, ap)?;
+    let def_id = phi.get(&ap.name).map(crate::def::LivelitDef::def_id);
+    let splice_tys: Vec<Typ> = ap.splices.iter().map(|s| s.ty.clone()).collect();
+    if let Some(def_id) = def_id {
+        if let Some(CachedExpansion { elab: Some(d), .. }) =
+            phi.expansion_cache().peek(def_id, &ap.model, &splice_tys)
+        {
+            return Ok((pe, d));
+        }
+    }
+    let (d, _, _) = elab_syn(&Ctx::empty(), &pe.pexpansion).map_err(ExpandError::Type)?;
+    if let Some(def_id) = def_id {
+        phi.expansion_cache()
+            .set_elab(def_id, &ap.model, &splice_tys, &d);
+    }
+    Ok((pe, d))
 }
 
 /// Expands every livelit invocation in `ê`, producing the external

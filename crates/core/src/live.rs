@@ -10,8 +10,10 @@
 use std::fmt;
 
 use hazel_lang::elab::elab_ana;
-use hazel_lang::eval::{eval_traced, run_on_big_stack, EvalError, DEFAULT_FUEL};
-use hazel_lang::final_form::is_value;
+use hazel_lang::eval::{
+    eval_traced, eval_traced_in_store, run_on_big_stack, EvalError, DEFAULT_FUEL,
+};
+use hazel_lang::final_form::{is_value, Classification};
 use hazel_lang::internal::{IExp, Sigma};
 use hazel_lang::typ::Typ;
 use hazel_lang::typing::{Ctx, TypeError};
@@ -157,7 +159,41 @@ pub fn eval_splice(
     let Some(hyp) = collection.delta.get(u) else {
         return Ok(None);
     };
-    eval_splice_in_env(phi, &hyp.ctx, sigma, splice, ty, DEFAULT_FUEL)
+    // The interned fast path: semantically identical to
+    // [`eval_splice_in_env`] (the property suite checks this), but σ is
+    // interned once per closure into the collection's shared term store,
+    // realization is a path-copying simultaneous substitution, and the
+    // closedness check reads the store's free-variable cache.
+    let _span = livelit_trace::span("live.eval_splice");
+    livelit_trace::count(livelit_trace::Counter::SplicesEvaluated, 1);
+    let expanded = expand(phi, splice)?;
+    let (d, _delta) = elab_ana(&hyp.ctx, &expanded, ty)?;
+    let mut guard = collection
+        .interned()
+        .lock()
+        .expect("interned envs poisoned");
+    let interned = &mut *guard;
+    if !interned.envs.contains_key(&(u, env_index)) {
+        let pairs = interned.store.intern_sigma(sigma);
+        interned.envs.insert((u, env_index), pairs);
+    }
+    let pairs = interned.envs[&(u, env_index)].clone();
+    let dt = interned.store.intern_iexp(&d);
+    let closed = interned.store.subst_many(dt, &pairs);
+    if !interned.store.is_closed(closed) {
+        // A variable in the splice has no collected value.
+        interned.store.report_trace_counters();
+        return Ok(None);
+    }
+    let store = &mut interned.store;
+    let result_id = run_on_big_stack(|| eval_traced_in_store(store, closed, DEFAULT_FUEL))?;
+    let is_val = matches!(store.classification(result_id), Classification::Value);
+    let result = store.to_iexp(result_id);
+    Ok(Some(if is_val {
+        LiveResult::Val(result)
+    } else {
+        LiveResult::Indet(result)
+    }))
 }
 
 #[cfg(test)]

@@ -10,11 +10,17 @@
 //! paddle drag, a palette click) can reuse the cached proto-result and
 //! merely rebuild Ω before filling and resuming.
 //!
-//! [`IncrementalEngine::run`] detects this case by comparing model-erased
-//! skeletons and falls back to the full pipeline otherwise.
+//! [`IncrementalEngine::run`] detects this case by *interning* the
+//! program's model-erased skeleton into a hash-consed term store
+//! ([`hazel_lang::store::TermStore::intern_uexp_skeleton`]) and comparing
+//! compact [`TermId`]s: two programs intern to the same id exactly when
+//! they differ at most in livelit models. This replaces the old approach of
+//! building a model-erased copy of the whole tree and deep-comparing it on
+//! every run — the interner shares all unchanged subtrees, so an edit pays
+//! for the spine it changed, not for the program size.
 
-use hazel_lang::internal::IExp;
-use hazel_lang::unexpanded::{LivelitAp, UExp};
+use hazel_lang::store::{TermId, TermStore};
+use hazel_lang::unexpanded::LivelitAp;
 use livelit_core::cc::{cc_expand, CollectError, Omega};
 use livelit_core::expansion::expand_invocation;
 
@@ -22,24 +28,18 @@ use crate::doc::Document;
 use crate::engine::{run_with_fuel, EngineError, EngineOutput, ENGINE_FUEL};
 use crate::registry::LivelitRegistry;
 
-/// Erases livelit models (and, transitively, nothing else) from a program,
-/// producing the skeleton that determines the cc-expansion.
-fn skeleton(e: &UExp) -> UExp {
-    e.map(&mut |e| match e {
-        UExp::Livelit(ap) => UExp::Livelit(Box::new(LivelitAp {
-            name: ap.name.clone(),
-            model: IExp::Unit,
-            splices: ap.splices,
-            hole: ap.hole,
-        })),
-        other => other,
-    })
-}
+/// Bound on the engine-owned skeleton store; past this many interned nodes
+/// the store (and with it the cache) is reset, so an unboundedly long edit
+/// session cannot grow it without limit.
+const SKELETON_STORE_CAP: usize = 1 << 20;
 
 /// An engine that caches closure collection across edits and re-runs only
 /// fill-and-resume when an edit touched nothing but livelit models.
 pub struct IncrementalEngine {
     fuel: u64,
+    /// Interns model-erased program skeletons across edits; successive
+    /// program versions share all unchanged subtrees.
+    store: TermStore,
     cached: Option<Cached>,
     /// Statistics: how many runs took the incremental path.
     pub incremental_hits: usize,
@@ -48,7 +48,7 @@ pub struct IncrementalEngine {
 }
 
 struct Cached {
-    skeleton: UExp,
+    skeleton: TermId,
     output: EngineOutput,
 }
 
@@ -62,6 +62,7 @@ impl IncrementalEngine {
     pub fn with_fuel(fuel: u64) -> IncrementalEngine {
         IncrementalEngine {
             fuel,
+            store: TermStore::new(),
             cached: None,
             incremental_hits: 0,
             full_runs: 0,
@@ -79,7 +80,12 @@ impl IncrementalEngine {
         doc: &Document,
     ) -> Result<&EngineOutput, EngineError> {
         let program = doc.full_program();
-        let current_skeleton = skeleton(&program);
+        if self.store.len() > SKELETON_STORE_CAP {
+            self.store = TermStore::new();
+            self.cached = None;
+        }
+        let current_skeleton = self.store.intern_uexp_skeleton(&program);
+        self.store.report_trace_counters();
 
         let reusable = self
             .cached

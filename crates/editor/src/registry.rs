@@ -8,7 +8,7 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use hazel_lang::ident::LivelitName;
 use hazel_lang::unexpanded::UExp;
@@ -48,6 +48,11 @@ pub type Resolved = (Arc<dyn Livelit>, Vec<UExp>);
 pub struct LivelitRegistry {
     impls: BTreeMap<LivelitName, Arc<dyn Livelit>>,
     abbrevs: AbbrevCtx,
+    /// Memoized Φ. Deriving definitions assigns each a fresh identity, and
+    /// the expansion cache is keyed on those identities — rebuilding Φ per
+    /// engine run would therefore start the cache cold every time. Clones
+    /// of the memoized context share one expansion cache instead.
+    phi_cache: Arc<Mutex<Option<LivelitCtx>>>,
 }
 
 impl LivelitRegistry {
@@ -81,6 +86,9 @@ impl LivelitRegistry {
             });
         }
         self.impls.insert(livelit.name(), livelit);
+        // A fresh Arc, not a clear of the shared one: clones of this
+        // registry keep their (still-valid) memoized Φ.
+        self.phi_cache = Arc::new(Mutex::new(None));
         Ok(())
     }
 
@@ -113,8 +121,13 @@ impl LivelitRegistry {
     }
 
     /// Derives the livelit context Φ for the calculus: one definition per
-    /// registered implementation.
+    /// registered implementation. Memoized until the next registration, so
+    /// repeated calls return clones sharing one expansion cache.
     pub fn phi(&self) -> LivelitCtx {
+        let mut cached = self.phi_cache.lock().expect("phi cache poisoned");
+        if let Some(phi) = cached.as_ref() {
+            return phi.clone();
+        }
         let mut phi = LivelitCtx::new();
         for livelit in self.impls.values() {
             // register linted this definition, and def_for produces native
@@ -124,6 +137,7 @@ impl LivelitRegistry {
             // the invocation as unbound (LL0001).
             let _ = phi.define(def_for(livelit));
         }
+        *cached = Some(phi.clone());
         phi
     }
 

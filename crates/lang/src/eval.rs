@@ -15,6 +15,7 @@ use std::fmt;
 use crate::final_form::is_final;
 use crate::internal::{IExp, Sigma};
 use crate::ops::BinOp;
+use crate::store::{Node, TermId, TermStore, VarId};
 
 /// Default evaluation fuel (number of recursive evaluation steps).
 pub const DEFAULT_FUEL: u64 = 4_000_000;
@@ -37,6 +38,10 @@ pub enum EvalError {
     /// reachable when evaluating unchecked expansions, which is why
     /// expansion validation (premise 5 of ELivelit) exists.
     IllTyped(String),
+    /// The evaluator's host thread failed (it panicked or could not be
+    /// spawned). Surfaced as an error instead of propagating the panic so
+    /// one runaway evaluation cannot take down the editor process.
+    Internal(String),
 }
 
 impl fmt::Display for EvalError {
@@ -46,6 +51,7 @@ impl fmt::Display for EvalError {
             EvalError::DivisionByZero => write!(f, "division by zero"),
             EvalError::FreeVariable(x) => write!(f, "free variable {x} during evaluation"),
             EvalError::IllTyped(msg) => write!(f, "ill-typed expression during evaluation: {msg}"),
+            EvalError::Internal(msg) => write!(f, "internal evaluator failure: {msg}"),
         }
     }
 }
@@ -274,24 +280,303 @@ fn eval_bin(op: BinOp, da: IExp, db: IExp) -> Result<IExp, EvalError> {
     }
 }
 
+/// A fuel-limited evaluator over interned terms: [`Evaluator`] arm for
+/// arm, but substitution is path-copying and memoized, structural checks
+/// are id comparisons, and finality is a table lookup.
+///
+/// Results are bit-identical to the tree evaluator's — same values, same
+/// recorded σ, same step counts, same errors — which the `interned ≡ seed`
+/// property suite pins down.
+#[derive(Debug)]
+pub struct StoreEvaluator<'s> {
+    store: &'s mut TermStore,
+    fuel: u64,
+    steps: u64,
+}
+
+impl<'s> StoreEvaluator<'s> {
+    /// Creates an evaluator over `store` with the given fuel budget.
+    pub fn with_fuel(store: &'s mut TermStore, fuel: u64) -> StoreEvaluator<'s> {
+        StoreEvaluator {
+            store,
+            fuel,
+            steps: 0,
+        }
+    }
+
+    /// The number of evaluation steps consumed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Evaluates `t` to a final term id.
+    ///
+    /// # Errors
+    ///
+    /// See [`EvalError`].
+    pub fn eval(&mut self, t: TermId) -> Result<TermId, EvalError> {
+        self.steps += 1;
+        if self.steps > self.fuel {
+            return Err(EvalError::OutOfFuel);
+        }
+        let node = self.store.node(t).clone();
+        match node {
+            Node::Var(x) => Err(EvalError::FreeVariable(self.store.var(x).clone())),
+            Node::Lam(..)
+            | Node::Int(_)
+            | Node::Float(_)
+            | Node::Bool(_)
+            | Node::Str(_)
+            | Node::Unit
+            | Node::Nil(_) => Ok(t),
+            Node::Fix(x, _, body) => {
+                // fix x.d ⇓ [fix x.d / x]d ⇓ ... — the repeated unrolling
+                // substitution is where the subst memo pays off.
+                let unrolled = self.store.subst_one(body, x, t);
+                self.eval(unrolled)
+            }
+            Node::Ap(f, a) => {
+                let df = self.eval(f)?;
+                let da = self.eval(a)?;
+                match *self.store.node(df) {
+                    Node::Lam(x, _, body) => {
+                        let applied = self.store.subst_one(body, x, da);
+                        self.eval(applied)
+                    }
+                    _ if self.store.is_final(df) => Ok(self.store.intern(Node::Ap(df, da))),
+                    _ => Err(EvalError::IllTyped(format!(
+                        "application of non-function: {:?}",
+                        self.store.to_iexp(df)
+                    ))),
+                }
+            }
+            Node::Bin(op, a, b) => {
+                let da = self.eval(a)?;
+                let db = self.eval(b)?;
+                self.eval_bin(op, da, db)
+            }
+            Node::If(c, th, el) => {
+                let dc = self.eval(c)?;
+                match self.store.node(dc) {
+                    Node::Bool(true) => self.eval(th),
+                    Node::Bool(false) => self.eval(el),
+                    _ if self.store.is_final(dc) => {
+                        // Branches are preserved unevaluated, as in the
+                        // tree evaluator.
+                        Ok(self.store.intern(Node::If(dc, th, el)))
+                    }
+                    _ => Err(EvalError::IllTyped(format!(
+                        "if on non-boolean: {:?}",
+                        self.store.to_iexp(dc)
+                    ))),
+                }
+            }
+            Node::Tuple(fields) => {
+                let mut out = Vec::with_capacity(fields.len());
+                for (l, e) in &fields {
+                    out.push((l.clone(), self.eval(*e)?));
+                }
+                Ok(self.store.intern(Node::Tuple(out.into())))
+            }
+            Node::Proj(scrut, l) => {
+                let ds = self.eval(scrut)?;
+                match self.store.node(ds) {
+                    Node::Tuple(fields) => fields
+                        .iter()
+                        .find(|(fl, _)| *fl == l)
+                        .map(|(_, e)| *e)
+                        .ok_or_else(|| EvalError::IllTyped(format!("projection .{l} missing"))),
+                    _ if self.store.is_final(ds) => Ok(self.store.intern(Node::Proj(ds, l))),
+                    _ => Err(EvalError::IllTyped(format!(
+                        "projection from non-tuple: {:?}",
+                        self.store.to_iexp(ds)
+                    ))),
+                }
+            }
+            Node::Inj(ty, l, e) => {
+                let de = self.eval(e)?;
+                Ok(self.store.intern(Node::Inj(ty, l, de)))
+            }
+            Node::Case(scrut, arms) => {
+                let ds = self.eval(scrut)?;
+                match self.store.node(ds) {
+                    Node::Inj(_, l, payload) => {
+                        let payload = *payload;
+                        let l = l.clone();
+                        let (_, var, arm_body) = arms
+                            .iter()
+                            .find(|(al, _, _)| *al == l)
+                            .ok_or_else(|| EvalError::IllTyped(format!("no case arm for .{l}")))?;
+                        let body = self.store.subst_one(*arm_body, *var, payload);
+                        self.eval(body)
+                    }
+                    _ if self.store.is_final(ds) => Ok(self.store.intern(Node::Case(ds, arms))),
+                    _ => Err(EvalError::IllTyped(format!(
+                        "case on non-injection: {:?}",
+                        self.store.to_iexp(ds)
+                    ))),
+                }
+            }
+            Node::Cons(h, tl) => {
+                let dh = self.eval(h)?;
+                let dt = self.eval(tl)?;
+                Ok(self.store.intern(Node::Cons(dh, dt)))
+            }
+            Node::ListCase(scrut, nil, hv, tv, cons) => {
+                let ds = self.eval(scrut)?;
+                match *self.store.node(ds) {
+                    Node::Nil(_) => self.eval(nil),
+                    Node::Cons(h, tl) => {
+                        let body = self.store.subst_one(cons, hv, h);
+                        let body = self.store.subst_one(body, tv, tl);
+                        self.eval(body)
+                    }
+                    _ if self.store.is_final(ds) => {
+                        Ok(self.store.intern(Node::ListCase(ds, nil, hv, tv, cons)))
+                    }
+                    _ => Err(EvalError::IllTyped(format!(
+                        "list case on non-list: {:?}",
+                        self.store.to_iexp(ds)
+                    ))),
+                }
+            }
+            Node::Roll(ty, e) => {
+                let de = self.eval(e)?;
+                Ok(self.store.intern(Node::Roll(ty, de)))
+            }
+            Node::Unroll(e) => {
+                let de = self.eval(e)?;
+                match *self.store.node(de) {
+                    Node::Roll(_, inner) => Ok(inner),
+                    _ if self.store.is_final(de) => Ok(self.store.intern(Node::Unroll(de))),
+                    _ => Err(EvalError::IllTyped(format!(
+                        "unroll of non-roll: {:?}",
+                        self.store.to_iexp(de)
+                    ))),
+                }
+            }
+            Node::EmptyHole(u, sigma) => {
+                let sigma = self.eval_sigma(&sigma)?;
+                Ok(self.store.intern(Node::EmptyHole(u, sigma)))
+            }
+            Node::NonEmptyHole(u, sigma, inner) => {
+                let sigma = self.eval_sigma(&sigma)?;
+                let dinner = self.eval(inner)?;
+                Ok(self.store.intern(Node::NonEmptyHole(u, sigma, dinner)))
+            }
+            Node::ULet(..)
+            | Node::UAsc(..)
+            | Node::ULivelit(..)
+            | Node::UEmptyHole(_)
+            | Node::UNonEmptyHole(..) => Err(EvalError::IllTyped(
+                "evaluation of editor-skeleton node".to_owned(),
+            )),
+        }
+    }
+
+    /// Evaluates the closed entries of a hole closure's environment,
+    /// mirroring [`Evaluator::eval_sigma`]. Entries are already ordered by
+    /// variable name, matching the tree evaluator's `BTreeMap` order.
+    fn eval_sigma(
+        &mut self,
+        sigma: &[(VarId, TermId)],
+    ) -> Result<Box<[(VarId, TermId)]>, EvalError> {
+        let mut out = Vec::with_capacity(sigma.len());
+        for &(x, entry) in sigma {
+            let v = if self.store.is_closed(entry) {
+                self.eval(entry)?
+            } else {
+                entry
+            };
+            out.push((x, v));
+        }
+        Ok(out.into())
+    }
+
+    fn eval_bin(&mut self, op: BinOp, da: TermId, db: TermId) -> Result<TermId, EvalError> {
+        use Node::{Bool, Float, Int, Str};
+        let f = f64::from_bits;
+        let computed = match (op, self.store.node(da), self.store.node(db)) {
+            (BinOp::Add, Int(a), Int(b)) => Some(Int(a.wrapping_add(*b))),
+            (BinOp::Sub, Int(a), Int(b)) => Some(Int(a.wrapping_sub(*b))),
+            (BinOp::Mul, Int(a), Int(b)) => Some(Int(a.wrapping_mul(*b))),
+            (BinOp::Div, Int(_), Int(0)) => return Err(EvalError::DivisionByZero),
+            (BinOp::Div, Int(a), Int(b)) => Some(Int(a.wrapping_div(*b))),
+            (BinOp::FAdd, Float(a), Float(b)) => Some(Float((f(*a) + f(*b)).to_bits())),
+            (BinOp::FSub, Float(a), Float(b)) => Some(Float((f(*a) - f(*b)).to_bits())),
+            (BinOp::FMul, Float(a), Float(b)) => Some(Float((f(*a) * f(*b)).to_bits())),
+            (BinOp::FDiv, Float(a), Float(b)) => Some(Float((f(*a) / f(*b)).to_bits())),
+            (BinOp::Lt, Int(a), Int(b)) => Some(Bool(a < b)),
+            (BinOp::Le, Int(a), Int(b)) => Some(Bool(a <= b)),
+            (BinOp::Gt, Int(a), Int(b)) => Some(Bool(a > b)),
+            (BinOp::Ge, Int(a), Int(b)) => Some(Bool(a >= b)),
+            (BinOp::Eq, Int(a), Int(b)) => Some(Bool(a == b)),
+            (BinOp::FLt, Float(a), Float(b)) => Some(Bool(f(*a) < f(*b))),
+            (BinOp::FLe, Float(a), Float(b)) => Some(Bool(f(*a) <= f(*b))),
+            (BinOp::FGt, Float(a), Float(b)) => Some(Bool(f(*a) > f(*b))),
+            (BinOp::FGe, Float(a), Float(b)) => Some(Bool(f(*a) >= f(*b))),
+            (BinOp::FEq, Float(a), Float(b)) => Some(Bool(f(*a) == f(*b))),
+            (BinOp::And, Bool(a), Bool(b)) => Some(Bool(*a && *b)),
+            (BinOp::Or, Bool(a), Bool(b)) => Some(Bool(*a || *b)),
+            (BinOp::Concat, Str(a), Str(b)) => Some(Str(format!("{a}{b}"))),
+            (BinOp::StrEq, Str(a), Str(b)) => Some(Bool(a == b)),
+            _ => None,
+        };
+        match computed {
+            Some(node) => Ok(self.store.intern(node)),
+            None => {
+                if self.store.is_final(da) && self.store.is_final(db) {
+                    Ok(self.store.intern(Node::Bin(op, da, db)))
+                } else {
+                    Err(EvalError::IllTyped(format!(
+                        "binary op {op} on {:?} and {:?}",
+                        self.store.to_iexp(da),
+                        self.store.to_iexp(db)
+                    )))
+                }
+            }
+        }
+    }
+}
+
 /// Evaluates `d` with an explicit fuel budget under a `"eval"` trace span,
 /// reporting the consumed steps to the
 /// [`EvalSteps`](livelit_trace::Counter::EvalSteps) counter.
 ///
 /// This is the instrumented entry point the pipeline's top-level
-/// evaluations route through. It changes nothing about evaluation itself:
-/// with no tracer installed the probes are single atomic loads, and the
-/// result is bit-identical either way (property-tested in the integration
-/// suite).
+/// evaluations route through. It evaluates via the hash-consed
+/// [`TermStore`] ([`StoreEvaluator`]) — substitution is path-copying and
+/// memoized instead of deep-cloning — and converts the result back to a
+/// tree. The result is bit-identical to [`Evaluator::eval`]'s, including
+/// recorded σ and step counts (property-tested in the integration suite).
 ///
 /// # Errors
 ///
 /// See [`EvalError`].
 pub fn eval_traced(d: &IExp, fuel: u64) -> Result<IExp, EvalError> {
+    let mut store = TermStore::new();
+    let t = store.intern_iexp(d);
+    eval_traced_in_store(&mut store, t, fuel).map(|id| store.to_iexp(id))
+}
+
+/// [`eval_traced`] over an already-interned term in a caller-owned store —
+/// the entry point for pipelines that keep terms interned across calls
+/// (collection environments, live splice evaluation).
+///
+/// # Errors
+///
+/// See [`EvalError`].
+pub fn eval_traced_in_store(
+    store: &mut TermStore,
+    t: TermId,
+    fuel: u64,
+) -> Result<TermId, EvalError> {
     let _span = livelit_trace::span("eval");
-    let mut evaluator = Evaluator::with_fuel(fuel);
-    let result = evaluator.eval(d);
-    livelit_trace::count(livelit_trace::Counter::EvalSteps, evaluator.steps());
+    let mut evaluator = StoreEvaluator::with_fuel(store, fuel);
+    let result = evaluator.eval(t);
+    let steps = evaluator.steps();
+    livelit_trace::count(livelit_trace::Counter::EvalSteps, steps);
+    store.report_trace_counters();
     result
 }
 
@@ -313,13 +598,14 @@ pub fn eval(d: &IExp) -> Result<IExp, EvalError> {
 ///
 /// # Errors
 ///
-/// See [`EvalError`].
-///
-/// # Panics
-///
-/// Panics if the evaluation thread cannot be spawned.
+/// See [`EvalError`]. A panic on (or a failure to spawn) the evaluation
+/// thread is caught and surfaced as [`EvalError::Internal`] rather than
+/// propagated, so a runaway evaluation cannot take down the host.
 pub fn eval_with_stack(d: &IExp, fuel: u64, stack_bytes: usize) -> Result<IExp, EvalError> {
-    run_on_big_stack_sized(stack_bytes, || Evaluator::with_fuel(fuel).eval(d))
+    match try_run_on_big_stack_sized(stack_bytes, || Evaluator::with_fuel(fuel).eval(d)) {
+        Ok(result) => result,
+        Err(msg) => Err(EvalError::Internal(msg)),
+    }
 }
 
 /// Default stack size for [`run_on_big_stack`]: generous enough for deeply
@@ -351,6 +637,33 @@ pub fn run_on_big_stack_sized<T: Send>(stack_bytes: usize, f: impl FnOnce() -> T
             .expect("spawn big-stack thread")
             .join()
             .expect("big-stack thread panicked")
+    })
+}
+
+/// [`run_on_big_stack_sized`] that reports failure instead of panicking:
+/// a spawn failure or a panic from `f` is returned as an error message.
+///
+/// # Errors
+///
+/// Returns the panic payload (when it is a string) or the spawn error,
+/// rendered as a message.
+pub fn try_run_on_big_stack_sized<T: Send>(
+    stack_bytes: usize,
+    f: impl FnOnce() -> T + Send,
+) -> Result<T, String> {
+    std::thread::scope(|scope| {
+        let handle = std::thread::Builder::new()
+            .stack_size(stack_bytes)
+            .spawn_scoped(scope, f)
+            .map_err(|e| format!("could not spawn evaluation thread: {e}"))?;
+        handle.join().map_err(|payload| {
+            let msg = payload
+                .downcast_ref::<&'static str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "evaluation thread panicked".to_owned());
+            format!("evaluation thread panicked: {msg}")
+        })
     })
 }
 
@@ -779,6 +1092,72 @@ mod tests {
             resumed.get(&Var::new("open")),
             Some(&IExp::Var(Var::new("open")))
         );
+    }
+
+    #[test]
+    fn evaluator_thread_panic_is_an_error_not_a_host_panic() {
+        let result: Result<(), String> =
+            try_run_on_big_stack_sized(64 * 1024, || panic!("boom: {}", 6 * 7));
+        let msg = result.unwrap_err();
+        assert!(msg.contains("panicked"), "unexpected message: {msg}");
+        assert!(msg.contains("boom: 42"), "payload lost: {msg}");
+    }
+
+    #[test]
+    fn eval_with_stack_still_evaluates() {
+        let (d, _, _) = elab_syn(&Ctx::empty(), &add(int(20), int(22))).unwrap();
+        assert_eq!(
+            eval_with_stack(&d, DEFAULT_FUEL, 8 * 1024 * 1024),
+            Ok(IExp::Int(42))
+        );
+    }
+
+    #[test]
+    fn store_eval_matches_tree_eval_and_steps() {
+        let samples = [
+            add(int(2), mul(int(3), int(4))),
+            ap(lam("x", Typ::Int, add(var("x"), var("x"))), int(21)),
+            ap(
+                lam("x", Typ::Int, add(var("x"), asc(hole(0), Typ::Int))),
+                int(2),
+            ),
+            ite(asc(hole(0), Typ::Bool), int(1), int(2)),
+            letrec(
+                "fact",
+                Typ::arrow(Typ::Int, Typ::Int),
+                lam(
+                    "n",
+                    Typ::Int,
+                    ite(
+                        bin(crate::ops::BinOp::Le, var("n"), int(0)),
+                        int(1),
+                        mul(var("n"), ap(var("fact"), sub(var("n"), int(1)))),
+                    ),
+                ),
+                ap(var("fact"), int(6)),
+            ),
+        ];
+        for e in &samples {
+            let (d, _, _) = elab_syn(&Ctx::empty(), e).expect("elaborates");
+            let mut tree_ev = Evaluator::with_fuel(DEFAULT_FUEL);
+            let tree = tree_ev.eval(&d);
+
+            let mut store = crate::store::TermStore::new();
+            let t = store.intern_iexp(&d);
+            let mut store_ev = StoreEvaluator::with_fuel(&mut store, DEFAULT_FUEL);
+            let interned = store_ev.eval(t);
+            let store_steps = store_ev.steps();
+            assert_eq!(
+                store_steps,
+                tree_ev.steps(),
+                "step count diverged for {e:?}"
+            );
+            match (tree, interned) {
+                (Ok(a), Ok(b)) => assert_eq!(a, store.to_iexp(b), "result diverged for {e:?}"),
+                (Err(a), Err(b)) => assert_eq!(a, b),
+                (a, b) => panic!("outcome diverged for {e:?}: tree {a:?} vs store {b:?}"),
+            }
+        }
     }
 
     #[test]

@@ -53,6 +53,7 @@ pub mod module;
 pub mod ops;
 pub mod parse;
 pub mod pretty;
+pub mod store;
 pub mod typ;
 pub mod typing;
 pub mod unexpanded;
@@ -62,6 +63,7 @@ pub use external::EExp;
 pub use ident::{HoleName, Label, LivelitName, TVar, Var};
 pub use internal::{IExp, Sigma};
 pub use ops::BinOp;
+pub use store::{TermId, TermStore, VarId};
 pub use typ::Typ;
 pub use typing::{Ctx, Delta, TypeError};
 pub use unexpanded::{LivelitAp, Splice, UExp};

@@ -45,11 +45,23 @@ pub enum Counter {
     IncrementalFastPaths,
     /// Incremental-engine runs that re-collected from scratch.
     IncrementalFullRuns,
+    /// Term-store intern calls that found an existing node.
+    InternerHits,
+    /// Term-store intern calls that appended a new node.
+    InternerMisses,
+    /// Substitution-memo lookups served from cache.
+    SubstMemoHits,
+    /// Substitution-memo lookups that had to compute.
+    SubstMemoMisses,
+    /// Livelit expansions served from the expansion cache.
+    ExpansionCacheHits,
+    /// Livelit expansions computed and cached.
+    ExpansionCacheMisses,
 }
 
 impl Counter {
     /// Every counter, in serialization order.
-    pub const ALL: [Counter; 11] = [
+    pub const ALL: [Counter; 17] = [
         Counter::HolesRemaining,
         Counter::ExpansionsPerformed,
         Counter::SplicesEvaluated,
@@ -61,6 +73,12 @@ impl Counter {
         Counter::EvalSteps,
         Counter::IncrementalFastPaths,
         Counter::IncrementalFullRuns,
+        Counter::InternerHits,
+        Counter::InternerMisses,
+        Counter::SubstMemoHits,
+        Counter::SubstMemoMisses,
+        Counter::ExpansionCacheHits,
+        Counter::ExpansionCacheMisses,
     ];
 
     /// The stable snake_case name used in serialized output.
@@ -77,6 +95,12 @@ impl Counter {
             Counter::EvalSteps => "eval_steps",
             Counter::IncrementalFastPaths => "incremental_fast_paths",
             Counter::IncrementalFullRuns => "incremental_full_runs",
+            Counter::InternerHits => "interner_hits",
+            Counter::InternerMisses => "interner_misses",
+            Counter::SubstMemoHits => "subst_memo_hits",
+            Counter::SubstMemoMisses => "subst_memo_misses",
+            Counter::ExpansionCacheHits => "expansion_cache_hits",
+            Counter::ExpansionCacheMisses => "expansion_cache_misses",
         }
     }
 }
