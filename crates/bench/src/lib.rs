@@ -1,5 +1,5 @@
 //! Workload builders shared by the benchmark harness (see EXPERIMENTS.md
-//! for the experiment index B1–B11 the `livelit-bench` binary regenerates;
+//! for the experiment index B1–B13 the `livelit-bench` binary regenerates;
 //! `livelit-bench --only Bn` runs a single experiment).
 
 use hazel::lang::build;
@@ -115,6 +115,36 @@ pub fn expensive_then_livelit(n: i64) -> UExp {
            if k <= 0 then 0 else k + sum_to (k - 1) in \
          let heavy = sum_to {n} in \
          $sum2@0{{()}}(heavy : Int; 1 : Int)"
+    );
+    parse_uexp(&src).expect("workload parses")
+}
+
+/// The B12 workload: `n` independent summands, each an inner `$sum2`
+/// invocation whose first splice performs `k` units of recursive work,
+/// bound to a local and fed to an outer `$sum2` invocation.
+///
+/// Each outer hole's σ maps the local to the inner hole's closure, so
+/// collecting its environment must fill and resume the inner invocation —
+/// `k` evaluation steps per outer hole, `n` mutually independent
+/// resumptions. This is exactly the per-(hole, closure) shape the
+/// scheduler parallelizes during closure collection.
+pub fn parallel_resume_program(n: usize, k: i64) -> UExp {
+    use hazel::lang::parse::parse_uexp;
+    let summands: Vec<String> = (0..n)
+        .map(|i| {
+            format!(
+                "(let a = $sum2@{}{{()}}(sum_to {k} : Int; 1 : Int) in \
+                 $sum2@{}{{()}}(a : Int; 1 : Int))",
+                2 * i,
+                2 * i + 1
+            )
+        })
+        .collect();
+    let src = format!(
+        "let rec sum_to : Int -> Int = fun k : Int -> \
+           if k <= 0 then 0 else k + sum_to (k - 1) in \
+         {}",
+        summands.join(" + ")
     );
     parse_uexp(&src).expect("workload parses")
 }

@@ -1,5 +1,5 @@
 //! `livelit-bench`: the manual benchmark harness behind EXPERIMENTS.md
-//! Part II (B1–B11).
+//! Part II (B1–B13).
 //!
 //! Each experiment times its workload over `--iters` iterations (median-of-N
 //! with a warmup iteration; no external benchmarking dependency) and the
@@ -26,10 +26,10 @@ use hazel::lang::value::iv;
 use hazel::prelude::*;
 use hazel::std::dataframe::DataframeModel;
 use hazel::std::grading::grading_prelude;
-use hazel::trace::{NullSink, StatsSink, Tracer};
+use hazel::trace::{Counter, NullSink, StatsSink, Tracer};
 use livelit_bench::{
     bench_phi, deep_redex_chain, deep_scope_invocation, expensive_then_livelit, many_invocations,
-    sized_program, sized_view, sized_view_edited, wide_invocation,
+    parallel_resume_program, sized_program, sized_view, sized_view_edited, wide_invocation,
 };
 
 /// One timed case: experiment id, group, case label, and the statistics of
@@ -402,6 +402,110 @@ fn run_suite(config: &Config, results: &mut Vec<CaseResult>) {
             ));
         }
     }
+
+    // B12 — parallel closure collection: many independent expensive
+    // fill-and-resume tasks at 1/2/4/8 workers (speedup curve).
+    if wants(config, "B12") {
+        let phi = bench_phi(&[]);
+        let (n, k) = if config.quick {
+            (8usize, 500i64)
+        } else {
+            (16, 2000)
+        };
+        let program = parallel_resume_program(n, k);
+        for workers in [1usize, 2, 4, 8] {
+            hazel::sched::set_workers_override(Some(workers));
+            results.push(summarize(
+                "B12",
+                "parallel_resume/workers",
+                workers.to_string(),
+                sample(config.iters, || {
+                    hazel::core::collect(&phi, &program).expect("collects")
+                }),
+            ));
+        }
+        hazel::sched::set_workers_override(None);
+    }
+
+    // B13 — the splice-result cache under a model-drag render loop: a
+    // warm-cache incremental drag (only the dependent invocation's splices
+    // re-evaluate) versus rebuilding the collection — and its cache — from
+    // scratch every edit.
+    if wants(config, "B13") {
+        let (registry, mut doc) = fanout_doc();
+        let mut engine = IncrementalEngine::new();
+        engine.run(&registry, &doc).expect("pipeline");
+        let mut value = 10i64;
+        results.push(summarize(
+            "B13",
+            "splice_cache/warm_drag",
+            "3 livelits".to_string(),
+            sample(config.iters, || {
+                value = (value + 1) % 100;
+                doc.dispatch(HoleName(0), &iv::record([("set", iv::int(value))]))
+                    .expect("drag");
+                let out = engine.run(&registry, &doc).expect("fast path");
+                out.result.clone()
+            }),
+        ));
+        let (registry, mut doc) = fanout_doc();
+        results.push(summarize(
+            "B13",
+            "splice_cache/cold_full_run",
+            "3 livelits".to_string(),
+            sample(config.iters, || {
+                value = (value + 1) % 100;
+                doc.dispatch(HoleName(0), &iv::record([("set", iv::int(value))]))
+                    .expect("drag");
+                hazel::editor::run(&registry, &doc).expect("full pipeline")
+            }),
+        ));
+        // The cache-precision contract, asserted from the same probes
+        // `hazel stats` reads: one slider drag re-evaluates exactly the
+        // two splices of the invocation whose σ saw the new value — the
+        // edited slider's own splices and the independent one's all hit.
+        let (registry, mut doc) = fanout_doc();
+        let mut engine = IncrementalEngine::new();
+        engine.run(&registry, &doc).expect("pipeline");
+        doc.dispatch(HoleName(0), &iv::record([("set", iv::int(42))]))
+            .expect("drag");
+        engine.run(&registry, &doc).expect("fast path");
+        let sink = StatsSink::new();
+        let tracer = Tracer::monotonic(sink.clone());
+        let guard = hazel::trace::install(&tracer);
+        doc.dispatch(HoleName(0), &iv::record([("set", iv::int(55))]))
+            .expect("drag");
+        engine.run(&registry, &doc).expect("fast path");
+        drop(guard);
+        let stats = sink.snapshot();
+        let misses = stats.counter(Counter::SpliceCacheMisses);
+        let hits = stats.counter(Counter::SpliceCacheHits);
+        assert_eq!(
+            misses, 2,
+            "a single model edit must re-evaluate only the dependent invocation's splices"
+        );
+        assert!(hits >= 4, "unaffected invocations must hit the cache");
+        println!("B13  splice_cache/one_drag_counters    misses {misses} / hits {hits}");
+    }
+}
+
+/// The B13 document: an independent `$slider` (hole 2), the dragged
+/// `$slider` (hole 0), and a dependent `$slider` whose min splice reads
+/// the dragged slider's value (hole 1). The independent slider is bound
+/// first so its σ — and therefore its splice-cache keys — are untouched
+/// by drags of hole 0.
+fn fanout_doc() -> (LivelitRegistry, Document) {
+    let mut registry = LivelitRegistry::new();
+    hazel::std::register_all(&mut registry);
+    let program = parse_uexp(
+        "let c = $slider@2{5}(0 : Int; 9 : Int) in \
+         let a = $slider@0{10}(0 : Int; 100 : Int) in \
+         let b = $slider@1{30}(a : Int; 100 : Int) in \
+         a + b + c",
+    )
+    .expect("parses");
+    let doc = Document::new(&registry, vec![], program).expect("doc");
+    (registry, doc)
 }
 
 /// The grading document of B7: a `$dataframe` with two score columns and

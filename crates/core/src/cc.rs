@@ -24,9 +24,10 @@
 //! expansion followed by evaluation, and the executable form of that theorem
 //! lives in the integration test suite.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
-use std::sync::{Arc, Mutex};
+use std::mem;
+use std::sync::{Arc, Mutex, PoisonError};
 
 use hazel_lang::elab::elab_syn;
 use hazel_lang::eval::{
@@ -274,15 +275,72 @@ pub fn cc_expand(phi: &LivelitCtx, e: &UExp, omega: &mut Omega) -> Result<EExp, 
 /// for simultaneous substitution.
 pub type InternedSigma = Box<[(VarId, TermId)]>;
 
+/// Clear the splice-result cache once it holds this many entries.
+pub const SPLICE_CACHE_CAP: usize = 1 << 16;
+
+/// A memoized live-splice outcome: everything
+/// [`crate::live::eval_splice`] needs to reconstruct its result without
+/// re-realizing or re-evaluating the splice.
+#[derive(Debug, Clone)]
+pub enum CachedSplice {
+    /// σ left a free variable in the realized splice — the result is
+    /// absent (`Ok(None)`).
+    NotClosed,
+    /// Evaluation failed.
+    Err(EvalError),
+    /// Evaluation finished.
+    Done {
+        /// The interned final expression.
+        result: TermId,
+        /// Whether it classifies as a value (vs. indeterminate).
+        is_val: bool,
+    },
+}
+
 /// Lazily interned collected environments: one term store shared by every
 /// live splice evaluation against the same collection, so σ values are
 /// interned once per closure rather than deep-copied per evaluation.
+///
+/// Doubling as the *splice-result cache*: results are keyed by the
+/// interned elaborated splice and a compact id for the interned σ
+/// contents. Both key components are content-addressed — ids depend only
+/// on term structure — so entries stay valid across
+/// [`Collection::refresh_after_omega_change`]: after a model edit, only
+/// splices whose σ actually changed miss.
 #[derive(Debug, Default)]
 pub struct InternedEnvs {
     /// The store holding interned σ values, splice terms, and results.
     pub store: TermStore,
     /// σ interned per (livelit hole, closure index), built on first use.
     pub envs: BTreeMap<(HoleName, usize), InternedSigma>,
+    /// Compact ids for distinct σ contents, assigned in first-use order.
+    pub sigma_ids: HashMap<InternedSigma, u32>,
+    /// The splice-result cache, keyed by (elaborated splice, σ id).
+    pub results: HashMap<(TermId, u32), CachedSplice>,
+}
+
+impl InternedEnvs {
+    /// The compact id for a σ pair-list, assigning the next one on first
+    /// use. Content-addressed: two closures with identical contents (now
+    /// or across refreshes) share an id.
+    pub fn sigma_id(&mut self, pairs: &InternedSigma) -> u32 {
+        if let Some(&id) = self.sigma_ids.get(pairs) {
+            return id;
+        }
+        let id = u32::try_from(self.sigma_ids.len()).expect("sigma id overflow");
+        self.sigma_ids.insert(pairs.clone(), id);
+        id
+    }
+
+    /// Inserts a splice result, clearing the cache wholesale at
+    /// [`SPLICE_CACHE_CAP`] entries (epoch eviction, as for the
+    /// substitution memo).
+    pub fn cache_result(&mut self, key: (TermId, u32), value: CachedSplice) {
+        if self.results.len() >= SPLICE_CACHE_CAP {
+            self.results.clear();
+        }
+        self.results.insert(key, value);
+    }
 }
 
 /// The result of running closure collection on a program.
@@ -338,10 +396,17 @@ impl Collection {
     /// Propagates resumption errors.
     pub fn refresh_after_omega_change(&mut self) -> Result<(), EvalError> {
         self.envs = collect_envs(&self.proto_result, &self.omega, self.fuel)?;
-        // The interned mirror is stale now; start a fresh one (clones of
-        // the pre-refresh collection keep the old state, which still
-        // matches *their* envs).
-        self.interned = Arc::default();
+        // The (hole, index) → σ map is stale, but the term store and the
+        // splice-result cache survive: their keys are content-addressed
+        // (term structure, σ contents), so after a model edit only splices
+        // whose σ actually changed will miss. Move the state into a fresh
+        // Arc — pre-refresh clones keep the old (now emptied) shared state
+        // and rebuild their mirror lazily, which still matches *their*
+        // envs because interning is content-addressed too.
+        let mut interned =
+            mem::take(&mut *self.interned.lock().unwrap_or_else(PoisonError::into_inner));
+        interned.envs.clear();
+        self.interned = Arc::new(Mutex::new(interned));
         Ok(())
     }
 
@@ -404,6 +469,14 @@ pub fn collect_with_fuel(
 /// every livelit hole's environments from an evaluated cc-expansion, as a
 /// set (duplicate environments — the same stuck closure substituted into
 /// several positions — collapse to one), then fills with Ω and resumes.
+///
+/// Resumption fans out on the work-stealing pool: each (hole, closure)
+/// task is pure tree evaluation over shared immutable inputs (Ω and the
+/// proto-environments), so tasks are independent by construction. The
+/// sequential observable discipline is preserved exactly — results are
+/// reassembled in (hole, closure) order, `ClosuresCollected` is emitted
+/// per hole (from this thread) before its resumptions are consumed, and
+/// the first failure in task order is the one returned.
 fn collect_envs(
     proto_result: &IExp,
     omega: &Omega,
@@ -419,18 +492,30 @@ fn collect_envs(
             }
         }
     }
-    let mut envs = BTreeMap::new();
-    for (u, sigmas) in proto_envs {
-        livelit_trace::count(
-            livelit_trace::Counter::ClosuresCollected,
-            sigmas.len() as u64,
-        );
-        let mut resumed = Vec::with_capacity(sigmas.len());
-        for sigma in sigmas {
-            let filled = omega.fill_sigma(&sigma);
-            resumed.push(run_on_big_stack(|| resume_sigma(&filled, fuel))?);
+    let tasks: Vec<(HoleName, Sigma)> = proto_envs
+        .into_iter()
+        .flat_map(|(u, sigmas)| sigmas.into_iter().map(move |s| (u, s)))
+        .collect();
+    let resumed = crate::par::run_tasks(&tasks, |_, (_, sigma)| {
+        let filled = omega.fill_sigma(sigma);
+        resume_sigma(&filled, fuel)
+    });
+
+    let mut envs: BTreeMap<HoleName, Vec<Sigma>> = BTreeMap::new();
+    let mut results = resumed.into_iter();
+    let mut idx = 0;
+    while idx < tasks.len() {
+        let u = tasks[idx].0;
+        let count = tasks[idx..].iter().take_while(|(h, _)| *h == u).count();
+        livelit_trace::count(livelit_trace::Counter::ClosuresCollected, count as u64);
+        let mut hole_envs = Vec::with_capacity(count);
+        for task_result in results.by_ref().take(count) {
+            // Outer: a panicking task, folded to `EvalError::Internal` by
+            // the pool bridge. Inner: an ordinary resumption failure.
+            hole_envs.push(task_result??);
         }
-        envs.insert(u, resumed);
+        envs.insert(u, hole_envs);
+        idx += count;
     }
     Ok(envs)
 }

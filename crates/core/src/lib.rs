@@ -57,8 +57,9 @@ pub mod encoding_structural;
 pub mod expansion;
 pub mod live;
 pub mod module;
+pub mod par;
 
 pub use cc::{collect, collect_with_fuel, Collection, Omega};
 pub use def::{EncodingScheme, ExpandFn, LivelitCtx, LivelitDef};
 pub use expansion::{expand, expand_typed, ExpandError};
-pub use live::{eval_splice, eval_splice_in_env, LiveError, LiveResult};
+pub use live::{eval_splice, eval_splice_in_env, eval_splices, LiveError, LiveResult, SpliceJob};

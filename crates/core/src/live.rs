@@ -7,19 +7,22 @@
 //! possible, e.g. because no closures are collected or because no value has
 //! been collected for a variable used in the splice".
 
+use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::mem;
+use std::sync::{Arc, PoisonError};
 
 use hazel_lang::elab::elab_ana;
-use hazel_lang::eval::{
-    eval_traced, eval_traced_in_store, run_on_big_stack, EvalError, DEFAULT_FUEL,
-};
+use hazel_lang::eval::{eval_traced, run_on_big_stack, EvalError, StoreEvaluator, DEFAULT_FUEL};
 use hazel_lang::final_form::{is_value, Classification};
+use hazel_lang::ident::HoleName;
 use hazel_lang::internal::{IExp, Sigma};
+use hazel_lang::store::{TermId, TermStore};
 use hazel_lang::typ::Typ;
 use hazel_lang::typing::{Ctx, TypeError};
 use hazel_lang::unexpanded::UExp;
 
-use crate::cc::Collection;
+use crate::cc::{CachedSplice, Collection};
 use crate::def::LivelitCtx;
 use crate::expansion::{expand, ExpandError};
 
@@ -134,13 +137,215 @@ pub fn eval_splice_in_env(
     }))
 }
 
+/// One request in a batch of live splice evaluations: evaluate `splice`
+/// (of splice type `ty`) under the `env_index`-th closure collected for
+/// livelit hole `u`.
+#[derive(Debug, Clone, Copy)]
+pub struct SpliceJob<'a> {
+    /// The livelit hole whose collected closures supply the environment.
+    pub u: HoleName,
+    /// Index of the collected closure to evaluate under.
+    pub env_index: usize,
+    /// The unexpanded splice expression.
+    pub splice: &'a UExp,
+    /// The splice type it must check against.
+    pub ty: &'a Typ,
+}
+
+/// What the sequential preparation phase decided about one job.
+enum Prepared {
+    /// Decided without evaluation: missing closure or hypothesis, or an
+    /// expansion/type error.
+    Ready(Result<Option<LiveResult>, LiveError>),
+    /// Resolve from the splice-result cache under this key after the
+    /// parallel evaluation phase.
+    Key((TermId, u32)),
+}
+
+/// Evaluates a batch of splices, sharing one pass over the collection's
+/// interned state and evaluating distinct cache misses in parallel on the
+/// global pool.
+///
+/// Slot `i` of the output corresponds to `jobs[i]`. Results are identical
+/// to calling [`eval_splice`] per job in order — the batch exists so the
+/// editor can saturate the pool when re-rendering every view after an
+/// edit. Three phases:
+///
+/// 1. **Prepare** (sequential, in job order): expand, elaborate, intern σ,
+///    substitute, and consult the per-collection splice-result cache keyed
+///    by (interned elaborated splice, interned σ). Hits and batch
+///    duplicates are counted as [`livelit_trace::Counter::SpliceCacheHits`].
+/// 2. **Evaluate** (parallel): the main store is frozen into an immutable
+///    snapshot; each distinct miss evaluates in a private delta store over
+///    it on the pool.
+/// 3. **Merge** (sequential, in task order): deltas are absorbed back into
+///    the main store with structural dedup, so the final store contents —
+///    and every result — are bit-identical at any pool size.
+pub fn eval_splices(
+    phi: &LivelitCtx,
+    collection: &Collection,
+    jobs: &[SpliceJob<'_>],
+) -> Vec<Result<Option<LiveResult>, LiveError>> {
+    let mut guard = collection
+        .interned()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    let interned = &mut *guard;
+
+    let mut prepared: Vec<Prepared> = Vec::with_capacity(jobs.len());
+    // Results decided this batch, keyed like the shared cache. The final
+    // phase reads these rather than the shared cache so a capacity
+    // eviction between phases cannot drop a key a job depends on.
+    let mut batch_results: HashMap<(TermId, u32), CachedSplice> = HashMap::new();
+    let mut scheduled: HashSet<(TermId, u32)> = HashSet::new();
+    let mut to_eval: Vec<((TermId, u32), TermId)> = Vec::new();
+    for job in jobs {
+        let Some(sigma) = collection.envs_for(job.u).get(job.env_index) else {
+            prepared.push(Prepared::Ready(Ok(None)));
+            continue;
+        };
+        let Some(hyp) = collection.delta.get(job.u) else {
+            prepared.push(Prepared::Ready(Ok(None)));
+            continue;
+        };
+        let _span = livelit_trace::span("live.eval_splice");
+        livelit_trace::count(livelit_trace::Counter::SplicesEvaluated, 1);
+        let expanded = match expand(phi, job.splice) {
+            Ok(e) => e,
+            Err(e) => {
+                prepared.push(Prepared::Ready(Err(e.into())));
+                continue;
+            }
+        };
+        let (d, _delta) = match elab_ana(&hyp.ctx, &expanded, job.ty) {
+            Ok(elaborated) => elaborated,
+            Err(e) => {
+                prepared.push(Prepared::Ready(Err(e.into())));
+                continue;
+            }
+        };
+        // The interned fast path: semantically identical to
+        // [`eval_splice_in_env`] (the property suite checks this), but σ
+        // is interned once per closure into the collection's shared term
+        // store, realization is a path-copying simultaneous substitution,
+        // and the closedness check reads the store's free-variable cache.
+        if !interned.envs.contains_key(&(job.u, job.env_index)) {
+            let pairs = interned.store.intern_sigma(sigma);
+            interned.envs.insert((job.u, job.env_index), pairs);
+        }
+        let pairs = interned.envs[&(job.u, job.env_index)].clone();
+        let sid = interned.sigma_id(&pairs);
+        let dt = interned.store.intern_iexp(&d);
+        let key = (dt, sid);
+        if let Some(cached) = interned.results.get(&key) {
+            livelit_trace::count(livelit_trace::Counter::SpliceCacheHits, 1);
+            batch_results.entry(key).or_insert_with(|| cached.clone());
+            prepared.push(Prepared::Key(key));
+            continue;
+        }
+        if scheduled.contains(&key) {
+            // An earlier job in this batch already scheduled this key.
+            livelit_trace::count(livelit_trace::Counter::SpliceCacheHits, 1);
+            prepared.push(Prepared::Key(key));
+            continue;
+        }
+        livelit_trace::count(livelit_trace::Counter::SpliceCacheMisses, 1);
+        let closed = interned.store.subst_many(dt, &pairs);
+        if !interned.store.is_closed(closed) {
+            // A variable in the splice has no collected value.
+            interned.cache_result(key, CachedSplice::NotClosed);
+            batch_results.insert(key, CachedSplice::NotClosed);
+            prepared.push(Prepared::Key(key));
+            continue;
+        }
+        scheduled.insert(key);
+        to_eval.push((key, closed));
+        prepared.push(Prepared::Key(key));
+    }
+
+    if !to_eval.is_empty() {
+        let _span = livelit_trace::span("live.eval_batch");
+        let frozen = Arc::new(mem::take(&mut interned.store));
+        let frozen_ref = &frozen;
+        let mut outcomes = crate::par::run_tasks(&to_eval, move |_, &(_, closed)| {
+            // Pool workers run on `WORKER_STACK_BYTES` stacks, so no
+            // `run_on_big_stack` trampoline is needed here. The evaluator
+            // writes only into the task-private delta; trace events are
+            // never emitted from worker threads.
+            let mut delta = TermStore::delta(frozen_ref);
+            let mut evaluator = StoreEvaluator::with_fuel(&mut delta, DEFAULT_FUEL);
+            let result = evaluator.eval(closed);
+            let steps = evaluator.steps();
+            (result, steps, delta)
+        });
+        for (_, _, delta) in outcomes.iter_mut().flatten() {
+            delta.release_base();
+        }
+        // Panicked tasks dropped their delta (and its snapshot handle)
+        // during unwind; healthy deltas released theirs above.
+        let mut store = Arc::try_unwrap(frozen).expect("all snapshot handles released after join");
+        for (&(key, _), outcome) in to_eval.iter().zip(outcomes) {
+            let cached = match outcome {
+                Err(e) => CachedSplice::Err(e),
+                Ok((result, steps, delta)) => {
+                    livelit_trace::count(livelit_trace::Counter::EvalSteps, steps);
+                    match result {
+                        Err(e) => CachedSplice::Err(e),
+                        Ok(result_id) => {
+                            let remap = store.absorb(&delta);
+                            let result_id = remap.term(result_id);
+                            let is_val =
+                                matches!(store.classification(result_id), Classification::Value);
+                            CachedSplice::Done {
+                                result: result_id,
+                                is_val,
+                            }
+                        }
+                    }
+                }
+            };
+            interned.cache_result(key, cached.clone());
+            batch_results.insert(key, cached);
+        }
+        interned.store = store;
+    }
+    interned.store.report_trace_counters();
+
+    prepared
+        .into_iter()
+        .map(|p| match p {
+            Prepared::Ready(result) => result,
+            Prepared::Key(key) => {
+                let cached = batch_results
+                    .get(&key)
+                    .or_else(|| interned.results.get(&key))
+                    .expect("splice batch key resolved in prepare or evaluate phase");
+                match cached {
+                    CachedSplice::NotClosed => Ok(None),
+                    CachedSplice::Err(e) => Err(LiveError::Eval(e.clone())),
+                    CachedSplice::Done { result, is_val } => {
+                        let tree = interned.store.to_iexp(*result);
+                        Ok(Some(if *is_val {
+                            LiveResult::Val(tree)
+                        } else {
+                            LiveResult::Indet(tree)
+                        }))
+                    }
+                }
+            }
+        })
+        .collect()
+}
+
 /// Evaluates splice `ê` under the `env_index`-th closure collected for
 /// livelit hole `u` — the closure-selection workflow of Fig. 2, where the
 /// client toggles between the closures of a livelit appearing in a
 /// multiply-applied function.
 ///
 /// Returns `Ok(None)` if no closure with that index was collected, or if the
-/// selected environment lacks a needed variable.
+/// selected environment lacks a needed variable. A batch of one
+/// [`eval_splices`] job; repeated calls with an unchanged splice and σ are
+/// served from the collection's splice-result cache.
 ///
 /// # Errors
 ///
@@ -148,52 +353,23 @@ pub fn eval_splice_in_env(
 pub fn eval_splice(
     phi: &LivelitCtx,
     collection: &Collection,
-    u: hazel_lang::HoleName,
+    u: HoleName,
     env_index: usize,
     splice: &UExp,
     ty: &Typ,
 ) -> Result<Option<LiveResult>, LiveError> {
-    let Some(sigma) = collection.envs_for(u).get(env_index) else {
-        return Ok(None);
-    };
-    let Some(hyp) = collection.delta.get(u) else {
-        return Ok(None);
-    };
-    // The interned fast path: semantically identical to
-    // [`eval_splice_in_env`] (the property suite checks this), but σ is
-    // interned once per closure into the collection's shared term store,
-    // realization is a path-copying simultaneous substitution, and the
-    // closedness check reads the store's free-variable cache.
-    let _span = livelit_trace::span("live.eval_splice");
-    livelit_trace::count(livelit_trace::Counter::SplicesEvaluated, 1);
-    let expanded = expand(phi, splice)?;
-    let (d, _delta) = elab_ana(&hyp.ctx, &expanded, ty)?;
-    let mut guard = collection
-        .interned()
-        .lock()
-        .expect("interned envs poisoned");
-    let interned = &mut *guard;
-    if !interned.envs.contains_key(&(u, env_index)) {
-        let pairs = interned.store.intern_sigma(sigma);
-        interned.envs.insert((u, env_index), pairs);
-    }
-    let pairs = interned.envs[&(u, env_index)].clone();
-    let dt = interned.store.intern_iexp(&d);
-    let closed = interned.store.subst_many(dt, &pairs);
-    if !interned.store.is_closed(closed) {
-        // A variable in the splice has no collected value.
-        interned.store.report_trace_counters();
-        return Ok(None);
-    }
-    let store = &mut interned.store;
-    let result_id = run_on_big_stack(|| eval_traced_in_store(store, closed, DEFAULT_FUEL))?;
-    let is_val = matches!(store.classification(result_id), Classification::Value);
-    let result = store.to_iexp(result_id);
-    Ok(Some(if is_val {
-        LiveResult::Val(result)
-    } else {
-        LiveResult::Indet(result)
-    }))
+    eval_splices(
+        phi,
+        collection,
+        &[SpliceJob {
+            u,
+            env_index,
+            splice,
+            ty,
+        }],
+    )
+    .pop()
+    .expect("one job in, one result out")
 }
 
 #[cfg(test)]

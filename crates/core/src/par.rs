@@ -1,0 +1,89 @@
+//! The core's bridge onto the [`livelit_sched`] work-stealing pool.
+//!
+//! Live evaluation's hot loops are embarrassingly parallel — per-(hole,
+//! closure) resumption and per-splice evaluation share no mutable state —
+//! but their error discipline is sequential: the pipeline returns the
+//! *first* failure in task order, and a panicking evaluator task must
+//! surface as an [`EvalError::Internal`], never abort the host or wedge
+//! later renders. This module packages those conventions once:
+//! [`run_tasks`] fans a closure out over the global pool, converts any
+//! captured task panic into `EvalError::Internal` at its task index, and
+//! reports the region's utilization counters through `livelit-trace` from
+//! the calling thread (worker threads never emit trace events, keeping
+//! event streams deterministic at every pool size).
+
+use hazel_lang::eval::EvalError;
+use livelit_sched::{Pool, PoolStats};
+use livelit_trace::Counter;
+
+/// Runs `f` over every item on the global pool, preserving input order.
+///
+/// Slot `i` of the output is `f(i, &items[i])`, with a task panic folded
+/// to `Err(EvalError::Internal)` in that slot. Pool utilization counters
+/// ([`Counter::SchedTasks`], [`Counter::SchedSteals`],
+/// [`Counter::SchedIdleNs`]) are emitted from the calling thread; steals
+/// and idle time — genuinely nondeterministic quantities — are emitted
+/// only when nonzero, so deterministic traces stay byte-identical.
+pub fn run_tasks<T, R, F>(items: &[T], f: F) -> Vec<Result<R, EvalError>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let (results, stats) = Pool::global().map(items, f);
+    report_pool_stats(stats);
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.map_err(|panic| {
+                EvalError::Internal(format!("evaluation task panicked: {}", panic.message))
+            })
+        })
+        .collect()
+}
+
+/// Emits one region's pool counters from the current thread.
+fn report_pool_stats(stats: PoolStats) {
+    livelit_trace::count(Counter::SchedTasks, stats.tasks);
+    if stats.steals > 0 {
+        livelit_trace::count(Counter::SchedSteals, stats.steals);
+    }
+    if stats.idle_ns > 0 {
+        livelit_trace::count(Counter::SchedIdleNs, stats.idle_ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_task_panic_surfaces_as_internal_eval_error_not_an_abort() {
+        let items: Vec<i64> = (0..16).collect();
+        let results = run_tasks(&items, |_, &x| {
+            assert!(x != 11, "worker died mid-splice");
+            x * 2
+        });
+        assert_eq!(results.len(), 16);
+        for (i, r) in results.iter().enumerate() {
+            if i == 11 {
+                match r {
+                    Err(EvalError::Internal(msg)) => {
+                        assert!(msg.contains("worker died mid-splice"), "got: {msg}");
+                    }
+                    other => panic!("expected Internal eval error, got {other:?}"),
+                }
+            } else {
+                assert_eq!(r.as_ref().unwrap(), &(i as i64 * 2));
+            }
+        }
+    }
+
+    #[test]
+    fn results_arrive_in_task_order() {
+        let items: Vec<u64> = (0..64).collect();
+        let results = run_tasks(&items, |i, &x| x + i as u64);
+        let got: Vec<u64> = results.into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(got, (0..64).map(|i| i * 2).collect::<Vec<_>>());
+    }
+}

@@ -16,6 +16,7 @@ use hazel_lang::unexpanded::UExp;
 use livelit_core::cc::{collect_with_fuel, CollectError, Collection};
 use livelit_core::def::LivelitCtx;
 use livelit_core::expansion::{expand_invocation, expand_typed, ExpandError};
+use livelit_core::live::{eval_splices, SpliceJob};
 use livelit_mvu::html::Html;
 use livelit_mvu::livelit::{Action, CmdError};
 
@@ -207,18 +208,43 @@ pub(crate) fn recompute_views(
     let phi = registry.phi();
     output.views.clear();
     output.view_errors.clear();
+    // Prewarm the splice-result cache in one batch: every splice of every
+    // instance, under its selected closure. The batch evaluates distinct
+    // cache misses in parallel on the scheduler pool; the per-splice
+    // `eval_splice` calls the views make below then hit the cache.
+    let mut jobs: Vec<SpliceJob<'_>> = Vec::new();
     for u in doc.livelit_holes() {
         let Some(instance) = doc.instance(u) else {
             continue;
         };
         let envs = output.collection.envs_for(u);
+        if envs.is_empty() {
+            continue;
+        }
+        let env_index = instance.selected_env.min(envs.len() - 1);
+        for (_r, info) in instance.store().iter() {
+            jobs.push(SpliceJob {
+                u,
+                env_index,
+                splice: &info.content,
+                ty: &info.ty,
+            });
+        }
+    }
+    // Errors are cached per splice and resurface identically when the
+    // view asks for that splice, so the batch's own slots are not needed.
+    let _ = eval_splices(&phi, &output.collection, &jobs);
+    for u in doc.livelit_holes() {
+        let Some(instance) = doc.instance(u) else {
+            continue;
+        };
         let gamma = output
             .collection
             .delta
             .get(u)
             .map(|hyp| hyp.ctx.clone())
             .unwrap_or_else(|| doc.prelude_ctx());
-        match instance.view(&phi, &gamma, envs, fuel) {
+        match instance.view_live(&phi, &gamma, &output.collection, fuel) {
             Ok(view) => {
                 output.views.insert(u, view);
             }

@@ -108,6 +108,11 @@ pub fn describe_timings(stats: &Stats) -> Option<String> {
         Counter::AnalyzerCacheMisses,
         Counter::IncrementalFastPaths,
         Counter::IncrementalFullRuns,
+        Counter::SpliceCacheHits,
+        Counter::SpliceCacheMisses,
+        Counter::SchedTasks,
+        Counter::SchedSteals,
+        Counter::SchedIdleNs,
     ];
     let counters: Vec<String> = interesting
         .iter()

@@ -190,22 +190,14 @@ pub fn render_session(
             }
             continue;
         };
-        let gamma = out
-            .collection
-            .delta
-            .get(u)
-            .map(|hyp| hyp.ctx.clone())
-            .unwrap_or_default();
         let resolver = InstanceResolver {
             instance,
             phi: &phi,
-            gamma: &gamma,
-            env: out.collection.envs_for(u).get(
-                instance
-                    .selected_env
-                    .min(out.collection.envs_for(u).len().saturating_sub(1)),
-            ),
-            fuel: 1_000_000,
+            collection: &out.collection,
+            hole: u,
+            env_index: instance
+                .selected_env
+                .min(out.collection.envs_for(u).len().saturating_sub(1)),
         };
         match instance.layout() {
             livelit_mvu::LivelitLayout::Inline => {
@@ -244,18 +236,12 @@ pub fn render_dashboard(
         let (Some(instance), Some(view)) = (doc.instance(u), out.views.get(&u)) else {
             continue;
         };
-        let gamma = out
-            .collection
-            .delta
-            .get(u)
-            .map(|hyp| hyp.ctx.clone())
-            .unwrap_or_default();
         let resolver = InstanceResolver {
             instance,
             phi: &phi,
-            gamma: &gamma,
-            env: out.collection.envs_for(u).first(),
-            fuel: 1_000_000,
+            collection: &out.collection,
+            hole: u,
+            env_index: 0,
         };
         lines.extend(render_boxed(&instance.name().to_string(), view, &resolver));
         lines.push(String::new());
@@ -265,18 +251,22 @@ pub fn render_dashboard(
 
 /// A resolver backed by a live instance: splice editors show the splice's
 /// pretty-printed contents, result views show the live evaluation result
-/// under the instance's selected closure.
+/// under one of the closures collected for the instance's hole.
+///
+/// Result views evaluate through the collection's interned term store and
+/// splice-result cache ([`livelit_core::live::eval_splice`]), so repeated
+/// renders of an unchanged splice are cache hits rather than re-walks.
 pub struct InstanceResolver<'a> {
     /// The instance whose store backs the splices.
     pub instance: &'a livelit_mvu::host::Instance,
     /// The livelit context for expanding splices.
     pub phi: &'a livelit_core::def::LivelitCtx,
-    /// The invocation-site typing context.
-    pub gamma: &'a hazel_lang::typing::Ctx,
-    /// The selected closure's environment, if any.
-    pub env: Option<&'a hazel_lang::internal::Sigma>,
-    /// Evaluation fuel for result views.
-    pub fuel: u64,
+    /// The closure collection backing live evaluation.
+    pub collection: &'a livelit_core::cc::Collection,
+    /// The livelit hole this instance fills.
+    pub hole: hazel_lang::ident::HoleName,
+    /// Which collected closure to evaluate under.
+    pub env_index: usize,
 }
 
 impl SpliceResolver for InstanceResolver<'_> {
@@ -288,15 +278,14 @@ impl SpliceResolver for InstanceResolver<'_> {
     }
 
     fn result_text(&self, r: SpliceRef) -> Option<String> {
-        let env = self.env?;
         let info = self.instance.store().get(r)?;
-        let result = livelit_core::live::eval_splice_in_env(
+        let result = livelit_core::live::eval_splice(
             self.phi,
-            self.gamma,
-            env,
+            self.collection,
+            self.hole,
+            self.env_index,
             &info.content,
             &info.ty,
-            self.fuel,
         )
         .ok()??;
         Some(hazel_lang::pretty::print_iexp(result.exp(), usize::MAX))

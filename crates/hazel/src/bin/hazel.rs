@@ -110,11 +110,16 @@ fn trace(args: &[String]) -> ExitCode {
     let sink = RingSink::new(TRACE_CAPACITY);
     // The deterministic clock makes the serialized trace byte-identical
     // across runs: timestamps advance by a fixed tick per clock query.
+    // Force the sequential evaluation path for the same reason — at one
+    // worker the scheduler runs tasks in index order and reports no
+    // nondeterministic steal/idle counters.
     let tracer = Tracer::deterministic(sink.clone());
+    livelit_sched::set_workers_override(Some(1));
     let result = {
         let _guard = hazel::trace::install(&tracer);
         run_pipeline(&path)
     };
+    livelit_sched::set_workers_override(None);
     if let Err(code) = result {
         return code;
     }

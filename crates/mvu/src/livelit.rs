@@ -15,13 +15,14 @@
 use std::fmt;
 
 use hazel_lang::external::EExp;
-use hazel_lang::ident::LivelitName;
+use hazel_lang::ident::{HoleName, LivelitName};
 use hazel_lang::internal::{IExp, Sigma};
 use hazel_lang::typ::Typ;
 use hazel_lang::typing::Ctx;
 use hazel_lang::Var;
+use livelit_core::cc::Collection;
 use livelit_core::def::LivelitCtx;
-use livelit_core::live::{eval_splice_in_env, LiveError, LiveResult};
+use livelit_core::live::{eval_splice, eval_splice_in_env, LiveError, LiveResult};
 
 use crate::html::{Dim, Html};
 use crate::splice::{SpliceError, SpliceRef, SpliceStore};
@@ -180,6 +181,10 @@ pub struct ViewCtx<'a> {
     /// The closure the client has selected, if any were collected.
     env: Option<&'a Sigma>,
     fuel: u64,
+    /// The collection-backed fast path, when the host supplied one:
+    /// `eval_splice` routes through the collection's interned term store
+    /// and splice-result cache instead of tree-walking evaluation.
+    live: Option<(&'a Collection, HoleName, usize)>,
 }
 
 impl<'a> ViewCtx<'a> {
@@ -199,7 +204,23 @@ impl<'a> ViewCtx<'a> {
             gamma,
             env,
             fuel,
+            live: None,
         }
+    }
+
+    /// Routes this context's `eval_splice` through `collection`'s interned
+    /// term store and splice-result cache, under the `env_index`-th closure
+    /// collected for `hole`. Semantically identical to the tree-walking
+    /// fallback (the property suite pins this); repeated renders with an
+    /// unchanged splice and environment become cache hits.
+    pub fn with_collection(
+        mut self,
+        collection: &'a Collection,
+        hole: HoleName,
+        env_index: usize,
+    ) -> ViewCtx<'a> {
+        self.live = Some((collection, hole, env_index));
+        self
     }
 
     /// The `eval_splice` command: evaluates a splice (or parameter) under
@@ -216,6 +237,16 @@ impl<'a> ViewCtx<'a> {
         let Some(info) = self.store.get(r) else {
             return Ok(None);
         };
+        if let Some((collection, hole, env_index)) = self.live {
+            return Ok(eval_splice(
+                self.phi,
+                collection,
+                hole,
+                env_index,
+                &info.content,
+                &info.ty,
+            )?);
+        }
         Ok(eval_splice_in_env(
             self.phi,
             self.gamma,

@@ -57,11 +57,23 @@ pub enum Counter {
     ExpansionCacheHits,
     /// Livelit expansions computed and cached.
     ExpansionCacheMisses,
+    /// Live splice evaluations served from the splice-result cache.
+    SpliceCacheHits,
+    /// Live splice evaluations computed and cached.
+    SpliceCacheMisses,
+    /// Tasks executed by the work-stealing evaluation pool.
+    SchedTasks,
+    /// Pool tasks a worker stole from a sibling's deque. Nondeterministic;
+    /// emitted only when nonzero so deterministic traces stay stable.
+    SchedSteals,
+    /// Worker-nanoseconds the pool spent idle (wall × workers − busy).
+    /// Nondeterministic; emitted only when nonzero.
+    SchedIdleNs,
 }
 
 impl Counter {
     /// Every counter, in serialization order.
-    pub const ALL: [Counter; 17] = [
+    pub const ALL: [Counter; 22] = [
         Counter::HolesRemaining,
         Counter::ExpansionsPerformed,
         Counter::SplicesEvaluated,
@@ -79,6 +91,11 @@ impl Counter {
         Counter::SubstMemoMisses,
         Counter::ExpansionCacheHits,
         Counter::ExpansionCacheMisses,
+        Counter::SpliceCacheHits,
+        Counter::SpliceCacheMisses,
+        Counter::SchedTasks,
+        Counter::SchedSteals,
+        Counter::SchedIdleNs,
     ];
 
     /// The stable snake_case name used in serialized output.
@@ -101,6 +118,11 @@ impl Counter {
             Counter::SubstMemoMisses => "subst_memo_misses",
             Counter::ExpansionCacheHits => "expansion_cache_hits",
             Counter::ExpansionCacheMisses => "expansion_cache_misses",
+            Counter::SpliceCacheHits => "splice_cache_hits",
+            Counter::SpliceCacheMisses => "splice_cache_misses",
+            Counter::SchedTasks => "sched_tasks",
+            Counter::SchedSteals => "sched_steals",
+            Counter::SchedIdleNs => "sched_idle_ns",
         }
     }
 }

@@ -94,13 +94,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("== $dataframe (cells show VALUES, like a spreadsheet) ==");
     let df_view = out.views.get(&HoleName(0)).expect("dataframe view");
-    let gamma0 = out.collection.delta.get(HoleName(0)).unwrap().ctx.clone();
     let resolver = hazel::editor::InstanceResolver {
         instance: doc.instance(HoleName(0)).unwrap(),
         phi: &phi,
-        gamma: &gamma0,
-        env: out.collection.envs_for(HoleName(0)).first(),
-        fuel: 4_000_000,
+        collection: &out.collection,
+        hole: HoleName(0),
+        env_index: 0,
     };
     for line in hazel::editor::render_boxed("$dataframe", df_view, &resolver) {
         println!("{line}");
@@ -108,13 +107,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\n== $grade_cutoffs (live distribution of averages) ==");
     let gc_view = out.views.get(&HoleName(1)).expect("cutoffs view");
-    let gamma1 = out.collection.delta.get(HoleName(1)).unwrap().ctx.clone();
     let resolver1 = hazel::editor::InstanceResolver {
         instance: doc.instance(HoleName(1)).unwrap(),
         phi: &phi,
-        gamma: &gamma1,
-        env: out.collection.envs_for(HoleName(1)).first(),
-        fuel: 4_000_000,
+        collection: &out.collection,
+        hole: HoleName(1),
+        env_index: 0,
     };
     for line in hazel::editor::render_boxed("$grade_cutoffs", gc_view, &resolver1) {
         println!("{line}");

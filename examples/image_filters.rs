@@ -59,9 +59,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let resolver = hazel::editor::InstanceResolver {
             instance: inst,
             phi: &phi,
-            gamma: &gamma,
-            env: envs.get(i),
-            fuel: 4_000_000,
+            collection: &out.collection,
+            hole: HoleName(0),
+            env_index: i,
         };
         println!("== closure {} selected ==", i + 1);
         for line in hazel::editor::render_boxed("$basic_adjustments", &view, &resolver) {
@@ -85,9 +85,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let resolver = hazel::editor::InstanceResolver {
         instance: inst,
         phi: &phi,
-        gamma: &gamma,
-        env: envs.first(),
-        fuel: 4_000_000,
+        collection: &out.collection,
+        hole: HoleName(0),
+        env_index: 0,
     };
     for line in hazel::editor::render_boxed("$basic_adjustments", &view, &resolver) {
         println!("{line}");

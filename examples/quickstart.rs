@@ -52,13 +52,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|hyp| hyp.ctx.clone())
         .unwrap_or_else(Ctx::empty);
     let phi = registry.phi();
-    let env = out.collection.envs_for(HoleName(0)).first();
     let resolver = hazel::editor::InstanceResolver {
         instance: doc.instance(HoleName(0)).expect("instance"),
         phi: &phi,
-        gamma: &gamma,
-        env,
-        fuel: 1_000_000,
+        collection: &out.collection,
+        hole: HoleName(0),
+        env_index: 0,
     };
     println!("== live $color GUI ==");
     for line in hazel::editor::render_boxed("$color", view, &resolver) {
