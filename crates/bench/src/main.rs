@@ -489,6 +489,200 @@ fn run_suite(config: &Config, results: &mut Vec<CaseResult>) {
     }
 }
 
+/// What the B14 load run measured, for the `"serve"` report section.
+struct ServeLoad {
+    requests: u64,
+    errors: u64,
+    elapsed_ns: u64,
+    drag_patch_bytes: u64,
+    drag_full_bytes: u64,
+}
+
+impl ServeLoad {
+    fn requests_per_sec(&self) -> f64 {
+        self.requests as f64 / (self.elapsed_ns.max(1) as f64 / 1e9)
+    }
+
+    fn drag_ratio(&self) -> f64 {
+        self.drag_patch_bytes as f64 / self.drag_full_bytes.max(1) as f64
+    }
+}
+
+/// The B14 request script: a 1000-line mixed session over the grading and
+/// image-filters case studies plus a slider drag loop, with malformed
+/// requests sprinkled in. Returns `(lines, expected_error_replies)`.
+fn serve_script() -> (Vec<String>, u64) {
+    // The grading case study as a self-contained module (the textual
+    // `$curve` declaration of examples/grading_clean.hzl).
+    let grading = "livelit $curve (score : Int) at Int { \
+         model Bool init true; \
+         expand fun generous : Bool -> \
+           if generous then \"fun score : Int -> score + 5\" \
+           else \"fun score : Int -> score - 5\" } \
+         def midterm : Int = 88 ;; \
+         $curve@0{true}(midterm : Int)";
+    // The image-filters case study of B8: a filter preset mapped over
+    // photos, one collected closure per application.
+    let photos = "let classic_look = fun url : Str -> \
+         $basic_adjustments@0{(.contrast 1, .brightness 2)}(\
+           url : Str; 10 : Int; 5 : Int) in \
+         let photos = [Str| \"img://a\", \"img://b\"] in \
+         (fix go : (List(Str) -> List((.w Int, .h Int, .px List(Int)))) -> \
+          fun urls : List(Str) -> \
+          lcase urls \
+          | [] -> [(.w Int, .h Int, .px List(Int))|] \
+          | u :: rest -> classic_look u :: go rest \
+          end) photos";
+
+    let mut lines: Vec<String> = Vec::with_capacity(1000);
+    let mut errors = 0u64;
+    for (name, source) in [
+        ("grading", grading),
+        ("photos", photos),
+        ("drag", "$slider@0{10}(0 : Int; 100 : Int)"),
+    ] {
+        lines.push(format!(
+            "{{\"op\":\"open\",\"session\":{name:?},\"source\":{source:?}}}"
+        ));
+        lines.push(format!("{{\"op\":\"render\",\"session\":{name:?}}}"));
+    }
+    // Grading churn: re-edit the score splice and re-render.
+    for i in 0..100u64 {
+        lines.push(format!(
+            "{{\"op\":\"edit\",\"session\":\"grading\",\"edit\":{{\"kind\":\"edit_splice\",\
+             \"at\":0,\"splice\":0,\"contents\":\"{}\"}}}}",
+            60 + (i * 7) % 40
+        ));
+        lines.push("{\"op\":\"render\",\"session\":\"grading\"}".to_owned());
+    }
+    // Image-filter tweaks: bump the contrast parameter splice.
+    for i in 0..45u64 {
+        lines.push(format!(
+            "{{\"op\":\"edit\",\"session\":\"photos\",\"edit\":{{\"kind\":\"edit_splice\",\
+             \"at\":0,\"splice\":1,\"contents\":\"{}\"}}}}",
+            5 + (i * 3) % 20
+        ));
+        lines.push("{\"op\":\"render\",\"session\":\"photos\"}".to_owned());
+        // Every 15th filter tweak, a malformed line and an unknown op:
+        // crash-proofing under load is part of what B14 demonstrates.
+        if i % 15 == 0 {
+            lines.push("{\"op\":\"render\",\"session\":\"photos\"".to_owned());
+            lines.push("{\"op\":\"develop\",\"session\":\"photos\"}".to_owned());
+            errors += 2;
+        }
+    }
+    // The drag-loop segment, bracketed by per-session stats so the
+    // patch-vs-full byte ratio of exactly this segment can be read off.
+    lines.push("{\"op\":\"stats\",\"session\":\"drag\"}".to_owned());
+    for i in 0..346u64 {
+        lines.push(format!(
+            "{{\"op\":\"edit\",\"session\":\"drag\",\"edit\":{{\"kind\":\"dispatch\",\
+             \"at\":0,\"action\":\"(.set {})\"}}}}",
+            (i * 3) % 100
+        ));
+        lines.push("{\"op\":\"render\",\"session\":\"drag\"}".to_owned());
+    }
+    lines.push("{\"op\":\"stats\",\"session\":\"drag\"}".to_owned());
+    lines.push("{\"op\":\"stats\"}".to_owned());
+    for name in ["grading", "photos", "drag"] {
+        lines.push(format!("{{\"op\":\"close\",\"session\":{name:?}}}"));
+    }
+    assert_eq!(lines.len(), 1000, "B14 is a 1000-request session");
+    (lines, errors)
+}
+
+/// B14 — the serve load generator: drives the full 1000-request script
+/// through a fresh server per iteration, checks every reply is structured
+/// (zero process exits, errors only where injected), and reads the
+/// drag-segment byte ratio from the bracketing stats replies.
+fn serve_load(config: &Config, results: &mut Vec<CaseResult>) -> Option<ServeLoad> {
+    use hazel::server::json::{self, Json};
+
+    if !wants(config, "B14") {
+        return None;
+    }
+    let (lines, expected_errors) = serve_script();
+    let registry_factory: hazel::server::RegistryFactory = std::sync::Arc::new(|| {
+        let mut registry = LivelitRegistry::new();
+        hazel::std::register_all(&mut registry);
+        registry
+    });
+
+    // The measured run: request counting, reply validation, and the
+    // drag-segment ratio all come from this single pass.
+    let mut server = hazel::server::Server::with_registry(registry_factory.clone());
+    let started = Instant::now();
+    let replies: Vec<String> = lines.iter().map(|l| server.handle_line(l)).collect();
+    let elapsed_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+
+    let mut errors = 0u64;
+    let mut drag_stats: Vec<(u64, u64)> = Vec::new();
+    for (line, reply) in lines.iter().zip(&replies) {
+        let parsed = json::parse(reply).expect("every reply is valid JSON");
+        match parsed.get("ok") {
+            Some(Json::Bool(true)) => {}
+            Some(Json::Bool(false)) => errors += 1,
+            _ => panic!("reply without ok field for {line}"),
+        }
+        if line == "{\"op\":\"stats\",\"session\":\"drag\"}" {
+            let bytes = |k: &str| {
+                parsed
+                    .get(k)
+                    .and_then(Json::as_int)
+                    .and_then(|n| u64::try_from(n).ok())
+                    .expect("stats carry byte counters")
+            };
+            drag_stats.push((bytes("patch_bytes"), bytes("full_bytes")));
+        }
+    }
+    assert_eq!(
+        errors, expected_errors,
+        "only the injected malformed requests may fail"
+    );
+    assert_eq!(server.session_count(), 0, "the script closes every session");
+    let [(patch_before, full_before), (patch_after, full_after)] = drag_stats[..] else {
+        panic!("the drag segment is bracketed by exactly two stats requests");
+    };
+    let load = ServeLoad {
+        requests: lines.len() as u64,
+        errors,
+        elapsed_ns,
+        drag_patch_bytes: patch_after - patch_before,
+        drag_full_bytes: full_after - full_before,
+    };
+    assert!(
+        load.drag_ratio() < 0.5,
+        "drag-loop patches must undercut half the full-view bytes \
+         ({} / {} = {:.3})",
+        load.drag_patch_bytes,
+        load.drag_full_bytes,
+        load.drag_ratio()
+    );
+
+    // The timed samples: same script, fresh server each iteration.
+    results.push(summarize(
+        "B14",
+        "serve/load",
+        "1000 requests".to_string(),
+        sample(config.iters, || {
+            let mut server = hazel::server::Server::with_registry(registry_factory.clone());
+            let mut len = 0usize;
+            for line in &lines {
+                len += server.handle_line(line).len();
+            }
+            len
+        }),
+    ));
+    println!(
+        "B14  serve/drag_patch_ratio            {} / {} bytes ({:.3}), {:.0} req/s",
+        load.drag_patch_bytes,
+        load.drag_full_bytes,
+        load.drag_ratio(),
+        load.requests_per_sec()
+    );
+    Some(load)
+}
+
 /// The B13 document: an independent `$slider` (hole 2), the dragged
 /// `$slider` (hole 0), and a dependent `$slider` whose min splice reads
 /// the dragged slider's value (hole 1). The independent slider is bound
@@ -650,6 +844,7 @@ fn render_report(
     phases: &hazel::trace::Stats,
     baseline_ns: u64,
     noop_ns: u64,
+    serve: Option<&ServeLoad>,
 ) -> String {
     use hazel::trace::event::json_string;
     let mut out = String::from("{\"results\":[");
@@ -670,6 +865,20 @@ fn render_report(
     }
     out.push_str("],\"phases\":");
     phases.write_json(&mut out);
+    if let Some(load) = serve {
+        out.push_str(&format!(
+            ",\"serve\":{{\"requests\":{},\"errors\":{},\"elapsed_ns\":{},\
+             \"requests_per_sec\":{:.0},\"drag_patch_bytes\":{},\
+             \"drag_full_bytes\":{},\"drag_patch_ratio\":{:.4}}}",
+            load.requests,
+            load.errors,
+            load.elapsed_ns,
+            load.requests_per_sec(),
+            load.drag_patch_bytes,
+            load.drag_full_bytes,
+            load.drag_ratio()
+        ));
+    }
     let ratio = noop_ns as f64 / baseline_ns.max(1) as f64;
     out.push_str(&format!(
         ",\"overhead\":{{\"baseline_min_ns\":{baseline_ns},\
@@ -707,6 +916,7 @@ fn main() {
 
     let mut results = Vec::new();
     run_suite(&config, &mut results);
+    let serve = serve_load(&config, &mut results);
     for r in &results {
         println!(
             "{:<4} {:<32} {:>8}  median {:>12}  (min {} / max {})",
@@ -730,7 +940,7 @@ fn main() {
         hazel::trace::fmt_ns(noop_ns),
     );
 
-    let report = render_report(&results, &phases, baseline_ns, noop_ns);
+    let report = render_report(&results, &phases, baseline_ns, noop_ns, serve.as_ref());
     std::fs::write(&config.out, &report).expect("write report");
     println!("\nwrote {}", config.out);
 }

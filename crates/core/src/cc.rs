@@ -30,9 +30,7 @@ use std::mem;
 use std::sync::{Arc, Mutex, PoisonError};
 
 use hazel_lang::elab::elab_syn;
-use hazel_lang::eval::{
-    eval_traced, fill, resume_sigma, run_on_big_stack, EvalError, DEFAULT_FUEL,
-};
+use hazel_lang::eval::{eval_traced_big_stack, fill, resume_sigma, EvalError, DEFAULT_FUEL};
 use hazel_lang::external::{CaseArm, EExp};
 use hazel_lang::ident::HoleName;
 use hazel_lang::internal::{IExp, Sigma};
@@ -275,7 +273,8 @@ pub fn cc_expand(phi: &LivelitCtx, e: &UExp, omega: &mut Omega) -> Result<EExp, 
 /// for simultaneous substitution.
 pub type InternedSigma = Box<[(VarId, TermId)]>;
 
-/// Clear the splice-result cache once it holds this many entries.
+/// Rotate the splice-result cache's generations once the live generation
+/// holds this many entries.
 pub const SPLICE_CACHE_CAP: usize = 1 << 16;
 
 /// A memoized live-splice outcome: everything
@@ -297,6 +296,67 @@ pub enum CachedSplice {
     },
 }
 
+/// The splice-result cache: a two-generation (two-space) map.
+///
+/// Inserts land in the live generation; once it reaches
+/// [`SPLICE_CACHE_CAP`], the live generation is demoted wholesale and the
+/// previous one retired — so capacity never empties the cache in one step.
+/// The old epoch scheme (`results.clear()` at the cap) created a periodic
+/// latency cliff in long drag sessions: every splice in the working set
+/// missed at once right after a clear. Here a hit in the demoted
+/// generation promotes the entry back into the live one, so the working
+/// set survives any number of rotations; only entries untouched for a full
+/// generation are dropped. Retirements are reported as
+/// [`livelit_trace::Counter::SpliceCacheEvictions`].
+#[derive(Debug, Default)]
+pub struct SpliceCache {
+    /// The live generation: inserts and promotions land here.
+    cur: HashMap<(TermId, u32), CachedSplice>,
+    /// The previous generation: read-only until rotation retires it.
+    prev: HashMap<(TermId, u32), CachedSplice>,
+}
+
+impl SpliceCache {
+    /// Looks up `key`, promoting a previous-generation hit into the live
+    /// generation so it survives the next rotation.
+    pub fn lookup(&mut self, key: &(TermId, u32)) -> Option<&CachedSplice> {
+        if let Some(value) = self.prev.remove(key) {
+            self.cur.entry(*key).or_insert(value);
+        }
+        self.cur.get(key)
+    }
+
+    /// Looks up `key` without promotion.
+    pub fn peek(&self, key: &(TermId, u32)) -> Option<&CachedSplice> {
+        self.cur.get(key).or_else(|| self.prev.get(key))
+    }
+
+    /// Inserts a splice result, rotating generations at
+    /// [`SPLICE_CACHE_CAP`] live entries.
+    pub fn insert(&mut self, key: (TermId, u32), value: CachedSplice) {
+        if self.cur.len() >= SPLICE_CACHE_CAP {
+            let retired = mem::replace(&mut self.prev, mem::take(&mut self.cur));
+            if !retired.is_empty() {
+                livelit_trace::count(
+                    livelit_trace::Counter::SpliceCacheEvictions,
+                    retired.len() as u64,
+                );
+            }
+        }
+        self.cur.insert(key, value);
+    }
+
+    /// Entries currently retrievable (both generations).
+    pub fn len(&self) -> usize {
+        self.cur.len() + self.prev.len()
+    }
+
+    /// Whether no entry is retrievable.
+    pub fn is_empty(&self) -> bool {
+        self.cur.is_empty() && self.prev.is_empty()
+    }
+}
+
 /// Lazily interned collected environments: one term store shared by every
 /// live splice evaluation against the same collection, so σ values are
 /// interned once per closure rather than deep-copied per evaluation.
@@ -316,7 +376,7 @@ pub struct InternedEnvs {
     /// Compact ids for distinct σ contents, assigned in first-use order.
     pub sigma_ids: HashMap<InternedSigma, u32>,
     /// The splice-result cache, keyed by (elaborated splice, σ id).
-    pub results: HashMap<(TermId, u32), CachedSplice>,
+    pub results: SpliceCache,
 }
 
 impl InternedEnvs {
@@ -332,13 +392,9 @@ impl InternedEnvs {
         id
     }
 
-    /// Inserts a splice result, clearing the cache wholesale at
-    /// [`SPLICE_CACHE_CAP`] entries (epoch eviction, as for the
-    /// substitution memo).
+    /// Inserts a splice result; see [`SpliceCache::insert`] for the
+    /// generational eviction discipline.
     pub fn cache_result(&mut self, key: (TermId, u32), value: CachedSplice) {
-        if self.results.len() >= SPLICE_CACHE_CAP {
-            self.results.clear();
-        }
         self.results.insert(key, value);
     }
 }
@@ -422,7 +478,7 @@ impl Collection {
         let _span = livelit_trace::span("cc.resume_result");
         let filled = self.omega.fill(&self.proto_result);
         // The program is closed, so resumption is ordinary evaluation.
-        run_on_big_stack(|| eval_traced(&filled, self.fuel))
+        eval_traced_big_stack(&filled, self.fuel)
     }
 }
 
@@ -448,7 +504,7 @@ pub fn collect_with_fuel(
     let (d_cc, _, delta) = elab_syn(&Ctx::empty(), &cc_exp)?;
     let proto_result = {
         let _span = livelit_trace::span("cc.eval");
-        run_on_big_stack(|| eval_traced(&d_cc, fuel))?
+        eval_traced_big_stack(&d_cc, fuel)?
     };
 
     let envs = collect_envs(&proto_result, &omega, fuel)?;
@@ -539,7 +595,7 @@ pub fn collect(phi: &LivelitCtx, program: &UExp) -> Result<Collection, CollectEr
 pub fn eval_full(phi: &LivelitCtx, program: &UExp, fuel: u64) -> Result<IExp, CollectError> {
     let expanded = expand(phi, program)?;
     let (d, _, _) = elab_syn(&Ctx::empty(), &expanded)?;
-    Ok(run_on_big_stack(|| eval_traced(&d, fuel))?)
+    Ok(eval_traced_big_stack(&d, fuel)?)
 }
 
 #[cfg(test)]

@@ -13,7 +13,7 @@ use std::mem;
 use std::sync::{Arc, PoisonError};
 
 use hazel_lang::elab::elab_ana;
-use hazel_lang::eval::{eval_traced, run_on_big_stack, EvalError, StoreEvaluator, DEFAULT_FUEL};
+use hazel_lang::eval::{eval_traced_big_stack, EvalError, StoreEvaluator, DEFAULT_FUEL};
 use hazel_lang::final_form::{is_value, Classification};
 use hazel_lang::ident::HoleName;
 use hazel_lang::internal::{IExp, Sigma};
@@ -129,7 +129,7 @@ pub fn eval_splice_in_env(
         // A variable in the splice has no collected value.
         return Ok(None);
     }
-    let result = run_on_big_stack(|| eval_traced(&closed, fuel))?;
+    let result = eval_traced_big_stack(&closed, fuel)?;
     Ok(Some(if is_value(&result) {
         LiveResult::Val(result)
     } else {
@@ -237,7 +237,7 @@ pub fn eval_splices(
         let sid = interned.sigma_id(&pairs);
         let dt = interned.store.intern_iexp(&d);
         let key = (dt, sid);
-        if let Some(cached) = interned.results.get(&key) {
+        if let Some(cached) = interned.results.lookup(&key) {
             livelit_trace::count(livelit_trace::Counter::SpliceCacheHits, 1);
             batch_results.entry(key).or_insert_with(|| cached.clone());
             prepared.push(Prepared::Key(key));
@@ -318,7 +318,7 @@ pub fn eval_splices(
             Prepared::Key(key) => {
                 let cached = batch_results
                     .get(&key)
-                    .or_else(|| interned.results.get(&key))
+                    .or_else(|| interned.results.peek(&key))
                     .expect("splice batch key resolved in prepare or evaluate phase");
                 match cached {
                     CachedSplice::NotClosed => Ok(None),

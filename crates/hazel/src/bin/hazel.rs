@@ -6,6 +6,7 @@
 //! $ hazel trace program.hzl            # structured trace of the pipeline (JSONL)
 //! $ hazel trace --text program.hzl     # the same trace as an indented tree
 //! $ hazel stats program.hzl            # per-phase timings and counter totals
+//! $ hazel serve --stdio                # multi-session document server (JSON lines)
 //! $ hazel codes                        # the LL lint-code table
 //! ```
 //!
@@ -16,6 +17,13 @@
 //! definition lints, and expansion determinism. The JSON output is
 //! deterministic — same module, same bytes — so it can be diffed and
 //! asserted on in CI.
+//!
+//! `serve` speaks the `livelit-server` wire protocol over stdin/stdout:
+//! one JSON request per line in, one JSON reply per line out, documents
+//! opened as multi-request sessions, `render` replies shipping view-diff
+//! patch scripts instead of full view trees. Malformed or failing
+//! requests produce structured `error` replies; the process never exits
+//! on bad input.
 //!
 //! `trace` runs the whole live pipeline — parse, expand, closure-collect,
 //! fill-and-resume, view computation, static analysis — under an installed
@@ -50,7 +58,15 @@ fn usage() -> ExitCode {
          trace [--json|--text] <file.hzl>\n                                \
          trace the pipeline (deterministic JSONL, or an indented tree)\n  \
          stats [--json] <file.hzl>     per-phase timings and counter totals\n  \
-         codes                         list every lint code"
+         serve --stdio [--batch] [--workers N]\n                                \
+         serve documents over a JSON-lines protocol\n  \
+         codes                         list every lint code\n\n\
+         environment:\n  \
+         LIVELIT_THREADS=N   evaluation worker threads: an integer >= 1\n                      \
+         (1 disables parallelism; values above the core\n                      \
+         count are allowed). 0, negative, or unparseable\n                      \
+         values warn once on stderr and fall back to the\n                      \
+         machine's available parallelism."
     );
     ExitCode::from(2)
 }
@@ -205,6 +221,80 @@ fn analyze(args: &[String]) -> ExitCode {
     }
 }
 
+/// `hazel serve --stdio [--batch] [--workers N]`: the headless document
+/// server. One JSON request per line on stdin, one JSON reply per line on
+/// stdout, in order. `--workers N` pins the evaluation pool (N=1 makes
+/// replies deterministic for transcript diffing); `--batch` reads all of
+/// stdin up front and multiplexes distinct sessions onto the pool.
+fn serve(args: &[String]) -> ExitCode {
+    use std::io::BufRead;
+
+    let mut stdio = false;
+    let mut batch = false;
+    let mut workers: Option<usize> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--stdio" => stdio = true,
+            "--batch" => batch = true,
+            "--workers" => {
+                let parsed = it.next().and_then(|w| w.parse::<usize>().ok());
+                match parsed.filter(|&w| w >= 1) {
+                    Some(w) => workers = Some(w),
+                    None => {
+                        eprintln!("hazel: --workers needs an integer >= 1");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            _ => return usage(),
+        }
+    }
+    if !stdio {
+        // Only the stdio transport exists today; requiring the flag keeps
+        // room for a socket transport without a meaning change.
+        return usage();
+    }
+    if let Some(w) = workers {
+        livelit_sched::set_workers_override(Some(w));
+    }
+
+    let mut server = hazel::server::Server::with_registry(std::sync::Arc::new(|| {
+        let mut registry = LivelitRegistry::new();
+        hazel::std::register_all(&mut registry);
+        registry
+    }));
+
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout().lock();
+    if batch {
+        let lines: Vec<String> = stdin.lock().lines().map_while(Result::ok).collect();
+        for reply in server.handle_batch(&lines) {
+            if writeln!(out, "{reply}").is_err() {
+                break;
+            }
+        }
+    } else {
+        for line in stdin.lock().lines() {
+            let Ok(line) = line else { break };
+            if line.trim().is_empty() {
+                continue;
+            }
+            let reply = server.handle_line(&line);
+            // A reply per request, flushed eagerly: clients drive the
+            // protocol request/reply lockstep.
+            if writeln!(out, "{reply}").is_err() || out.flush().is_err() {
+                break;
+            }
+        }
+    }
+
+    if workers.is_some() {
+        livelit_sched::set_workers_override(None);
+    }
+    ExitCode::SUCCESS
+}
+
 fn codes() -> ExitCode {
     let mut out = String::from("{\n  \"codes\": [");
     for (i, code) in Code::ALL.iter().enumerate() {
@@ -231,6 +321,7 @@ fn main() -> ExitCode {
             "analyze" => analyze(rest),
             "trace" => trace(rest),
             "stats" => stats(rest),
+            "serve" => serve(rest),
             "codes" => codes(),
             _ => usage(),
         },

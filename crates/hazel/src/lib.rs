@@ -18,6 +18,10 @@
 //! - [`std`] — the standard livelit library (`livelit-std`): `$color`,
 //!   `$slider`/`$percent`, `$checkbox`, `$dataframe`, `$grade_cutoffs`,
 //!   `$basic_adjustments`, the image substrate, and the grading library.
+//! - [`server`] — the headless document service (`livelit-server`):
+//!   multi-session line-delimited JSON protocol over the incremental
+//!   engine, shipping view diffs instead of full re-renders; see
+//!   `hazel serve` on the CLI.
 //! - [`trace`] — structured observability (`livelit-trace`): spans,
 //!   counters, and pluggable sinks over every phase of the pipeline; see
 //!   `hazel trace` / `hazel stats` on the CLI.
@@ -51,6 +55,7 @@ pub use livelit_analysis as analysis;
 pub use livelit_core as core;
 pub use livelit_mvu as mvu;
 pub use livelit_sched as sched;
+pub use livelit_server as server;
 pub use livelit_std as std;
 pub use livelit_trace as trace;
 

@@ -612,6 +612,23 @@ pub fn eval_with_stack(d: &IExp, fuel: u64, stack_bytes: usize) -> Result<IExp, 
 /// recursive object-language programs under debug-build frame sizes.
 pub const BIG_STACK_BYTES: usize = 512 * 1024 * 1024;
 
+/// [`eval_traced`] on a dedicated [`BIG_STACK_BYTES`] thread, with spawn
+/// failure surfaced as an error instead of a panic. Under resource
+/// exhaustion — exactly the conditions a long-lived server sees — thread
+/// creation can fail, and a pipeline entry point must degrade to an
+/// erroring request, not abort the host.
+///
+/// # Errors
+///
+/// See [`EvalError`]. A failure to spawn the evaluation thread (or a panic
+/// on it) is reported as [`EvalError::Internal`].
+pub fn eval_traced_big_stack(d: &IExp, fuel: u64) -> Result<IExp, EvalError> {
+    match try_run_on_big_stack_sized(BIG_STACK_BYTES, || eval_traced(d, fuel)) {
+        Ok(result) => result,
+        Err(msg) => Err(EvalError::Internal(msg)),
+    }
+}
+
 /// Runs `f` on a dedicated thread with a large stack. The evaluator is
 /// recursive, so interpreting deeply recursive object-language programs
 /// needs more stack than default threads provide; public entry points that
@@ -1101,6 +1118,16 @@ mod tests {
         let msg = result.unwrap_err();
         assert!(msg.contains("panicked"), "unexpected message: {msg}");
         assert!(msg.contains("boom: 42"), "payload lost: {msg}");
+    }
+
+    #[test]
+    fn spawn_failure_is_an_error_not_a_host_abort() {
+        // A stack size no allocator can satisfy: the spawn itself fails,
+        // which must surface as `Err`, not abort the host — the server
+        // relies on this under resource exhaustion.
+        let result = try_run_on_big_stack_sized(usize::MAX / 2, || 42);
+        let msg = result.unwrap_err();
+        assert!(msg.contains("could not spawn"), "unexpected message: {msg}");
     }
 
     #[test]

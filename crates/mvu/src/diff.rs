@@ -139,58 +139,123 @@ fn diff_at<A: Clone + PartialEq>(
     }
 }
 
+/// Why a patch script could not be applied to a tree: the script was not
+/// produced by [`diff`] against that tree (it is *stale* — e.g. a server
+/// client acknowledged a different view than the one it actually holds).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PatchError {
+    /// The path indexes a child that does not exist.
+    PathOutOfBounds(Path),
+    /// The path descends into a text/editor/result leaf.
+    PathIntoLeaf(Path),
+    /// The patch kind does not match the node it addresses (e.g. `SetText`
+    /// on an element). The string names the patch kind.
+    WrongNodeKind(Path, &'static str),
+}
+
+impl std::fmt::Display for PatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let render_path = |p: &Path| {
+            p.iter()
+                .map(std::string::ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(".")
+        };
+        match self {
+            PatchError::PathOutOfBounds(p) => {
+                write!(f, "patch path [{}] is out of bounds", render_path(p))
+            }
+            PatchError::PathIntoLeaf(p) => {
+                write!(f, "patch path [{}] descends into a leaf", render_path(p))
+            }
+            PatchError::WrongNodeKind(p, kind) => {
+                write!(
+                    f,
+                    "{kind} at path [{}] addresses a node of the wrong kind",
+                    render_path(p)
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for PatchError {}
+
 /// Applies a patch script produced by [`diff`].
 ///
 /// # Panics
 ///
 /// Panics if a patch path does not address a node of the right shape —
 /// which indicates the script was not produced by [`diff`] against this
-/// tree.
+/// tree. Server-side code that cannot trust the script must use
+/// [`try_apply`] instead.
 pub fn apply<A: Clone>(tree: &Html<A>, patches: &[Patch<A>]) -> Html<A> {
+    match try_apply(tree, patches) {
+        Ok(out) => out,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Applies a patch script, reporting a malformed or stale script as an
+/// error instead of panicking. On `Err` the input tree is untouched (the
+/// partially patched clone is discarded).
+///
+/// # Errors
+///
+/// See [`PatchError`].
+pub fn try_apply<A: Clone>(tree: &Html<A>, patches: &[Patch<A>]) -> Result<Html<A>, PatchError> {
     let mut out = tree.clone();
     for patch in patches {
-        apply_one(&mut out, patch);
+        apply_one(&mut out, patch)?;
     }
-    out
+    Ok(out)
 }
 
-fn node_at_mut<'a, A>(tree: &'a mut Html<A>, path: &[usize]) -> &'a mut Html<A> {
+fn node_at_mut<'a, A>(
+    tree: &'a mut Html<A>,
+    path: &[usize],
+) -> Result<&'a mut Html<A>, PatchError> {
     let mut cur = tree;
-    for &i in path {
+    for (depth, &i) in path.iter().enumerate() {
         match cur {
-            Html::Element { children, .. } => cur = &mut children[i],
-            _ => panic!("patch path descends into a leaf"),
+            Html::Element { children, .. } => {
+                cur = children
+                    .get_mut(i)
+                    .ok_or_else(|| PatchError::PathOutOfBounds(path[..=depth].to_vec()))?;
+            }
+            _ => return Err(PatchError::PathIntoLeaf(path[..=depth].to_vec())),
         }
     }
-    cur
+    Ok(cur)
 }
 
-fn apply_one<A: Clone>(tree: &mut Html<A>, patch: &Patch<A>) {
+fn apply_one<A: Clone>(tree: &mut Html<A>, patch: &Patch<A>) -> Result<(), PatchError> {
     match patch {
         Patch::Replace(path, new) => {
-            *node_at_mut(tree, path) = new.clone();
+            *node_at_mut(tree, path)? = new.clone();
         }
-        Patch::SetText(path, s) => match node_at_mut(tree, path) {
+        Patch::SetText(path, s) => match node_at_mut(tree, path)? {
             Html::Text(t) => *t = s.clone(),
-            _ => panic!("SetText on a non-text node"),
+            _ => return Err(PatchError::WrongNodeKind(path.clone(), "SetText")),
         },
-        Patch::SetAttrs(path, attrs) => match node_at_mut(tree, path) {
+        Patch::SetAttrs(path, attrs) => match node_at_mut(tree, path)? {
             Html::Element { attrs: a, .. } => *a = attrs.clone(),
-            _ => panic!("SetAttrs on a non-element"),
+            _ => return Err(PatchError::WrongNodeKind(path.clone(), "SetAttrs")),
         },
-        Patch::SetHandlers(path, handlers) => match node_at_mut(tree, path) {
+        Patch::SetHandlers(path, handlers) => match node_at_mut(tree, path)? {
             Html::Element { handlers: h, .. } => *h = handlers.clone(),
-            _ => panic!("SetHandlers on a non-element"),
+            _ => return Err(PatchError::WrongNodeKind(path.clone(), "SetHandlers")),
         },
-        Patch::AppendChild(path, child) => match node_at_mut(tree, path) {
+        Patch::AppendChild(path, child) => match node_at_mut(tree, path)? {
             Html::Element { children, .. } => children.push(child.clone()),
-            _ => panic!("AppendChild on a non-element"),
+            _ => return Err(PatchError::WrongNodeKind(path.clone(), "AppendChild")),
         },
-        Patch::TruncateChildren(path, len) => match node_at_mut(tree, path) {
+        Patch::TruncateChildren(path, len) => match node_at_mut(tree, path)? {
             Html::Element { children, .. } => children.truncate(*len),
-            _ => panic!("TruncateChildren on a non-element"),
+            _ => return Err(PatchError::WrongNodeKind(path.clone(), "TruncateChildren")),
         },
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -297,5 +362,50 @@ mod tests {
     #[test]
     fn events_variants_distinct() {
         assert_ne!(EventKind::Click, EventKind::Drag);
+    }
+
+    #[test]
+    fn try_apply_matches_apply_on_valid_scripts() {
+        let old: Html<u32> = div(vec![Html::text("a"), span(vec![]).attr("k", "v")]);
+        let new: Html<u32> = div(vec![Html::text("b"), span(vec![]).attr("k", "w")]);
+        let patches = diff(&old, &new);
+        assert_eq!(try_apply(&old, &patches), Ok(new));
+    }
+
+    #[test]
+    fn try_apply_stale_script_is_err_not_panic() {
+        // A script diffed against a two-child tree, applied to a leaf: the
+        // acked-view desync a server must survive.
+        let old: Html<u32> = div(vec![Html::text("a"), Html::text("b")]);
+        let new: Html<u32> = div(vec![Html::text("a"), Html::text("c")]);
+        let patches = diff(&old, &new);
+        let stale: Html<u32> = Html::text("x");
+        assert_eq!(
+            try_apply(&stale, &patches),
+            Err(PatchError::PathIntoLeaf(vec![1]))
+        );
+        let shallow: Html<u32> = div(vec![Html::text("a")]);
+        assert_eq!(
+            try_apply(&shallow, &patches),
+            Err(PatchError::PathOutOfBounds(vec![1]))
+        );
+    }
+
+    #[test]
+    fn try_apply_wrong_kind_is_err() {
+        let tree: Html<u32> = div(vec![span(vec![])]);
+        let patch = Patch::SetText(vec![0], "x".into());
+        assert_eq!(
+            try_apply(&tree, &[patch]),
+            Err(PatchError::WrongNodeKind(vec![0], "SetText"))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "descends into a leaf")]
+    fn apply_still_panics_on_malformed_scripts() {
+        let tree: Html<u32> = Html::text("x");
+        let patch = Patch::SetText(vec![0], "y".into());
+        let _ = apply(&tree, &[patch]);
     }
 }

@@ -27,7 +27,7 @@ pub mod livelit;
 pub mod splice;
 
 pub use abbrev::AbbrevCtx;
-pub use diff::{apply, diff, Patch};
+pub use diff::{apply, diff, try_apply, Patch, PatchError};
 pub use host::{def_for, Instance};
 pub use html::{Dim, EventKind, Html};
 pub use livelit::{

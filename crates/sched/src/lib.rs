@@ -104,20 +104,35 @@ static ENV_WORKERS: OnceLock<usize> = OnceLock::new();
 /// The configured worker count: the test override if set, else
 /// `LIVELIT_THREADS` if set to a positive integer, else the machine's
 /// available parallelism (falling back to 1).
+///
+/// The accepted `LIVELIT_THREADS` range is the positive integers (`1`
+/// disables parallelism, values above the core count are allowed). A set
+/// but unusable value — `0`, negative, or unparseable — is *not* silently
+/// swallowed: the first read warns once on stderr, naming the fallback,
+/// then uses the machine's available parallelism.
 pub fn configured_workers() -> usize {
     let forced = WORKERS_OVERRIDE.load(Ordering::Relaxed);
     if forced != 0 {
         return forced;
     }
     *ENV_WORKERS.get_or_init(|| {
-        match std::env::var("LIVELIT_THREADS")
-            .ok()
-            .and_then(|s| s.trim().parse::<usize>().ok())
-        {
-            Some(n) if n >= 1 => n,
-            _ => std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(1),
+        let default = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        match std::env::var("LIVELIT_THREADS").ok() {
+            None => default,
+            Some(raw) => match raw.trim().parse::<usize>() {
+                Ok(n) if n >= 1 => n,
+                _ => {
+                    // Once per process: ENV_WORKERS memoizes this closure.
+                    eprintln!(
+                        "warning: ignoring LIVELIT_THREADS={raw:?}: \
+                         expected an integer >= 1; \
+                         falling back to available parallelism ({default})"
+                    );
+                    default
+                }
+            },
         }
     })
 }

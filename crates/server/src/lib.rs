@@ -1,0 +1,819 @@
+//! `livelit-server`: a headless, multi-session livelit document service.
+//!
+//! The paper's MVU-expand architecture is editor-independent: the engine
+//! computes views, "the system performs a diff between the old and new
+//! view in order to efficiently perform the necessary imperative updates
+//! to the editor's visual state" (Sec. 3.2.4), and a host editor talks to
+//! it as a service (Sec. 5.2). This crate is that serving front end: each
+//! session owns a [`Document`] plus an [`IncrementalEngine`], requests
+//! arrive as line-delimited JSON, and `render` replies carry
+//! [`livelit_mvu::diff`] patch scripts against the view the client last
+//! acknowledged rather than whole view trees.
+//!
+//! # Wire protocol
+//!
+//! One JSON object per line in, one per line out, in order. Requests carry
+//! an `"op"` and usually a `"session"`; an optional `"id"` is echoed
+//! verbatim in the reply. Operations:
+//!
+//! | op | fields | effect |
+//! |----|--------|--------|
+//! | `open` | `session`, `source` \| `path` | open a module as a new session |
+//! | `edit` | `session`, `edit` | apply an [`EditAction`] |
+//! | `dispatch` | `session`, `hole`, `target`, `event`? | fire a handler in the acked view |
+//! | `render` | `session` | run the engine, reply patches per hole |
+//! | `stats` | `session`? | per-session or whole-server counters |
+//! | `close` | `session` | drop the session |
+//!
+//! The `edit.kind` values mirror [`EditAction`]: `fill_hole` (`at`,
+//! `livelit`, `params`: surface-syntax strings), `dispatch` (`at`,
+//! `action`: surface syntax, e.g. `"(.set 42)"`), `edit_splice` (`at`,
+//! `splice`, `contents`), `select_closure` (`at`, `index`), `push_result`
+//! (`at`, `value`).
+//!
+//! Replies are `{"ok":true,"op":…,…}` or
+//! `{"ok":false,…,"error":{"kind":…,"message":…}}`. Error kinds: `parse`
+//! (the line is not JSON), `protocol` (bad request shape or surface
+//! syntax), `session` (unknown or duplicate session), `doc` (the editor
+//! rejected the operation), `engine` (the pipeline failed), `panic` (a
+//! request died mid-pipeline and was isolated). A request never kills the
+//! process: malformed input and mid-pipeline failures all produce
+//! structured `error` replies, and each request runs under
+//! `catch_unwind`.
+//!
+//! Every request runs inside a `livelit_trace` span (`serve.<op>`) and
+//! feeds the `Serve*` counters; per-session tallies are available via the
+//! `stats` op.
+
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use hazel_editor::registry::LivelitRegistry;
+use hazel_editor::{apply_action, open_module, Document, EditAction, IncrementalEngine};
+use hazel_lang::elab::elab_syn;
+use hazel_lang::eval::{eval_traced_big_stack, DEFAULT_FUEL};
+use hazel_lang::ident::{HoleName, LivelitName};
+use hazel_lang::parse::parse_uexp;
+use hazel_lang::pretty::print_iexp;
+use hazel_lang::typing::Ctx;
+use hazel_lang::IExp;
+use livelit_mvu::diff::{diff, try_apply};
+use livelit_mvu::html::Html;
+use livelit_mvu::livelit::Action;
+use livelit_mvu::splice::SpliceRef;
+use livelit_trace::Counter;
+
+pub mod json;
+pub mod wire;
+
+use json::{obj, str as jstr, uint, Json};
+
+/// How a request failed, for the structured `error` reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The request line is not valid JSON.
+    Parse,
+    /// The request is JSON but its shape (or an embedded surface-syntax
+    /// field) is wrong.
+    Protocol,
+    /// The named session does not exist, or `open` would shadow one.
+    Session,
+    /// The editor layer rejected the operation (unknown livelit, bad
+    /// action value, type error in a splice, …).
+    Doc,
+    /// The pipeline itself failed on an otherwise well-formed request.
+    Engine,
+    /// The request panicked mid-pipeline and was isolated.
+    Panic,
+}
+
+impl ErrorKind {
+    /// The stable wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorKind::Parse => "parse",
+            ErrorKind::Protocol => "protocol",
+            ErrorKind::Session => "session",
+            ErrorKind::Doc => "doc",
+            ErrorKind::Engine => "engine",
+            ErrorKind::Panic => "panic",
+        }
+    }
+}
+
+/// A failed request: the kind plus a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestError {
+    /// The error taxonomy bucket.
+    pub kind: ErrorKind,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl RequestError {
+    fn new(kind: ErrorKind, message: impl Into<String>) -> RequestError {
+        RequestError {
+            kind,
+            message: message.into(),
+        }
+    }
+}
+
+type RequestResult = Result<Json, RequestError>;
+
+/// Per-session serving tallies, reported by the `stats` op.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SessionStats {
+    /// Requests addressed to this session.
+    pub requests: u64,
+    /// Of those, how many produced an `error` reply.
+    pub errors: u64,
+    /// Patch operations shipped by `render` replies.
+    pub patches: u64,
+    /// Bytes of view payload actually shipped (patch scripts, or full
+    /// views where no acked view existed).
+    pub patch_bytes: u64,
+    /// Bytes the same renders would have cost as full view trees.
+    pub full_bytes: u64,
+}
+
+impl SessionStats {
+    fn merge(&mut self, other: &SessionStats) {
+        self.requests += other.requests;
+        self.errors += other.errors;
+        self.patches += other.patches;
+        self.patch_bytes += other.patch_bytes;
+        self.full_bytes += other.full_bytes;
+    }
+}
+
+/// One open document session.
+pub struct Session {
+    registry: LivelitRegistry,
+    doc: Document,
+    engine: IncrementalEngine,
+    /// The views computed by the most recent engine run.
+    views: BTreeMap<HoleName, Html<Action>>,
+    /// The view the client last received per hole — what `render` diffs
+    /// against, rolled forward with [`try_apply`] as patches ship.
+    acked: BTreeMap<HoleName, Html<Action>>,
+    stats: SessionStats,
+}
+
+/// Builds the livelit registry a fresh session starts from. The server
+/// crate itself registers nothing — the host (e.g. the `hazel` CLI, which
+/// preloads the standard livelit library) decides what is in scope.
+pub type RegistryFactory = Arc<dyn Fn() -> LivelitRegistry + Send + Sync>;
+
+/// The multi-session document server.
+pub struct Server {
+    sessions: BTreeMap<String, Session>,
+    make_registry: RegistryFactory,
+}
+
+impl Server {
+    /// A server whose sessions start from an empty registry.
+    pub fn new() -> Server {
+        Server::with_registry(Arc::new(LivelitRegistry::new) as RegistryFactory)
+    }
+
+    /// A server whose sessions start from `make_registry()`.
+    pub fn with_registry(make_registry: RegistryFactory) -> Server {
+        Server {
+            sessions: BTreeMap::new(),
+            make_registry,
+        }
+    }
+
+    /// The number of open sessions.
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Handles one request line, returning exactly one reply line (without
+    /// the trailing newline). Never panics and never exits: malformed
+    /// input, failing pipelines, and panicking requests all come back as
+    /// structured `error` replies.
+    pub fn handle_line(&mut self, line: &str) -> String {
+        livelit_trace::count(Counter::ServeRequests, 1);
+        let reply = self.reply_for_line(line);
+        if !matches!(reply.get("ok"), Some(Json::Bool(true))) {
+            livelit_trace::count(Counter::ServeErrors, 1);
+        }
+        reply.to_string()
+    }
+
+    fn reply_for_line(&mut self, line: &str) -> Json {
+        let req = match json::parse(line) {
+            Ok(req) => req,
+            Err(e) => {
+                return error_reply(
+                    None,
+                    None,
+                    &RequestError::new(ErrorKind::Parse, e.to_string()),
+                )
+            }
+        };
+        let op = req.get("op").and_then(Json::as_str).map(str::to_owned);
+        let id = req.get("id").cloned();
+        let _span = match op.as_deref() {
+            Some(op) => livelit_trace::span_prefixed("serve.", op),
+            None => livelit_trace::span("serve.invalid"),
+        };
+        let session = req.get("session").and_then(Json::as_str).map(str::to_owned);
+        if let Some(name) = session.as_deref() {
+            if let Some(s) = self.sessions.get_mut(name) {
+                s.stats.requests += 1;
+            }
+        }
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            self.handle_request(&req, op.as_deref())
+        }));
+        let result = match outcome {
+            Ok(result) => result,
+            Err(payload) => {
+                let message = payload
+                    .downcast_ref::<&'static str>()
+                    .map(|s| (*s).to_owned())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "request panicked".to_owned());
+                Err(RequestError::new(
+                    ErrorKind::Panic,
+                    format!("request panicked: {message}"),
+                ))
+            }
+        };
+        match result {
+            Ok(reply) => reply,
+            Err(e) => {
+                if let Some(s) = session.as_deref().and_then(|n| self.sessions.get_mut(n)) {
+                    s.stats.errors += 1;
+                }
+                error_reply(op.as_deref(), id.as_ref(), &e)
+            }
+        }
+    }
+
+    fn handle_request(&mut self, req: &Json, op: Option<&str>) -> RequestResult {
+        if !matches!(req, Json::Obj(_)) {
+            return Err(RequestError::new(
+                ErrorKind::Protocol,
+                "request must be a JSON object",
+            ));
+        }
+        let id = req.get("id").cloned();
+        let reply = match op {
+            Some("open") => self.op_open(req)?,
+            Some("edit") => self.op_edit(req)?,
+            Some("dispatch") => self.op_dispatch(req)?,
+            Some("render") => self.op_render(req)?,
+            Some("stats") => self.op_stats(req)?,
+            Some("close") => self.op_close(req)?,
+            Some(other) => {
+                return Err(RequestError::new(
+                    ErrorKind::Protocol,
+                    format!("unknown op {other:?}"),
+                ))
+            }
+            None => {
+                return Err(RequestError::new(
+                    ErrorKind::Protocol,
+                    "missing \"op\" field",
+                ))
+            }
+        };
+        Ok(finish_reply(reply, id))
+    }
+
+    fn session_name(req: &Json) -> Result<&str, RequestError> {
+        req.get("session")
+            .and_then(Json::as_str)
+            .ok_or_else(|| RequestError::new(ErrorKind::Protocol, "missing \"session\" field"))
+    }
+
+    fn session_mut(&mut self, req: &Json) -> Result<&mut Session, RequestError> {
+        let name = Server::session_name(req)?;
+        self.sessions.get_mut(name).ok_or_else(|| {
+            RequestError::new(ErrorKind::Session, format!("unknown session {name:?}"))
+        })
+    }
+
+    fn op_open(&mut self, req: &Json) -> RequestResult {
+        let name = Server::session_name(req)?;
+        if self.sessions.contains_key(name) {
+            return Err(RequestError::new(
+                ErrorKind::Session,
+                format!("session {name:?} is already open"),
+            ));
+        }
+        let source = match (req.get("source"), req.get("path")) {
+            (Some(Json::Str(src)), _) => src.clone(),
+            (None, Some(Json::Str(path))) => std::fs::read_to_string(path).map_err(|e| {
+                RequestError::new(ErrorKind::Protocol, format!("cannot read {path:?}: {e}"))
+            })?,
+            _ => {
+                return Err(RequestError::new(
+                    ErrorKind::Protocol,
+                    "open needs a \"source\" or \"path\" string",
+                ))
+            }
+        };
+        let registry = (self.make_registry)();
+        let (registry, doc) = open_module(registry, &source)
+            .map_err(|e| RequestError::new(ErrorKind::Doc, e.to_string()))?;
+        let mut engine = IncrementalEngine::new();
+        let views = engine
+            .run(&registry, &doc)
+            .map_err(|e| RequestError::new(ErrorKind::Engine, e.to_string()))?
+            .views
+            .clone();
+        let holes = doc.livelit_holes();
+        self.sessions.insert(
+            name.to_owned(),
+            Session {
+                registry,
+                doc,
+                engine,
+                views,
+                acked: BTreeMap::new(),
+                stats: SessionStats {
+                    requests: 1,
+                    ..SessionStats::default()
+                },
+            },
+        );
+        Ok(obj([
+            ("ok", Json::Bool(true)),
+            ("op", jstr("open")),
+            ("session", jstr(name)),
+            (
+                "holes",
+                Json::Arr(holes.iter().map(|u| uint(u.0)).collect()),
+            ),
+        ]))
+    }
+
+    fn op_edit(&mut self, req: &Json) -> RequestResult {
+        let session = self.session_mut(req)?;
+        let edit = req
+            .get("edit")
+            .ok_or_else(|| RequestError::new(ErrorKind::Protocol, "missing \"edit\" object"))?;
+        let action = parse_edit(edit, &session.registry)?;
+        apply_action(&session.registry, &mut session.doc, &action)
+            .map_err(|e| RequestError::new(ErrorKind::Doc, e.to_string()))?;
+        Ok(obj([("ok", Json::Bool(true)), ("op", jstr("edit"))]))
+    }
+
+    fn op_dispatch(&mut self, req: &Json) -> RequestResult {
+        let session = self.session_mut(req)?;
+        let hole = field_hole(req, "hole")?;
+        let target = req
+            .get("target")
+            .and_then(Json::as_str)
+            .ok_or_else(|| RequestError::new(ErrorKind::Protocol, "missing \"target\" string"))?;
+        let event = match req.get("event") {
+            None => livelit_mvu::html::EventKind::Click,
+            Some(Json::Str(name)) => wire::parse_event(name).ok_or_else(|| {
+                RequestError::new(ErrorKind::Protocol, format!("unknown event {name:?}"))
+            })?,
+            Some(_) => {
+                return Err(RequestError::new(
+                    ErrorKind::Protocol,
+                    "\"event\" must be a string",
+                ))
+            }
+        };
+        // The client interacts with what it sees: the acked view when one
+        // has shipped, else the view computed at open.
+        let view = session
+            .acked
+            .get(&hole)
+            .or_else(|| session.views.get(&hole))
+            .ok_or_else(|| {
+                RequestError::new(ErrorKind::Doc, format!("no view for hole {}", hole.0))
+            })?;
+        let action = view.find_handler(target, event).cloned().ok_or_else(|| {
+            RequestError::new(
+                ErrorKind::Doc,
+                format!(
+                    "no {} handler with id {target:?} in hole {}",
+                    wire::event_name(event),
+                    hole.0
+                ),
+            )
+        })?;
+        session
+            .doc
+            .dispatch(hole, &action)
+            .map_err(|e| RequestError::new(ErrorKind::Doc, e.to_string()))?;
+        Ok(obj([
+            ("ok", Json::Bool(true)),
+            ("op", jstr("dispatch")),
+            ("action", jstr(wire::action_text(&action))),
+        ]))
+    }
+
+    fn op_render(&mut self, req: &Json) -> RequestResult {
+        let session = self.session_mut(req)?;
+        let output = session
+            .engine
+            .run(&session.registry, &session.doc)
+            .map_err(|e| RequestError::new(ErrorKind::Engine, e.to_string()))?;
+        let views = output.views.clone();
+        let result_text = print_iexp(&output.result, usize::MAX);
+        let marked: Vec<String> = output.errors.iter().map(|e| e.error.to_string()).collect();
+        let view_errors: Vec<(HoleName, String)> = output
+            .view_errors
+            .iter()
+            .map(|(u, e)| (*u, e.to_string()))
+            .collect();
+
+        let mut view_payloads = Vec::new();
+        let mut patches_shipped: u64 = 0;
+        let mut shipped_bytes: u64 = 0;
+        let mut full_bytes: u64 = 0;
+        for (hole, new_view) in &views {
+            let full_json = wire::html_json(new_view);
+            let full_len = full_json.to_string().len() as u64;
+            full_bytes += full_len;
+            // Diff against the acked view where one exists and the patch
+            // script rolls it forward cleanly; otherwise ship the full
+            // tree. `try_apply` (not `apply`) guards the roll-forward: a
+            // stale acked view must degrade to a full render, not panic
+            // the server.
+            let patched = session.acked.get(hole).and_then(|acked| {
+                let patches = diff(acked, new_view);
+                match try_apply(acked, &patches) {
+                    Ok(applied) if applied == *new_view => Some(patches),
+                    _ => None,
+                }
+            });
+            match patched {
+                Some(patches) => {
+                    let payload = Json::Arr(patches.iter().map(wire::patch_json).collect());
+                    let payload_len = payload.to_string().len() as u64;
+                    patches_shipped += patches.len() as u64;
+                    shipped_bytes += payload_len;
+                    view_payloads.push(obj([
+                        ("hole", uint(hole.0)),
+                        ("mode", jstr("patch")),
+                        ("patches", payload),
+                    ]));
+                }
+                None => {
+                    shipped_bytes += full_len;
+                    view_payloads.push(obj([
+                        ("hole", uint(hole.0)),
+                        ("mode", jstr("full")),
+                        ("view", full_json),
+                    ]));
+                }
+            }
+            session.acked.insert(*hole, new_view.clone());
+        }
+        // Holes that vanished (e.g. the invocation was edited away) drop
+        // out of the acked state so a later reuse of the name re-ships.
+        session.acked.retain(|hole, _| views.contains_key(hole));
+        session.views = views;
+
+        session.stats.patches += patches_shipped;
+        session.stats.patch_bytes += shipped_bytes;
+        session.stats.full_bytes += full_bytes;
+        livelit_trace::count(Counter::ServePatches, patches_shipped);
+        livelit_trace::count(Counter::ServePatchBytes, shipped_bytes);
+        livelit_trace::count(Counter::ServeFullBytes, full_bytes);
+
+        let mut fields = vec![
+            ("ok", Json::Bool(true)),
+            ("op", jstr("render")),
+            ("result", jstr(result_text)),
+            ("views", Json::Arr(view_payloads)),
+        ];
+        if !marked.is_empty() {
+            fields.push((
+                "errors",
+                Json::Arr(marked.into_iter().map(Json::Str).collect()),
+            ));
+        }
+        if !view_errors.is_empty() {
+            fields.push((
+                "view_errors",
+                Json::Arr(
+                    view_errors
+                        .into_iter()
+                        .map(|(u, e)| obj([("hole", uint(u.0)), ("error", jstr(e))]))
+                        .collect(),
+                ),
+            ));
+        }
+        Ok(obj(fields))
+    }
+
+    fn op_stats(&mut self, req: &Json) -> RequestResult {
+        let mut fields = vec![("ok", Json::Bool(true)), ("op", jstr("stats"))];
+        // The open-session count only appears in the global scope: a
+        // per-session reply must read the same whether the request was
+        // handled sequentially or inside a batch sub-server.
+        let stats = match req.get("session") {
+            Some(Json::Str(name)) => {
+                let session = self.sessions.get(name).ok_or_else(|| {
+                    RequestError::new(ErrorKind::Session, format!("unknown session {name:?}"))
+                })?;
+                fields.push(("session", jstr(name)));
+                session.stats
+            }
+            Some(other) if !matches!(other, Json::Null) => {
+                return Err(RequestError::new(
+                    ErrorKind::Protocol,
+                    "\"session\" must be a string",
+                ))
+            }
+            _ => {
+                let mut total = SessionStats::default();
+                for session in self.sessions.values() {
+                    total.merge(&session.stats);
+                }
+                fields.push(("session", Json::Null));
+                fields.push(("sessions", uint(self.sessions.len())));
+                total
+            }
+        };
+        fields.extend([
+            ("requests", uint(stats.requests)),
+            ("errors", uint(stats.errors)),
+            ("patches", uint(stats.patches)),
+            ("patch_bytes", uint(stats.patch_bytes)),
+            ("full_bytes", uint(stats.full_bytes)),
+        ]);
+        Ok(obj(fields))
+    }
+
+    fn op_close(&mut self, req: &Json) -> RequestResult {
+        let name = Server::session_name(req)?;
+        if self.sessions.remove(name).is_none() {
+            return Err(RequestError::new(
+                ErrorKind::Session,
+                format!("unknown session {name:?}"),
+            ));
+        }
+        Ok(obj([
+            ("ok", Json::Bool(true)),
+            ("op", jstr("close")),
+            ("session", jstr(name)),
+        ]))
+    }
+
+    /// Handles a batch of request lines, multiplexing distinct sessions
+    /// onto the global `livelit-sched` pool. Replies come back in input
+    /// order, identical to calling [`Server::handle_line`] per line —
+    /// requests for the *same* session keep their relative order; only
+    /// requests for different sessions overlap in time.
+    ///
+    /// Session-less and unparseable requests are handled sequentially
+    /// before the fan-out. Intended for headless load (the B14 bench);
+    /// run it without an installed tracer, since worker threads would
+    /// interleave their span parentage on the process-global span stack.
+    pub fn handle_batch(&mut self, lines: &[String]) -> Vec<String> {
+        use std::sync::Mutex;
+
+        // Partition line indices by session, preserving in-session order.
+        let mut by_session: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        let mut control: Vec<usize> = Vec::new();
+        for (i, line) in lines.iter().enumerate() {
+            match json::parse(line)
+                .ok()
+                .as_ref()
+                .and_then(|req| req.get("session").and_then(Json::as_str).map(str::to_owned))
+            {
+                Some(name) => by_session.entry(name).or_default().push(i),
+                None => control.push(i),
+            }
+        }
+
+        let mut replies: Vec<Option<String>> = vec![None; lines.len()];
+        for &i in &control {
+            replies[i] = Some(self.handle_line(&lines[i]));
+        }
+
+        // Move each session's state into a single-session sub-server and
+        // run the groups as pool tasks. `open` requests create their
+        // session inside the task; the state is folded back in afterwards.
+        let groups: Vec<(String, Vec<usize>)> = by_session.into_iter().collect();
+        let tasks: Vec<Mutex<Server>> = groups
+            .iter()
+            .map(|(name, _)| {
+                let mut sub = Server::with_registry(Arc::clone(&self.make_registry));
+                if let Some(session) = self.sessions.remove(name) {
+                    sub.sessions.insert(name.clone(), session);
+                }
+                Mutex::new(sub)
+            })
+            .collect();
+        let (outcomes, _stats) = livelit_sched::Pool::global().map(&tasks, |gi, task| {
+            let mut sub = task
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            groups[gi]
+                .1
+                .iter()
+                .map(|&i| sub.handle_line(&lines[i]))
+                .collect::<Vec<String>>()
+        });
+        for ((group, task), outcome) in groups.iter().zip(tasks).zip(outcomes) {
+            let sub = task
+                .into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            for (name, session) in sub.sessions {
+                self.sessions.insert(name, session);
+            }
+            match outcome {
+                Ok(group_replies) => {
+                    for (&i, reply) in group.1.iter().zip(group_replies) {
+                        replies[i] = Some(reply);
+                    }
+                }
+                Err(panic) => {
+                    // `handle_line` catches panics itself, so this is a
+                    // last-resort belt: the whole group degrades to error
+                    // replies rather than a lost batch.
+                    for &i in &group.1 {
+                        replies[i] = Some(
+                            error_reply(
+                                None,
+                                None,
+                                &RequestError::new(
+                                    ErrorKind::Panic,
+                                    format!("batch task panicked: {}", panic.message),
+                                ),
+                            )
+                            .to_string(),
+                        );
+                    }
+                }
+            }
+        }
+        replies
+            .into_iter()
+            .map(|r| {
+                r.unwrap_or_else(|| {
+                    error_reply(
+                        None,
+                        None,
+                        &RequestError::new(ErrorKind::Panic, "reply lost in batch"),
+                    )
+                    .to_string()
+                })
+            })
+            .collect()
+    }
+}
+
+impl Default for Server {
+    fn default() -> Server {
+        Server::new()
+    }
+}
+
+/// Appends the echoed `id` (if the request carried one) to a reply.
+fn finish_reply(reply: Json, id: Option<Json>) -> Json {
+    match (reply, id) {
+        (Json::Obj(mut fields), Some(id)) => {
+            fields.insert(1, ("id".to_owned(), id));
+            Json::Obj(fields)
+        }
+        (reply, _) => reply,
+    }
+}
+
+fn error_reply(op: Option<&str>, id: Option<&Json>, error: &RequestError) -> Json {
+    let mut fields = vec![("ok".to_owned(), Json::Bool(false))];
+    if let Some(id) = id {
+        fields.push(("id".to_owned(), id.clone()));
+    }
+    if let Some(op) = op {
+        fields.push(("op".to_owned(), Json::Str(op.to_owned())));
+    }
+    fields.push((
+        "error".to_owned(),
+        obj([
+            ("kind", jstr(error.kind.as_str())),
+            ("message", jstr(error.message.clone())),
+        ]),
+    ));
+    Json::Obj(fields)
+}
+
+fn field_hole(req: &Json, key: &'static str) -> Result<HoleName, RequestError> {
+    let n = req.get(key).and_then(Json::as_int).ok_or_else(|| {
+        RequestError::new(ErrorKind::Protocol, format!("missing integer {key:?}"))
+    })?;
+    u64::try_from(n).map(HoleName).map_err(|_| {
+        RequestError::new(ErrorKind::Protocol, format!("{key:?} must be non-negative"))
+    })
+}
+
+fn edit_field_hole(edit: &Json) -> Result<HoleName, RequestError> {
+    field_hole(edit, "at")
+}
+
+fn edit_field_str<'a>(edit: &'a Json, key: &'static str) -> Result<&'a str, RequestError> {
+    edit.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| RequestError::new(ErrorKind::Protocol, format!("missing string {key:?}")))
+}
+
+fn parse_uexp_field(src: &str, what: &str) -> Result<hazel_lang::unexpanded::UExp, RequestError> {
+    parse_uexp(src)
+        .map_err(|e| RequestError::new(ErrorKind::Protocol, format!("bad {what} {src:?}: {e}")))
+}
+
+/// Evaluates a surface-syntax expression to an object-language value — how
+/// action and result values cross the wire (models and actions are
+/// object-language values, so they serialize as source text).
+fn eval_value(registry: &LivelitRegistry, src: &str, what: &str) -> Result<IExp, RequestError> {
+    let uexp = parse_uexp_field(src, what)?;
+    let expanded = livelit_core::expansion::expand(&registry.phi(), &uexp)
+        .map_err(|e| RequestError::new(ErrorKind::Doc, format!("bad {what}: {e}")))?;
+    let (d, _, _) = elab_syn(&Ctx::empty(), &expanded)
+        .map_err(|e| RequestError::new(ErrorKind::Doc, format!("bad {what}: {e}")))?;
+    eval_traced_big_stack(&d, DEFAULT_FUEL)
+        .map_err(|e| RequestError::new(ErrorKind::Doc, format!("bad {what}: {e}")))
+}
+
+fn parse_edit(edit: &Json, registry: &LivelitRegistry) -> Result<EditAction, RequestError> {
+    let kind = edit_field_str(edit, "kind")?;
+    match kind {
+        "fill_hole" => {
+            let at = edit_field_hole(edit)?;
+            let livelit = LivelitName::new(edit_field_str(edit, "livelit")?);
+            let params = match edit.get("params") {
+                None => Vec::new(),
+                Some(Json::Arr(items)) => items
+                    .iter()
+                    .map(|p| {
+                        p.as_str()
+                            .ok_or_else(|| {
+                                RequestError::new(
+                                    ErrorKind::Protocol,
+                                    "\"params\" must be an array of strings",
+                                )
+                            })
+                            .and_then(|src| parse_uexp_field(src, "param"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+                Some(_) => {
+                    return Err(RequestError::new(
+                        ErrorKind::Protocol,
+                        "\"params\" must be an array of strings",
+                    ))
+                }
+            };
+            Ok(EditAction::FillHole {
+                at,
+                livelit,
+                params,
+            })
+        }
+        "dispatch" => Ok(EditAction::Dispatch {
+            at: edit_field_hole(edit)?,
+            action: eval_value(registry, edit_field_str(edit, "action")?, "action")?,
+        }),
+        "edit_splice" => {
+            let at = edit_field_hole(edit)?;
+            let splice = edit.get("splice").and_then(Json::as_int).ok_or_else(|| {
+                RequestError::new(ErrorKind::Protocol, "missing integer \"splice\"")
+            })?;
+            let splice = u64::try_from(splice).map(SpliceRef).map_err(|_| {
+                RequestError::new(ErrorKind::Protocol, "\"splice\" must be non-negative")
+            })?;
+            Ok(EditAction::EditSplice {
+                at,
+                splice,
+                contents: parse_uexp_field(edit_field_str(edit, "contents")?, "contents")?,
+            })
+        }
+        "select_closure" => {
+            let index = edit.get("index").and_then(Json::as_int).ok_or_else(|| {
+                RequestError::new(ErrorKind::Protocol, "missing integer \"index\"")
+            })?;
+            let index = usize::try_from(index).map_err(|_| {
+                RequestError::new(ErrorKind::Protocol, "\"index\" must be non-negative")
+            })?;
+            Ok(EditAction::SelectClosure {
+                at: edit_field_hole(edit)?,
+                index,
+            })
+        }
+        "push_result" => Ok(EditAction::PushResult {
+            at: edit_field_hole(edit)?,
+            value: eval_value(registry, edit_field_str(edit, "value")?, "value")?,
+        }),
+        other => Err(RequestError::new(
+            ErrorKind::Protocol,
+            format!("unknown edit kind {other:?}"),
+        )),
+    }
+}

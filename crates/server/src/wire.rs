@@ -1,0 +1,168 @@
+//! Wire encoding of view trees and patch scripts.
+//!
+//! View payloads are the protocol's bulk; the encoding is deterministic
+//! (fixed field order) so transcripts can be diffed byte-for-byte in CI.
+//! Handler actions are object-language values ([`Action`] = `IExp`); they
+//! cross the wire in surface syntax via the pretty printer, the same form
+//! the `edit`/`dispatch` requests accept.
+
+use hazel_lang::pretty::print_iexp;
+use livelit_mvu::diff::Patch;
+use livelit_mvu::html::{EventKind, Html};
+use livelit_mvu::livelit::Action;
+
+use crate::json::{obj, uint, Json};
+
+/// The stable wire name of a DOM event kind.
+pub fn event_name(event: EventKind) -> &'static str {
+    match event {
+        EventKind::Click => "click",
+        EventKind::Input => "input",
+        EventKind::Drag => "drag",
+    }
+}
+
+/// Parses a wire event name.
+pub fn parse_event(name: &str) -> Option<EventKind> {
+    match name {
+        "click" => Some(EventKind::Click),
+        "input" => Some(EventKind::Input),
+        "drag" => Some(EventKind::Drag),
+        _ => None,
+    }
+}
+
+/// One-line surface syntax for an action value, as views emit them.
+pub fn action_text(action: &Action) -> String {
+    print_iexp(action, usize::MAX)
+}
+
+fn attrs_json(attrs: &[(String, String)]) -> Json {
+    Json::Arr(
+        attrs
+            .iter()
+            .map(|(k, v)| Json::Arr(vec![Json::Str(k.clone()), Json::Str(v.clone())]))
+            .collect(),
+    )
+}
+
+fn handlers_json(handlers: &[(EventKind, Action)]) -> Json {
+    Json::Arr(
+        handlers
+            .iter()
+            .map(|(e, a)| {
+                Json::Arr(vec![
+                    Json::Str(event_name(*e).to_owned()),
+                    Json::Str(action_text(a)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Encodes a view tree. Node kinds are tagged `"t"`: `"elem"`, `"text"`,
+/// `"editor"` (an embedded splice editor the client renders itself), and
+/// `"result"` (a splice result view).
+pub fn html_json(view: &Html<Action>) -> Json {
+    match view {
+        Html::Element {
+            tag,
+            attrs,
+            handlers,
+            children,
+        } => obj([
+            ("t", Json::Str("elem".into())),
+            ("tag", Json::Str(tag.clone())),
+            ("attrs", attrs_json(attrs)),
+            ("handlers", handlers_json(handlers)),
+            (
+                "children",
+                Json::Arr(children.iter().map(html_json).collect()),
+            ),
+        ]),
+        Html::Text(s) => obj([
+            ("t", Json::Str("text".into())),
+            ("text", Json::Str(s.clone())),
+        ]),
+        Html::Editor { splice, dim } => obj([
+            ("t", Json::Str("editor".into())),
+            ("splice", uint(splice.0)),
+            ("w", uint(dim.width)),
+            ("h", uint(dim.height)),
+        ]),
+        Html::ResultView { splice, dim } => obj([
+            ("t", Json::Str("result".into())),
+            ("splice", uint(splice.0)),
+            ("w", uint(dim.width)),
+            ("h", uint(dim.height)),
+        ]),
+    }
+}
+
+fn path_json(path: &[usize]) -> Json {
+    Json::Arr(path.iter().map(|&i| uint(i)).collect())
+}
+
+/// Encodes one patch operation. Patches address nodes positionally by
+/// child-index path from the view root, mirroring [`livelit_mvu::diff`].
+pub fn patch_json(patch: &Patch<Action>) -> Json {
+    match patch {
+        Patch::Replace(path, node) => obj([
+            ("op", Json::Str("replace".into())),
+            ("path", path_json(path)),
+            ("node", html_json(node)),
+        ]),
+        Patch::SetText(path, text) => obj([
+            ("op", Json::Str("set_text".into())),
+            ("path", path_json(path)),
+            ("text", Json::Str(text.clone())),
+        ]),
+        Patch::SetAttrs(path, attrs) => obj([
+            ("op", Json::Str("set_attrs".into())),
+            ("path", path_json(path)),
+            ("attrs", attrs_json(attrs)),
+        ]),
+        Patch::SetHandlers(path, handlers) => obj([
+            ("op", Json::Str("set_handlers".into())),
+            ("path", path_json(path)),
+            ("handlers", handlers_json(handlers)),
+        ]),
+        Patch::AppendChild(path, node) => obj([
+            ("op", Json::Str("append_child".into())),
+            ("path", path_json(path)),
+            ("node", html_json(node)),
+        ]),
+        Patch::TruncateChildren(path, len) => obj([
+            ("op", Json::Str("truncate_children".into())),
+            ("path", path_json(path)),
+            ("len", uint(*len)),
+        ]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hazel_lang::IExp;
+    use livelit_mvu::html::tags::div;
+
+    #[test]
+    fn view_encoding_is_deterministic() {
+        let view: Html<Action> = div(vec![Html::text("57")])
+            .attr("id", "x")
+            .on(EventKind::Click, IExp::Int(1));
+        let a = html_json(&view).to_string();
+        let b = html_json(&view).to_string();
+        assert_eq!(a, b);
+        assert!(a.contains("\"t\":\"elem\""));
+        assert!(a.contains("[\"click\",\"1\"]"));
+    }
+
+    #[test]
+    fn event_names_round_trip() {
+        for e in [EventKind::Click, EventKind::Input, EventKind::Drag] {
+            assert_eq!(parse_event(event_name(e)), Some(e));
+        }
+        assert_eq!(parse_event("hover"), None);
+    }
+}

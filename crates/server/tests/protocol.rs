@@ -1,0 +1,238 @@
+//! End-to-end protocol tests: a server over the standard livelit library,
+//! driven through the same line-in/line-out interface `hazel serve` uses.
+
+use livelit_server::json::{self, Json};
+use livelit_server::Server;
+use std::sync::Arc;
+
+const SLIDER_DOC: &str = "$slider@0{10}(0 : Int; 100 : Int)";
+
+fn std_server() -> Server {
+    Server::with_registry(Arc::new(|| {
+        let mut registry = hazel_editor::LivelitRegistry::new();
+        livelit_std::register_all(&mut registry);
+        registry
+    }))
+}
+
+fn reply(server: &mut Server, line: &str) -> Json {
+    json::parse(&server.handle_line(line)).expect("replies are valid JSON")
+}
+
+fn assert_ok(reply: &Json) {
+    assert_eq!(
+        reply.get("ok"),
+        Some(&Json::Bool(true)),
+        "expected ok reply, got {reply}"
+    );
+}
+
+fn error_kind(reply: &Json) -> &str {
+    assert_eq!(reply.get("ok"), Some(&Json::Bool(false)), "got {reply}");
+    reply
+        .get("error")
+        .and_then(|e| e.get("kind"))
+        .and_then(Json::as_str)
+        .expect("error replies carry a kind")
+}
+
+#[test]
+fn open_render_dispatch_render_ships_patches() {
+    let mut server = std_server();
+    let open = reply(
+        &mut server,
+        &format!("{{\"op\":\"open\",\"session\":\"s\",\"source\":{SLIDER_DOC:?}}}"),
+    );
+    assert_ok(&open);
+    assert_eq!(open.get("holes"), Some(&Json::Arr(vec![Json::Int(0)])));
+
+    // First render has no acked views: everything ships full.
+    let first = reply(&mut server, "{\"op\":\"render\",\"session\":\"s\"}");
+    assert_ok(&first);
+    let views = first.get("views").and_then(Json::as_arr).expect("views");
+    assert_eq!(views.len(), 1);
+    assert_eq!(views[0].get("mode").and_then(Json::as_str), Some("full"));
+    assert_eq!(first.get("result").and_then(Json::as_str), Some("10"));
+
+    // Click the increment button by its id in the shipped view.
+    let hit = reply(
+        &mut server,
+        "{\"op\":\"dispatch\",\"session\":\"s\",\"hole\":0,\"target\":\"inc\",\"event\":\"click\"}",
+    );
+    assert_ok(&hit);
+
+    // The re-render diffs against the acked view: a small patch script,
+    // not a full tree.
+    let second = reply(&mut server, "{\"op\":\"render\",\"session\":\"s\"}");
+    assert_ok(&second);
+    let views = second.get("views").and_then(Json::as_arr).expect("views");
+    assert_eq!(views[0].get("mode").and_then(Json::as_str), Some("patch"));
+    assert_eq!(second.get("result").and_then(Json::as_str), Some("11"));
+
+    let stats = reply(&mut server, "{\"op\":\"stats\",\"session\":\"s\"}");
+    assert_ok(&stats);
+    let patch_bytes = stats.get("patch_bytes").and_then(Json::as_int).unwrap();
+    let full_bytes = stats.get("full_bytes").and_then(Json::as_int).unwrap();
+    assert!(
+        patch_bytes < full_bytes,
+        "patches ({patch_bytes}B) should undercut full views ({full_bytes}B)"
+    );
+    assert!(stats.get("patches").and_then(Json::as_int).unwrap() > 0);
+}
+
+#[test]
+fn edit_actions_cross_the_wire_as_surface_syntax() {
+    let mut server = std_server();
+    assert_ok(&reply(
+        &mut server,
+        &format!("{{\"op\":\"open\",\"session\":\"s\",\"source\":{SLIDER_DOC:?}}}"),
+    ));
+
+    // Model transition via an `edit` dispatch: the action value is surface
+    // syntax, evaluated server-side.
+    assert_ok(&reply(
+        &mut server,
+        "{\"op\":\"edit\",\"session\":\"s\",\"edit\":{\"kind\":\"dispatch\",\"at\":0,\"action\":\"(.set 42)\"}}",
+    ));
+    let render = reply(&mut server, "{\"op\":\"render\",\"session\":\"s\"}");
+    assert_eq!(render.get("result").and_then(Json::as_str), Some("42"));
+
+    // Splice edit: raise the minimum bound above the model.
+    assert_ok(&reply(
+        &mut server,
+        "{\"op\":\"edit\",\"session\":\"s\",\"edit\":{\"kind\":\"edit_splice\",\"at\":0,\"splice\":0,\"contents\":\"50\"}}",
+    ));
+    let render = reply(&mut server, "{\"op\":\"render\",\"session\":\"s\"}");
+    assert_ok(&render);
+
+    // A nonsense action value is a `doc` error, not a dead server.
+    let bad = reply(
+        &mut server,
+        "{\"op\":\"edit\",\"session\":\"s\",\"edit\":{\"kind\":\"dispatch\",\"at\":0,\"action\":\"(.bogus 1)\"}}",
+    );
+    assert_eq!(error_kind(&bad), "doc");
+    // And the session is still alive afterwards.
+    assert_ok(&reply(&mut server, "{\"op\":\"render\",\"session\":\"s\"}"));
+}
+
+#[test]
+fn error_taxonomy_is_stable() {
+    let mut server = std_server();
+    assert_eq!(error_kind(&reply(&mut server, "{nope")), "parse");
+    assert_eq!(error_kind(&reply(&mut server, "[1,2]")), "protocol");
+    assert_eq!(
+        error_kind(&reply(&mut server, "{\"op\":\"warp\"}")),
+        "protocol"
+    );
+    assert_eq!(
+        error_kind(&reply(&mut server, "{\"op\":\"render\"}")),
+        "protocol"
+    );
+    assert_eq!(
+        error_kind(&reply(
+            &mut server,
+            "{\"op\":\"render\",\"session\":\"ghost\"}"
+        )),
+        "session"
+    );
+    // Surface-syntax garbage in an open is a doc error; the server lives on.
+    assert_eq!(
+        error_kind(&reply(
+            &mut server,
+            "{\"op\":\"open\",\"session\":\"s\",\"source\":\"let let let\"}"
+        )),
+        "doc"
+    );
+    assert_eq!(server.session_count(), 0);
+
+    assert_ok(&reply(
+        &mut server,
+        &format!("{{\"op\":\"open\",\"session\":\"s\",\"source\":{SLIDER_DOC:?}}}"),
+    ));
+    assert_eq!(
+        error_kind(&reply(
+            &mut server,
+            &format!("{{\"op\":\"open\",\"session\":\"s\",\"source\":{SLIDER_DOC:?}}}"),
+        )),
+        "session"
+    );
+    assert_ok(&reply(&mut server, "{\"op\":\"close\",\"session\":\"s\"}"));
+    assert_eq!(
+        error_kind(&reply(&mut server, "{\"op\":\"render\",\"session\":\"s\"}")),
+        "session"
+    );
+    assert_eq!(server.session_count(), 0);
+}
+
+#[test]
+fn ids_are_echoed_on_ok_and_error_replies() {
+    let mut server = std_server();
+    let ok = reply(
+        &mut server,
+        &format!("{{\"op\":\"open\",\"id\":7,\"session\":\"s\",\"source\":{SLIDER_DOC:?}}}"),
+    );
+    assert_ok(&ok);
+    assert_eq!(ok.get("id"), Some(&Json::Int(7)));
+    let err = reply(
+        &mut server,
+        "{\"op\":\"render\",\"id\":\"r1\",\"session\":\"nope\"}",
+    );
+    assert_eq!(err.get("id"), Some(&Json::Str("r1".into())));
+    assert_eq!(error_kind(&err), "session");
+}
+
+#[test]
+fn batch_replies_match_sequential_replies() {
+    let lines: Vec<String> = vec![
+        format!("{{\"op\":\"open\",\"session\":\"a\",\"source\":{SLIDER_DOC:?}}}"),
+        format!("{{\"op\":\"open\",\"session\":\"b\",\"source\":{SLIDER_DOC:?}}}"),
+        "{\"op\":\"render\",\"session\":\"a\"}".to_owned(),
+        "{\"op\":\"edit\",\"session\":\"b\",\"edit\":{\"kind\":\"dispatch\",\"at\":0,\"action\":\"(.set 3)\"}}".to_owned(),
+        "{\"op\":\"dispatch\",\"session\":\"a\",\"hole\":0,\"target\":\"inc\"}".to_owned(),
+        "{\"op\":\"render\",\"session\":\"b\"}".to_owned(),
+        "{\"op\":\"render\",\"session\":\"a\"}".to_owned(),
+        "not json at all".to_owned(),
+        "{\"op\":\"stats\",\"session\":\"a\"}".to_owned(),
+    ];
+
+    let mut sequential = std_server();
+    let expected: Vec<String> = lines.iter().map(|l| sequential.handle_line(l)).collect();
+
+    livelit_sched::set_workers_override(Some(2));
+    let mut batched = std_server();
+    let got = batched.handle_batch(&lines);
+    livelit_sched::set_workers_override(None);
+
+    assert_eq!(got, expected);
+    assert_eq!(batched.session_count(), 2);
+    // Batched state folds back into the server: a follow-up sequential
+    // request sees the edits made inside the pool tasks.
+    let render = reply(&mut batched, "{\"op\":\"render\",\"session\":\"b\"}");
+    assert_eq!(render.get("result").and_then(Json::as_str), Some("3"));
+}
+
+#[test]
+fn vanished_holes_are_forgotten() {
+    let mut server = std_server();
+    // A document whose hole is empty: filling and re-rendering exercises
+    // acked-view bookkeeping when the hole set changes.
+    assert_ok(&reply(
+        &mut server,
+        "{\"op\":\"open\",\"session\":\"s\",\"source\":\"?0 + 1\"}",
+    ));
+    let first = reply(&mut server, "{\"op\":\"render\",\"session\":\"s\"}");
+    assert_ok(&first);
+    assert_eq!(
+        first.get("views").and_then(Json::as_arr).map(<[Json]>::len),
+        Some(0)
+    );
+    assert_ok(&reply(
+        &mut server,
+        "{\"op\":\"edit\",\"session\":\"s\",\"edit\":{\"kind\":\"fill_hole\",\"at\":0,\"livelit\":\"$slider\",\"params\":[\"0\",\"9\"]}}",
+    ));
+    let second = reply(&mut server, "{\"op\":\"render\",\"session\":\"s\"}");
+    assert_ok(&second);
+    let views = second.get("views").and_then(Json::as_arr).expect("views");
+    assert_eq!(views.len(), 1);
+    assert_eq!(views[0].get("mode").and_then(Json::as_str), Some("full"));
+}

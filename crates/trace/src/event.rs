@@ -69,11 +69,24 @@ pub enum Counter {
     /// Worker-nanoseconds the pool spent idle (wall × workers − busy).
     /// Nondeterministic; emitted only when nonzero.
     SchedIdleNs,
+    /// Splice-result cache entries retired by a generation rotation.
+    SpliceCacheEvictions,
+    /// Requests handled by the document server (well-formed or not).
+    ServeRequests,
+    /// Server requests answered with a structured `error` reply.
+    ServeErrors,
+    /// Patch operations shipped in server `render` replies.
+    ServePatches,
+    /// Bytes of patch scripts shipped by `render` replies that diffed
+    /// against an acknowledged view.
+    ServePatchBytes,
+    /// Bytes the same `render` replies would have cost as full view trees.
+    ServeFullBytes,
 }
 
 impl Counter {
     /// Every counter, in serialization order.
-    pub const ALL: [Counter; 22] = [
+    pub const ALL: [Counter; 28] = [
         Counter::HolesRemaining,
         Counter::ExpansionsPerformed,
         Counter::SplicesEvaluated,
@@ -96,6 +109,12 @@ impl Counter {
         Counter::SchedTasks,
         Counter::SchedSteals,
         Counter::SchedIdleNs,
+        Counter::SpliceCacheEvictions,
+        Counter::ServeRequests,
+        Counter::ServeErrors,
+        Counter::ServePatches,
+        Counter::ServePatchBytes,
+        Counter::ServeFullBytes,
     ];
 
     /// The stable snake_case name used in serialized output.
@@ -123,6 +142,12 @@ impl Counter {
             Counter::SchedTasks => "sched_tasks",
             Counter::SchedSteals => "sched_steals",
             Counter::SchedIdleNs => "sched_idle_ns",
+            Counter::SpliceCacheEvictions => "splice_cache_evictions",
+            Counter::ServeRequests => "serve_requests",
+            Counter::ServeErrors => "serve_errors",
+            Counter::ServePatches => "serve_patches",
+            Counter::ServePatchBytes => "serve_patch_bytes",
+            Counter::ServeFullBytes => "serve_full_bytes",
         }
     }
 }

@@ -53,7 +53,7 @@ pub mod sink;
 pub mod tracer;
 
 pub use clock::{Clock, MonotonicClock, TestClock};
-pub use event::{render_events, Counter, Event, SpanId};
+pub use event::{json_string, render_events, Counter, Event, SpanId};
 pub use sink::{
     fmt_ns, FanoutSink, JsonlSink, NullSink, RingSink, Sink, SpanStats, Stats, StatsSink,
 };

@@ -1,0 +1,209 @@
+//! Property/fuzz suite for the document server and the patch algebra.
+//!
+//! Two crash-proofing contracts from the server PR:
+//!
+//! 1. **The server loop is total.** Arbitrary bytes, malformed JSON, and
+//!    randomly mutated well-formed requests never panic `handle_line` and
+//!    always produce exactly one structured reply (a JSON object with an
+//!    `"ok"` field, carrying an `error.kind` when `ok` is false).
+//! 2. **Patches round-trip.** For arbitrary view trees `old`, `new`:
+//!    `try_apply(old, diff(old, new)) == Ok(new)`, and `try_apply`
+//!    against a *mismatched* base tree returns `Err`/`Ok` but never
+//!    panics (the server leans on this to degrade stale diffs to full
+//!    re-renders).
+//!
+//! All cases run over explicit seed ranges through the deterministic
+//! [`integration_tests::XorShift`] generator.
+
+use hazel::mvu::html::EventKind;
+use hazel::mvu::{diff, try_apply, Dim, Html, SpliceRef};
+use hazel::server::json::{self, Json};
+use hazel::server::Server;
+use integration_tests::XorShift;
+
+type View = Html<hazel::lang::IExp>;
+
+const CASES: u64 = 300;
+
+fn check_reply(server: &mut Server, line: &str) -> Json {
+    let reply = server.handle_line(line);
+    let parsed =
+        json::parse(&reply).unwrap_or_else(|e| panic!("reply must be valid JSON ({e}): {reply}"));
+    match parsed.get("ok") {
+        Some(Json::Bool(true)) => {}
+        Some(Json::Bool(false)) => {
+            let kind = parsed
+                .get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(Json::as_str);
+            assert!(kind.is_some(), "error replies carry a kind: {reply}");
+        }
+        _ => panic!("reply must carry a boolean \"ok\": {reply}"),
+    }
+    parsed
+}
+
+#[test]
+fn arbitrary_bytes_always_yield_one_error_reply() {
+    let mut server = Server::new();
+    for seed in 0..CASES {
+        let mut g = XorShift::new(seed);
+        let len = g.below(200) as usize;
+        let bytes: Vec<u8> = (0..len).map(|_| g.next_u64() as u8).collect();
+        // handle_line takes &str (the CLI reads lines), so exercise it
+        // with every byte soup that survives lossy decoding.
+        let line = String::from_utf8_lossy(&bytes).into_owned();
+        let reply = check_reply(&mut server, &line);
+        assert_eq!(
+            reply.get("ok"),
+            Some(&Json::Bool(false)),
+            "random bytes should not be a valid request: {line:?}"
+        );
+    }
+    assert_eq!(server.session_count(), 0);
+}
+
+#[test]
+fn malformed_json_shapes_never_panic_the_loop() {
+    let mut server = Server::new();
+    let shapes = [
+        "",
+        "null",
+        "true",
+        "42",
+        "\"just a string\"",
+        "[]",
+        "{}",
+        "{\"op\":null}",
+        "{\"op\":42}",
+        "{\"op\":[]}",
+        "{\"op\":\"open\"}",
+        "{\"op\":\"open\",\"session\":{}}",
+        "{\"op\":\"open\",\"session\":\"s\",\"source\":7}",
+        "{\"op\":\"open\",\"session\":\"s\",\"path\":\"/no/such/file\"}",
+        "{\"op\":\"edit\",\"session\":\"s\"}",
+        "{\"op\":\"dispatch\",\"hole\":-1}",
+        "{\"op\":\"render\",\"session\":\"\\u0000\"}",
+        "{\"op\":\"stats\",\"session\":[]}",
+        "{\"op\":\"close\"}",
+        "{\"op\":\"open\",\"session\":\"s\",\"source\":\"$nope@0{}()\"}",
+        "{\"op\": \"open\", \"op\": \"close\"}",
+        "{\"unrelated\":\"fields\",\"only\":true}",
+    ];
+    for line in shapes {
+        let reply = check_reply(&mut server, line);
+        assert_eq!(reply.get("ok"), Some(&Json::Bool(false)), "{line:?}");
+    }
+    assert_eq!(server.session_count(), 0);
+}
+
+#[test]
+fn mutated_valid_requests_always_get_a_structured_reply() {
+    let templates = [
+        "{\"op\":\"open\",\"session\":\"s\",\"source\":\"1 + 1\"}",
+        "{\"op\":\"render\",\"session\":\"s\"}",
+        "{\"op\":\"dispatch\",\"session\":\"s\",\"hole\":0,\"target\":\"inc\",\"event\":\"click\"}",
+        "{\"op\":\"edit\",\"session\":\"s\",\"edit\":{\"kind\":\"dispatch\",\"at\":0,\"action\":\"(.set 1)\"}}",
+        "{\"op\":\"stats\"}",
+        "{\"op\":\"close\",\"session\":\"s\"}",
+    ];
+    let mut server = Server::new();
+    for seed in 0..CASES {
+        let mut g = XorShift::new(seed);
+        let template = templates[g.below(templates.len() as u64) as usize];
+        let mut bytes = template.as_bytes().to_vec();
+        // One to four random byte edits: overwrite, insert, or delete.
+        for _ in 0..=g.below(3) {
+            if bytes.is_empty() {
+                break;
+            }
+            let at = g.below(bytes.len() as u64) as usize;
+            match g.below(3) {
+                0 => bytes[at] = g.next_u64() as u8,
+                1 => bytes.insert(at, g.next_u64() as u8),
+                _ => {
+                    bytes.remove(at);
+                }
+            }
+        }
+        let line = String::from_utf8_lossy(&bytes).into_owned();
+        check_reply(&mut server, &line);
+    }
+}
+
+/// A random view tree. Handler actions are small integer values — the
+/// diff algebra only compares them for equality, so structure, not
+/// meaning, is what matters here.
+fn gen_view(g: &mut XorShift, depth: u32) -> View {
+    let tags = ["div", "span", "button", "table", "tr"];
+    match if depth == 0 { 0 } else { g.below(10) } {
+        0..=3 => Html::Text(format!("t{}", g.below(8))),
+        4 => Html::Editor {
+            splice: SpliceRef(g.below(4)),
+            dim: Dim {
+                width: g.below(30) as usize + 1,
+                height: g.below(3) as usize + 1,
+            },
+        },
+        5 => Html::ResultView {
+            splice: SpliceRef(g.below(4)),
+            dim: Dim {
+                width: g.below(30) as usize + 1,
+                height: 1,
+            },
+        },
+        _ => {
+            let n_children = g.below(4) as usize;
+            let n_attrs = g.below(3) as usize;
+            let n_handlers = g.below(3) as usize;
+            Html::Element {
+                tag: tags[g.below(tags.len() as u64) as usize].to_owned(),
+                attrs: (0..n_attrs)
+                    .map(|i| (format!("a{i}"), format!("v{}", g.below(4))))
+                    .collect(),
+                handlers: (0..n_handlers)
+                    .map(|_| {
+                        let event = match g.below(3) {
+                            0 => EventKind::Click,
+                            1 => EventKind::Input,
+                            _ => EventKind::Drag,
+                        };
+                        (event, hazel::lang::IExp::Int(g.below(16) as i64))
+                    })
+                    .collect(),
+                children: (0..n_children).map(|_| gen_view(g, depth - 1)).collect(),
+            }
+        }
+    }
+}
+
+#[test]
+fn try_apply_round_trips_diff_for_arbitrary_view_pairs() {
+    for seed in 0..CASES {
+        let mut g = XorShift::new(seed);
+        let old = gen_view(&mut g, 4);
+        let new = gen_view(&mut g, 4);
+        let patches = diff(&old, &new);
+        assert_eq!(
+            try_apply(&old, &patches),
+            Ok(new),
+            "seed {seed}: diff must roll the old view forward exactly"
+        );
+        // Diffing a tree against itself is a fixpoint: no patches.
+        assert!(diff(&old, &old).is_empty(), "seed {seed}");
+    }
+}
+
+#[test]
+fn try_apply_against_a_mismatched_base_never_panics() {
+    for seed in 0..CASES {
+        let mut g = XorShift::new(seed);
+        let old = gen_view(&mut g, 4);
+        let new = gen_view(&mut g, 4);
+        let stale = gen_view(&mut g, 4);
+        let patches = diff(&old, &new);
+        // Applying a script meant for `old` to an unrelated tree is the
+        // stale-acked-view scenario: any Result is fine, a panic is not.
+        let _ = try_apply(&stale, &patches);
+    }
+}
