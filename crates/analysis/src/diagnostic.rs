@@ -8,7 +8,10 @@
 //! - `LL01xx` — splice discipline (Sec. 3.2.3),
 //! - `LL02xx` — hole audits (Sec. 4.1),
 //! - `LL03xx` — livelit-definition lints (Def. 4.3, Sec. 3.2),
-//! - `LL04xx` — expansion determinism (Sec. 3.2.5).
+//! - `LL04xx` — expansion determinism (Sec. 3.2.5),
+//! - `LL05xx` — reachability and liveness (dataflow over the term store),
+//! - `LL06xx` — static purity/effect inference for expansion functions,
+//! - `LL07xx` — hole-context facts (analyses that flow *through* holes).
 
 use std::fmt;
 
@@ -77,11 +80,34 @@ pub enum Code {
     /// model twice produced different expansions (Sec. 3.2.5 requires
     /// `expand` be "a pure function of the model").
     ImpureExpansion,
+    /// `LL0501`: a `let` binding whose variable is never referenced by any
+    /// reachable use site (liveness over the term store).
+    UnusedBinding,
+    /// `LL0502`: a match arm (or constant-conditional branch) that can
+    /// never be taken.
+    UnreachableArm,
+    /// `LL0503`: a prelude definition never referenced, directly or
+    /// transitively, from the main expression.
+    UnusedDefinition,
+    /// `LL0601`: an invoked livelit whose expansion function could not be
+    /// proven deterministic statically — the residue that stays on the
+    /// dynamic LL0401 double-expansion check.
+    PurityUnknown,
+    /// `LL0602`: an expansion function proven deterministic but containing
+    /// general recursion (`fix`), so expansion may still exhaust fuel.
+    ExpansionMayDiverge,
+    /// `LL0701`: a binding unused in the completed portions of the program
+    /// but in scope at a hole — liveness flows through holes, so it may
+    /// gain uses when the hole is filled (suppresses `LL0501`).
+    LiveOnlyAtHoles,
+    /// `LL0702`: a hole in unreachable code — no fill can affect the
+    /// result, so its liveness facts are vacuous.
+    UnreachableHole,
 }
 
 impl Code {
     /// Every code, in numeric order.
-    pub const ALL: [Code; 18] = [
+    pub const ALL: [Code; 25] = [
         Code::UnboundLivelit,
         Code::ModelType,
         Code::ExpandFailure,
@@ -100,6 +126,13 @@ impl Code {
         Code::OpenExpansionType,
         Code::IllFormedDefinition,
         Code::ImpureExpansion,
+        Code::UnusedBinding,
+        Code::UnreachableArm,
+        Code::UnusedDefinition,
+        Code::PurityUnknown,
+        Code::ExpansionMayDiverge,
+        Code::LiveOnlyAtHoles,
+        Code::UnreachableHole,
     ];
 
     /// The stable code string, e.g. `"LL0004"`.
@@ -123,6 +156,13 @@ impl Code {
             Code::OpenExpansionType => "LL0303",
             Code::IllFormedDefinition => "LL0304",
             Code::ImpureExpansion => "LL0401",
+            Code::UnusedBinding => "LL0501",
+            Code::UnreachableArm => "LL0502",
+            Code::UnusedDefinition => "LL0503",
+            Code::PurityUnknown => "LL0601",
+            Code::ExpansionMayDiverge => "LL0602",
+            Code::LiveOnlyAtHoles => "LL0701",
+            Code::UnreachableHole => "LL0702",
         }
     }
 
@@ -147,6 +187,13 @@ impl Code {
             Code::OpenExpansionType => "expansion type is not closed",
             Code::IllFormedDefinition => "ill-formed livelit definition",
             Code::ImpureExpansion => "impure expansion function",
+            Code::UnusedBinding => "unused binding",
+            Code::UnreachableArm => "unreachable match arm",
+            Code::UnusedDefinition => "unused definition",
+            Code::PurityUnknown => "expansion purity unknown",
+            Code::ExpansionMayDiverge => "expansion may diverge",
+            Code::LiveOnlyAtHoles => "binding live only at holes",
+            Code::UnreachableHole => "hole in unreachable code",
         }
     }
 
@@ -171,6 +218,13 @@ impl Code {
             Code::OpenExpansionType => "Sec. 2.3",
             Code::IllFormedDefinition => "Def. 4.3",
             Code::ImpureExpansion => "Sec. 3.2.5",
+            Code::UnusedBinding => "Sec. 3.2.3 (cost discipline)",
+            Code::UnreachableArm => "Sec. 3.2.3 (cost discipline)",
+            Code::UnusedDefinition => "Sec. 3.2.3 (cost discipline)",
+            Code::PurityUnknown => "Sec. 3.2.5",
+            Code::ExpansionMayDiverge => "Sec. 3.2.5, Sec. 5.1",
+            Code::LiveOnlyAtHoles => "Sec. 4.1 (liveness around holes)",
+            Code::UnreachableHole => "Sec. 4.1",
         }
     }
 }
@@ -226,6 +280,8 @@ pub enum Location {
         /// The splice index, counting leading parameters first.
         index: usize,
     },
+    /// A named top-level (prelude) definition.
+    Def(String),
 }
 
 impl fmt::Display for Location {
@@ -235,6 +291,7 @@ impl fmt::Display for Location {
             Location::Livelit(name) => write!(f, "{name}"),
             Location::Hole(u) => write!(f, "{u}"),
             Location::Splice { hole, index } => write!(f, "{hole}.splice{index}"),
+            Location::Def(name) => write!(f, "def {name}"),
         }
     }
 }
@@ -372,22 +429,8 @@ impl Report {
             if i > 0 {
                 out.push(',');
             }
-            out.push_str("\n    {\"code\": ");
-            json_string(&mut out, d.code.as_str());
-            out.push_str(", \"severity\": ");
-            json_string(&mut out, d.severity.as_str());
-            out.push_str(", \"location\": ");
-            json_location(&mut out, &d.location);
-            out.push_str(", \"message\": ");
-            json_string(&mut out, &d.message);
-            out.push_str(", \"notes\": [");
-            for (j, note) in d.notes.iter().enumerate() {
-                if j > 0 {
-                    out.push_str(", ");
-                }
-                json_string(&mut out, note);
-            }
-            out.push_str("]}");
+            out.push_str("\n    ");
+            json_diagnostic(&mut out, d);
         }
         if !self.diagnostics.is_empty() {
             out.push_str("\n  ");
@@ -419,6 +462,27 @@ impl Report {
     }
 }
 
+/// Appends one diagnostic as a JSON object (the shape used by
+/// [`Report::to_json`] and by the server's per-edit diagnostic deltas).
+pub fn json_diagnostic(out: &mut String, d: &Diagnostic) {
+    out.push_str("{\"code\": ");
+    json_string(out, d.code.as_str());
+    out.push_str(", \"severity\": ");
+    json_string(out, d.severity.as_str());
+    out.push_str(", \"location\": ");
+    json_location(out, &d.location);
+    out.push_str(", \"message\": ");
+    json_string(out, &d.message);
+    out.push_str(", \"notes\": [");
+    for (j, note) in d.notes.iter().enumerate() {
+        if j > 0 {
+            out.push_str(", ");
+        }
+        json_string(out, note);
+    }
+    out.push_str("]}");
+}
+
 fn json_location(out: &mut String, location: &Location) {
     match location {
         Location::Program => out.push_str("{\"kind\": \"program\"}"),
@@ -435,6 +499,11 @@ fn json_location(out: &mut String, location: &Location) {
                 "{{\"kind\": \"splice\", \"hole\": {}, \"index\": {index}}}",
                 hole.0
             ));
+        }
+        Location::Def(name) => {
+            out.push_str("{\"kind\": \"def\", \"name\": ");
+            json_string(out, name);
+            out.push('}');
         }
     }
 }

@@ -1,0 +1,66 @@
+//! `LL07xx` — hole-context facts: liveness flows through holes.
+//!
+//! A fillable hole is not an opaque gap: its typing context (Sec. 4.1)
+//! says exactly which bindings a future fill could reference, and its
+//! position says whether a fill could ever run. This module renders the
+//! two consequences of the liveness scan's events:
+//!
+//! - `LL0701` — a binding with no uses *yet*, but with fillable holes in
+//!   its scope: removing it would change the contexts of those holes, so
+//!   the finding is informational rather than the `LL0501` warning.
+//! - `LL0702` — a fillable hole inside an unreachable region: no fill
+//!   can ever be evaluated there, so GUI effort on it is wasted.
+
+use crate::diagnostic::{Code, Diagnostic, Location, Severity};
+
+use super::liveness::LiveEvent;
+
+/// Renders the `LL07xx` diagnostics for a unit's liveness events.
+pub fn diagnostics(events: &[LiveEvent], at: &Location) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for event in events {
+        match event {
+            LiveEvent::UnusedBinding { var, fillable } if !fillable.is_empty() => {
+                let n = fillable.len();
+                let holes = fillable
+                    .iter()
+                    .map(std::string::ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                out.push(
+                    Diagnostic::new(
+                        Code::LiveOnlyAtHoles,
+                        Severity::Info,
+                        at.clone(),
+                        format!(
+                            "binding `{var}` has no uses yet, but {n} hole(s) in its \
+                             scope could reference it: {holes}"
+                        ),
+                    )
+                    .with_note(
+                        "liveness flows through holes: filling a hole may create \
+                         the first use (Sec. 4.1)"
+                            .to_string(),
+                    ),
+                );
+            }
+            LiveEvent::UnusedBinding { .. } => {}
+            LiveEvent::DeadRegion { detail, holes } => {
+                for u in holes {
+                    out.push(
+                        Diagnostic::new(
+                            Code::UnreachableHole,
+                            Severity::Info,
+                            Location::Hole(*u),
+                            format!("hole {u} is inside an unreachable {detail}"),
+                        )
+                        .with_note(format!(
+                            "no fill of this hole can ever be evaluated (unit: {at})"
+                        )),
+                    );
+                }
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,176 @@
+//! `LL05xx` — reachability and liveness over the hash-consed skeleton.
+//!
+//! The scan walks a unit's interned term once, reading memoized
+//! [`TermFacts`](super::facts::TermFacts) to classify:
+//!
+//! - **unused bindings** — a `let` whose body never references the bound
+//!   variable (`LL0501`); when the body contains fillable holes the
+//!   finding is downgraded to the hole-context family (`LL0701`, see
+//!   [`super::holectx`]), because filling a hole in the binding's scope
+//!   may create the first use;
+//! - **unreachable regions** — branches and match arms dead under a
+//!   literal scrutinee (`LL0502`); holes inside a dead region are
+//!   reported as vacuous by the hole-context family (`LL0702`).
+//!
+//! The scan emits structured [`LiveEvent`]s rather than diagnostics so
+//! the two diagnostic families can be derived independently.
+
+use std::collections::BTreeSet;
+
+use hazel_lang::ident::HoleName;
+use hazel_lang::store::{Node, TermId, TermStore};
+
+use super::facts::{children, FactScout};
+use crate::diagnostic::{Code, Diagnostic, Location, Severity};
+
+/// One structural liveness finding, prior to diagnostic rendering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LiveEvent {
+    /// A `let`-bound variable with zero uses in its scope.
+    UnusedBinding {
+        /// The bound variable's name.
+        var: String,
+        /// Fillable holes in the binding's scope — if any, the binding
+        /// may still gain uses, so the finding is informational.
+        fillable: Vec<HoleName>,
+    },
+    /// A branch or arm that control flow can never reach.
+    DeadRegion {
+        /// Human description of the region and why it is dead.
+        detail: String,
+        /// Fillable holes inside the dead region (vacuous holes).
+        holes: Vec<HoleName>,
+    },
+}
+
+/// Scans the unit rooted at `root`, producing events in walk order.
+///
+/// Each distinct `TermId` is visited once — facts are context
+/// independent, so a structurally shared subterm cannot produce a
+/// different finding at its second occurrence.
+pub fn scan(store: &TermStore, scout: &mut FactScout<'_>, root: TermId) -> Vec<LiveEvent> {
+    let mut events = Vec::new();
+    let mut visited: BTreeSet<TermId> = BTreeSet::new();
+    let mut stack = vec![root];
+    while let Some(t) = stack.pop() {
+        if !visited.insert(t) {
+            continue;
+        }
+        let mut descend: Vec<TermId> = Vec::new();
+        match store.node(t) {
+            Node::ULet(x, _, d, b) => {
+                let (x, d, b) = (*x, *d, *b);
+                let body_facts = scout.facts(b);
+                if body_facts.uses(x) == 0 {
+                    events.push(LiveEvent::UnusedBinding {
+                        var: store.var(x).to_string(),
+                        fillable: body_facts.holes.iter().copied().collect(),
+                    });
+                }
+                descend.push(d);
+                descend.push(b);
+            }
+            Node::If(c, then_b, else_b) => {
+                let (c, then_b, else_b) = (*c, *then_b, *else_b);
+                if let Node::Bool(v) = store.node(c) {
+                    let (dead, live, branch) = if *v {
+                        (else_b, then_b, "else")
+                    } else {
+                        (then_b, else_b, "then")
+                    };
+                    let v = *v;
+                    events.push(LiveEvent::DeadRegion {
+                        detail: format!("`{branch}` branch (the condition is literally `{v}`)"),
+                        holes: scout.facts(dead).holes.iter().copied().collect(),
+                    });
+                    descend.push(live);
+                } else {
+                    descend.extend([c, then_b, else_b]);
+                }
+            }
+            Node::Case(scrut, arms) => {
+                let scrut = *scrut;
+                if let Node::Inj(_, taken, _) = store.node(scrut) {
+                    let taken = taken.clone();
+                    descend.push(scrut);
+                    for (label, _, body) in arms {
+                        if *label == taken {
+                            descend.push(*body);
+                        } else {
+                            events.push(LiveEvent::DeadRegion {
+                                detail: format!(
+                                    "arm `{label}` (the scrutinee is an injection at `{taken}`)"
+                                ),
+                                holes: scout.facts(*body).holes.iter().copied().collect(),
+                            });
+                        }
+                    }
+                } else {
+                    descend.push(scrut);
+                    descend.extend(arms.iter().map(|(_, _, b)| *b));
+                }
+            }
+            Node::ListCase(scrut, nil, _, _, cons) => {
+                let (scrut, nil, cons) = (*scrut, *nil, *cons);
+                match store.node(scrut) {
+                    Node::Nil(_) => {
+                        events.push(LiveEvent::DeadRegion {
+                            detail: "`cons` arm (the scrutinee is literally the empty list)"
+                                .to_string(),
+                            holes: scout.facts(cons).holes.iter().copied().collect(),
+                        });
+                        descend.extend([scrut, nil]);
+                    }
+                    Node::Cons(..) => {
+                        events.push(LiveEvent::DeadRegion {
+                            detail: "`nil` arm (the scrutinee is literally a cons cell)"
+                                .to_string(),
+                            holes: scout.facts(nil).holes.iter().copied().collect(),
+                        });
+                        descend.extend([scrut, cons]);
+                    }
+                    _ => descend.extend([scrut, nil, cons]),
+                }
+            }
+            other => descend.extend(children(other)),
+        }
+        // Reverse so the leftmost child is processed first (stack order).
+        stack.extend(descend.into_iter().rev());
+    }
+    events
+}
+
+/// Renders the `LL05xx` diagnostics for a unit's events: unused bindings
+/// with no holes in scope, and unreachable regions.
+pub fn diagnostics(events: &[LiveEvent], at: &Location) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for event in events {
+        match event {
+            LiveEvent::UnusedBinding { var, fillable } if fillable.is_empty() => {
+                out.push(
+                    Diagnostic::new(
+                        Code::UnusedBinding,
+                        Severity::Warning,
+                        at.clone(),
+                        format!("binding `{var}` is never used"),
+                    )
+                    .with_note(
+                        "no hole in its scope could use it either; \
+                         the binding can be removed"
+                            .to_string(),
+                    ),
+                );
+            }
+            LiveEvent::UnusedBinding { .. } => {}
+            LiveEvent::DeadRegion { detail, .. } => {
+                out.push(Diagnostic::new(
+                    Code::UnreachableArm,
+                    Severity::Warning,
+                    at.clone(),
+                    format!("unreachable {detail}"),
+                ));
+            }
+        }
+    }
+    out
+}

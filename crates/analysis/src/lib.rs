@@ -18,7 +18,14 @@
 //!   first-order models, closed expansion types, naming (Def. 4.3,
 //!   Sec. 3.1), `LL0301`–`LL0304`;
 //! - **determinism** ([`passes::determinism`]): expand-twice-and-diff for
-//!   impure native expansion functions (Sec. 3.2.5), `LL0401`.
+//!   impure native expansion functions (Sec. 3.2.5), `LL0401` — gated by
+//!   the static purity verdict below, so it runs only on the residue the
+//!   static analysis cannot prove;
+//! - **dataflow** ([`flow`]): the demand-driven incremental framework
+//!   over the hash-consed term store — reachability/liveness `LL05xx`,
+//!   static expansion purity `LL06xx`, and hole-context facts `LL07xx` —
+//!   with per-definition dirty-set invalidation and deterministic
+//!   parallel fan-out ([`flow::FlowAnalyzer`]).
 //!
 //! # Example
 //!
@@ -49,8 +56,11 @@
 
 pub mod analyzer;
 pub mod diagnostic;
+pub mod flow;
 pub mod passes;
+pub mod sarif;
 
 pub use analyzer::{analyze_invocation, AnalysisInput, Analyzer, Pass};
 pub use diagnostic::{json_string, Code, Diagnostic, Location, Report, Severity};
+pub use flow::{FlowAnalyzer, FlowUnit};
 pub use passes::definitions::{definition_errors, lint_def};

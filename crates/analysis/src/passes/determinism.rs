@@ -6,13 +6,23 @@
 //! and diffing the results catches the common failure: an expansion that
 //! depends on ambient state, so the program's meaning changes between
 //! edits without any edit to the model.
+//!
+//! The dynamic check is gated by the static purity verdict
+//! ([`crate::flow::purity`]): an invocation whose livelit is proven or
+//! attested pure skips the double expansion entirely (counted by
+//! `Counter::FlowDeterminismSkips`), so the dynamic check runs only on
+//! the residue the static analysis cannot discharge. That residue also
+//! gets an informational `LL0601` noting why it is still being
+//! spot-checked.
 
 use hazel_lang::unexpanded::LivelitAp;
 use livelit_core::def::LivelitCtx;
 use livelit_core::expansion::expand_invocation_uncached;
+use livelit_trace::Counter;
 
 use crate::analyzer::{AnalysisInput, Pass};
 use crate::diagnostic::{Code, Diagnostic, Location, Severity};
+use crate::flow::purity;
 
 /// The determinism pass.
 pub struct Determinism;
@@ -35,32 +45,60 @@ impl Pass for Determinism {
 /// Expands one invocation twice and flags any difference. Uses the
 /// uncached entry point: served from the expansion cache, the second
 /// expansion would trivially equal the first.
+///
+/// Invocations whose livelit is statically proven (or attested) pure
+/// skip the double expansion; only the `LL06xx` residue is checked, and
+/// it is additionally marked with an informational `LL0601`.
 pub fn check_invocation(phi: &LivelitCtx, ap: &LivelitAp) -> Vec<Diagnostic> {
+    if let Some(def) = phi.get(&ap.name) {
+        if purity::infer_def(def).is_deterministic() {
+            livelit_trace::count(Counter::FlowDeterminismSkips, 1);
+            return Vec::new();
+        }
+    }
+    let mut out = vec![Diagnostic::new(
+        Code::PurityUnknown,
+        Severity::Info,
+        Location::Livelit(ap.name.clone()),
+        format!(
+            "{} has no static purity evidence; its expansion determinism is \
+             checked dynamically (expand twice and diff)",
+            ap.name
+        ),
+    )
+    .with_note(
+        "provide an object-language expansion function or attest purity \
+         to discharge this check statically (LL06xx)"
+            .to_string(),
+    )];
     let (Ok(first), Ok(second)) = (
         expand_invocation_uncached(phi, ap),
         expand_invocation_uncached(phi, ap),
     ) else {
-        return Vec::new();
+        return out;
     };
     if first == second {
-        return Vec::new();
+        return out;
     }
-    vec![Diagnostic::new(
-        Code::ImpureExpansion,
-        Severity::Error,
-        Location::Hole(ap.hole),
-        format!(
-            "{}: expanding the same model twice produced different expansions; \
-             expand must be a pure function of the model",
-            ap.name
-        ),
-    )
-    .with_note(format!(
-        "first:  {}",
-        hazel_lang::pretty::print_eexp(&first.pexpansion, 60)
-    ))
-    .with_note(format!(
-        "second: {}",
-        hazel_lang::pretty::print_eexp(&second.pexpansion, 60)
-    ))]
+    out.push(
+        Diagnostic::new(
+            Code::ImpureExpansion,
+            Severity::Error,
+            Location::Hole(ap.hole),
+            format!(
+                "{}: expanding the same model twice produced different expansions; \
+                 expand must be a pure function of the model",
+                ap.name
+            ),
+        )
+        .with_note(format!(
+            "first:  {}",
+            hazel_lang::pretty::print_eexp(&first.pexpansion, 60)
+        ))
+        .with_note(format!(
+            "second: {}",
+            hazel_lang::pretty::print_eexp(&second.pexpansion, 60)
+        )),
+    );
+    out
 }

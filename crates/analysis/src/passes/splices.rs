@@ -10,10 +10,9 @@ use hazel_lang::external::EExp;
 use hazel_lang::ident::Var;
 use hazel_lang::unexpanded::LivelitAp;
 use livelit_core::def::LivelitCtx;
-use livelit_core::expansion::expand_invocation;
 
 use crate::analyzer::{AnalysisInput, Pass};
-use crate::diagnostic::{Code, Diagnostic, Location, Severity};
+use crate::diagnostic::Diagnostic;
 
 /// The splice-discipline pass.
 pub struct SpliceDiscipline;
@@ -35,62 +34,20 @@ impl Pass for SpliceDiscipline {
 
 /// Checks the evaluated-once discipline for one invocation.
 ///
-/// The validated parameterized expansion has curried type
-/// `{τi}^(i<n) → τ_expand`; when it is syntactically a chain of lambdas,
-/// each lambda binder stands for one splice, and counting its free
-/// occurrences in the remaining body classifies the splice as dead
-/// (0 occurrences) or duplicated (2+). Expansions that are not syntactic
-/// lambda chains (e.g. produced by an application) are skipped — the
-/// discipline cannot be read off their syntax.
+/// The reference counts are read off the splice-reference graph built
+/// over the hash-consed expansion skeleton
+/// ([`crate::flow::splice_graph`]): all splices of an invocation are
+/// classified by one memoized bottom-up pass instead of a per-splice
+/// recursive walk.
 pub fn check_invocation(phi: &LivelitCtx, ap: &LivelitAp) -> Vec<Diagnostic> {
-    let Ok(pe) = expand_invocation(phi, ap) else {
-        return Vec::new();
-    };
-    let name = &ap.name;
-    let mut out = Vec::new();
-    let mut body = &pe.pexpansion;
-    for index in 0..ap.splices.len() {
-        let EExp::Lam(x, _, inner) = body else {
-            break;
-        };
-        body = inner;
-        let count = count_free_occurrences(body, x);
-        let location = Location::Splice {
-            hole: ap.hole,
-            index,
-        };
-        if count == 0 {
-            out.push(
-                Diagnostic::new(
-                    Code::DeadSplice,
-                    Severity::Warning,
-                    location,
-                    format!(
-                        "splice {index} of {name} is never referenced by the expansion; \
-                         edits to it cannot affect the result"
-                    ),
-                )
-                .with_note("splices are evaluated exactly once (Sec. 3.2.3)".to_string()),
-            );
-        } else if count > 1 {
-            out.push(
-                Diagnostic::new(
-                    Code::DuplicatedSplice,
-                    Severity::Warning,
-                    location,
-                    format!(
-                        "splice {index} of {name} is referenced {count} times by the \
-                         expansion; splices should be referenced exactly once"
-                    ),
-                )
-                .with_note("splices are evaluated exactly once (Sec. 3.2.3)".to_string()),
-            );
-        }
-    }
-    out
+    crate::flow::splice_graph::check_invocation(phi, ap)
 }
 
 /// Counts free occurrences of `x` in `e`, respecting shadowing.
+///
+/// Retained as the independent reference implementation the
+/// splice-graph counts are cross-checked against in tests.
+#[cfg_attr(not(test), allow(dead_code))]
 fn count_free_occurrences(e: &EExp, x: &Var) -> usize {
     use EExp::*;
     match e {

@@ -1,0 +1,128 @@
+//! SARIF 2.1.0 export for analysis reports.
+//!
+//! Emits a single-run SARIF log with one reporting rule per stable lint
+//! code and one result per diagnostic, suitable for upload to code
+//! scanning UIs. The output is fully deterministic — rules in code
+//! order, results in report order, all keys in fixed order — so goldens
+//! can byte-diff it. Hand-written like [`crate::diagnostic::Report::to_json`]
+//! to keep the default build dependency-free.
+
+use crate::diagnostic::{json_string, Code, Diagnostic, Location, Report, Severity};
+
+/// The SARIF `level` for a severity.
+fn level(severity: Severity) -> &'static str {
+    match severity {
+        Severity::Error => "error",
+        Severity::Warning => "warning",
+        Severity::Info => "note",
+    }
+}
+
+/// A stable logical-location name for a diagnostic's location.
+fn logical_name(location: &Location) -> String {
+    location.to_string()
+}
+
+/// Renders `report` as a SARIF 2.1.0 log.
+pub fn to_sarif(report: &Report) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"hazel-analyze\",\n");
+    out.push_str("          \"informationUri\": \"https://hazel.org\",\n          \"rules\": [\n");
+    for (i, code) in Code::ALL.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str("            {\"id\": ");
+        json_string(&mut out, code.as_str());
+        out.push_str(", \"shortDescription\": {\"text\": ");
+        json_string(&mut out, code.title());
+        out.push_str("}, \"helpUri\": ");
+        json_string(
+            &mut out,
+            &format!("https://hazel.org/livelits/lints#{}", code.as_str()),
+        );
+        out.push_str(", \"properties\": {\"paperSection\": ");
+        json_string(&mut out, code.paper_section());
+        out.push_str("}}");
+    }
+    out.push_str("\n          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [\n");
+    for (i, d) in report.diagnostics().iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        result(&mut out, d);
+    }
+    if report.diagnostics().is_empty() {
+        out.push_str("      ]\n    }\n  ]\n}\n");
+    } else {
+        out.push_str("\n      ]\n    }\n  ]\n}\n");
+    }
+    out
+}
+
+fn result(out: &mut String, d: &Diagnostic) {
+    out.push_str("        {\"ruleId\": ");
+    json_string(out, d.code.as_str());
+    out.push_str(", \"level\": ");
+    json_string(out, level(d.severity));
+    out.push_str(", \"message\": {\"text\": ");
+    let mut message = d.message.clone();
+    for note in &d.notes {
+        message.push_str("\n note: ");
+        message.push_str(note);
+    }
+    json_string(out, &message);
+    out.push_str("}, \"locations\": [{\"logicalLocations\": [{\"fullyQualifiedName\": ");
+    json_string(out, &logical_name(&d.location));
+    out.push_str("}]}]}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnostic::{Diagnostic, Location, Severity};
+    use hazel_lang::ident::HoleName;
+
+    #[test]
+    fn sarif_log_is_deterministic_and_well_shaped() {
+        let report = Report::from_diagnostics(vec![
+            Diagnostic::new(
+                Code::DeadSplice,
+                Severity::Warning,
+                Location::Splice {
+                    hole: HoleName(3),
+                    index: 0,
+                },
+                "splice 0 is dead",
+            ),
+            Diagnostic::new(
+                Code::UnusedBinding,
+                Severity::Warning,
+                Location::Program,
+                "binding `x` is never used",
+            ),
+        ]);
+        let a = to_sarif(&report);
+        let b = to_sarif(&report);
+        assert_eq!(a, b);
+        assert!(a.contains("\"version\": \"2.1.0\""));
+        assert!(a.contains("\"ruleId\": \"LL0101\""));
+        assert!(a.contains("\"ruleId\": \"LL0501\""));
+        // Every stable code is declared as a rule.
+        for code in Code::ALL {
+            assert!(a.contains(&format!("\"id\": \"{}\"", code.as_str())));
+        }
+    }
+
+    #[test]
+    fn empty_report_is_valid_sarif() {
+        let s = to_sarif(&Report::new());
+        assert!(s.contains("\"results\": [\n      ]"));
+    }
+}

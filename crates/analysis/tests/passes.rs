@@ -45,6 +45,7 @@ fn good_def() -> LivelitDef {
     LivelitDef::native("$bump", vec![Typ::Int], Typ::Int, Typ::Unit, |_| {
         Ok(lam("s", Typ::Int, add(var("s"), int(1))))
     })
+    .attest_pure()
 }
 
 // ----------------------------------------------------------------------
@@ -76,13 +77,12 @@ fn ll0002_model_type_mismatch() {
 #[test]
 fn ll0003_expand_failure() {
     let mut phi = LivelitCtx::new();
-    phi.define(LivelitDef::native(
-        "$crashy",
-        vec![],
-        Typ::Int,
-        Typ::Unit,
-        |_| Err("the GUI fell over".into()),
-    ))
+    phi.define(
+        LivelitDef::native("$crashy", vec![], Typ::Int, Typ::Unit, |_| {
+            Err("the GUI fell over".into())
+        })
+        .attest_pure(),
+    )
     .unwrap();
     let report = analyze(&phi, &invoke("$crashy", IExp::Unit, vec![], 0));
     assert_eq!(error_codes(&report), vec![Code::ExpandFailure]);
@@ -92,13 +92,12 @@ fn ll0003_expand_failure() {
 #[test]
 fn ll0004_capture_is_flagged_with_the_captured_variables() {
     let mut phi = LivelitCtx::new();
-    phi.define(LivelitDef::native(
-        "$leaky",
-        vec![],
-        Typ::Int,
-        Typ::Unit,
-        |_| Ok(add(var("client_x"), var("client_y"))),
-    ))
+    phi.define(
+        LivelitDef::native("$leaky", vec![], Typ::Int, Typ::Unit, |_| {
+            Ok(add(var("client_x"), var("client_y")))
+        })
+        .attest_pure(),
+    )
     .unwrap();
     let program = UExp::Let(
         "client_x".into(),
@@ -200,19 +199,22 @@ fn a_clean_invocation_yields_zero_diagnostics() {
 fn ll0101_and_ll0102_dead_and_duplicated_splices() {
     let mut phi = LivelitCtx::new();
     // (fun a -> fun b -> a + a): a referenced twice, b never.
-    phi.define(LivelitDef::native(
-        "$lopsided",
-        vec![Typ::Int, Typ::Int],
-        Typ::Int,
-        Typ::Unit,
-        |_| {
-            Ok(lam(
-                "a",
-                Typ::Int,
-                lam("b", Typ::Int, add(var("a"), var("a"))),
-            ))
-        },
-    ))
+    phi.define(
+        LivelitDef::native(
+            "$lopsided",
+            vec![Typ::Int, Typ::Int],
+            Typ::Int,
+            Typ::Unit,
+            |_| {
+                Ok(lam(
+                    "a",
+                    Typ::Int,
+                    lam("b", Typ::Int, add(var("a"), var("a"))),
+                ))
+            },
+        )
+        .attest_pure(),
+    )
     .unwrap();
     let program = invoke(
         "$lopsided",
@@ -250,19 +252,16 @@ fn splice_counting_respects_shadowing_in_the_expansion() {
     let mut phi = LivelitCtx::new();
     // (fun s -> let s = s + 1 in s): the outer s is referenced exactly
     // once — the body's s is the let-bound one.
-    phi.define(LivelitDef::native(
-        "$shadow",
-        vec![Typ::Int],
-        Typ::Int,
-        Typ::Unit,
-        |_| {
+    phi.define(
+        LivelitDef::native("$shadow", vec![Typ::Int], Typ::Int, Typ::Unit, |_| {
             Ok(lam(
                 "s",
                 Typ::Int,
                 elet("s", add(var("s"), int(1)), var("s")),
             ))
-        },
-    ))
+        })
+        .attest_pure(),
+    )
     .unwrap();
     let program = invoke(
         "$shadow",
@@ -431,6 +430,40 @@ fn ll0401_impure_expand_is_caught_by_expanding_twice() {
         .unwrap();
     assert_eq!(d.severity, Severity::Error);
     assert_eq!(d.notes.len(), 2, "both expansions are shown");
+}
+
+#[test]
+fn ll0601_marks_invocations_without_static_purity_evidence() {
+    let mut phi = LivelitCtx::new();
+    // Identical expansion logic, one attested and one not: only the
+    // unattested one keeps the dynamic check and its LL0601 marker.
+    phi.define(LivelitDef::native(
+        "$spotchecked",
+        vec![],
+        Typ::Int,
+        Typ::Unit,
+        |_| Ok(int(7)),
+    ))
+    .unwrap();
+    let report = analyze(&phi, &invoke("$spotchecked", IExp::Unit, vec![], 0));
+    let d = report
+        .diagnostics()
+        .iter()
+        .find(|d| d.code == Code::PurityUnknown)
+        .expect("unattested native livelits are marked LL0601");
+    assert_eq!(d.severity, Severity::Info);
+    assert_eq!(d.location, Location::Livelit("$spotchecked".into()));
+
+    let mut phi = LivelitCtx::new();
+    phi.define(
+        LivelitDef::native("$attested", vec![], Typ::Int, Typ::Unit, |_| Ok(int(7))).attest_pure(),
+    )
+    .unwrap();
+    let report = analyze(&phi, &invoke("$attested", IExp::Unit, vec![], 0));
+    assert!(
+        !report.codes().contains(&Code::PurityUnknown),
+        "static purity evidence discharges the dynamic check entirely"
+    );
 }
 
 #[test]

@@ -1,5 +1,5 @@
 //! `livelit-bench`: the manual benchmark harness behind EXPERIMENTS.md
-//! Part II (B1–B13).
+//! Part II (B1–B15).
 //!
 //! Each experiment times its workload over `--iters` iterations (median-of-N
 //! with a warmup iteration; no external benchmarking dependency) and the
@@ -20,7 +20,7 @@
 use std::hint::black_box;
 use std::time::Instant;
 
-use hazel::editor::IncrementalEngine;
+use hazel::editor::{IncrementalAnalyzer, IncrementalEngine};
 use hazel::lang::parse::parse_uexp;
 use hazel::lang::value::iv;
 use hazel::prelude::*;
@@ -487,6 +487,63 @@ fn run_suite(config: &Config, results: &mut Vec<CaseResult>) {
         assert!(hits >= 4, "unaffected invocations must hit the cache");
         println!("B13  splice_cache/one_drag_counters    misses {misses} / hits {hits}");
     }
+
+    // B15 — diagnostics latency vs. document size on single-definition
+    // edits: the warm incremental analyzer (per-definition dirty sets,
+    // fact memo, cached reachability fixpoint) against a from-scratch
+    // analysis, over growing library-definition chains. Only the program
+    // unit changes per edit, so warm latency must track the edit — flat
+    // in the chain length — while from-scratch re-derives every unit.
+    if wants(config, "B15") {
+        for n in sizes(config, &[4usize, 16, 64, 256]) {
+            let (registry, mut doc) = def_chain_doc(n);
+            let mut analyzer = IncrementalAnalyzer::new();
+            analyzer.analyze(&registry, &doc);
+            let mut v = 0i64;
+            results.push(summarize(
+                "B15",
+                "diagnostics/warm_single_edit",
+                format!("{n} defs"),
+                sample(config.iters, || {
+                    v = (v + 1) % 9;
+                    doc.edit_splice(HoleName(0), SpliceRef(0), UExp::Int(v))
+                        .expect("edit");
+                    analyzer.analyze(&registry, &doc)
+                }),
+            ));
+            let (registry, mut doc) = def_chain_doc(n);
+            results.push(summarize(
+                "B15",
+                "diagnostics/from_scratch",
+                format!("{n} defs"),
+                sample(config.iters, || {
+                    v = (v + 1) % 9;
+                    doc.edit_splice(HoleName(0), SpliceRef(0), UExp::Int(v))
+                        .expect("edit");
+                    hazel::editor::analyze_document(&registry, &doc)
+                }),
+            ));
+        }
+        // The incrementality contract behind the curve, from the same
+        // probes the flow_counters suite asserts: one edit, one dirty
+        // unit, everything else out of the fact memo.
+        let (registry, mut doc) = def_chain_doc(64);
+        let mut analyzer = IncrementalAnalyzer::new();
+        analyzer.analyze(&registry, &doc);
+        doc.edit_splice(HoleName(0), SpliceRef(0), UExp::Int(7))
+            .expect("edit");
+        let sink = StatsSink::new();
+        let tracer = Tracer::monotonic(sink.clone());
+        let guard = hazel::trace::install(&tracer);
+        analyzer.analyze(&registry, &doc);
+        drop(guard);
+        let stats = sink.snapshot();
+        let dirty = stats.counter(Counter::FlowDirtyDefs);
+        let reused = stats.counter(Counter::FlowFactsReused);
+        assert_eq!(dirty, 1, "a single-definition edit must dirty one unit");
+        assert!(reused > 0, "unchanged facts must be reused");
+        println!("B15  diagnostics/one_edit_counters     dirty {dirty} / reused {reused}");
+    }
 }
 
 /// What the B14 load run measured, for the `"serve"` report section.
@@ -759,6 +816,20 @@ fn photo_program(n: usize) -> UExp {
         urls.join(", ")
     ))
     .expect("parses")
+}
+
+/// The B15 module: a chain of `n` library definitions, each referencing
+/// the one before it, under a program whose slider reads the last — so a
+/// splice edit dirties exactly one of the `n + 1` flow units.
+fn def_chain_doc(n: usize) -> (LivelitRegistry, Document) {
+    let mut registry = LivelitRegistry::new();
+    hazel::std::register_all(&mut registry);
+    let mut src = String::from("def d0 : Int = 1 ;;\n");
+    for i in 1..n {
+        src.push_str(&format!("def d{i} : Int = d{} + 1 ;;\n", i - 1));
+    }
+    src.push_str(&format!("$slider@0{{10}}(0 : Int; d{} : Int)", n - 1));
+    hazel::editor::open_module(registry, &src).expect("module")
 }
 
 /// The B10 document: a `$slider` plus `n` units of surrounding evaluation

@@ -87,6 +87,12 @@ pub struct LivelitDef {
     /// The expansion function.
     pub expand: ExpandFn,
     def_id: u64,
+    attested_pure: bool,
+    /// For native expansion functions that merely *host* an object-language
+    /// expansion function (module-file livelits run theirs on a dedicated
+    /// big stack), the hosted term — static evidence the purity analysis
+    /// can inspect even though `expand` is an opaque closure.
+    object_evidence: Option<Box<(IExp, EncodingScheme)>>,
 }
 
 impl LivelitDef {
@@ -100,6 +106,47 @@ impl LivelitDef {
     /// never be served across a redefinition.
     pub fn def_id(&self) -> u64 {
         self.def_id
+    }
+
+    /// Whether the author of a *native* expansion function has attested
+    /// that it is deterministic (same model and splice types ⇒ same
+    /// expansion). Native functions are opaque to static purity analysis
+    /// (LL06xx), so the attestation is the only way to discharge the
+    /// dynamic LL0401 double-expansion check for them. Object-language
+    /// expansion functions never need it: they are analyzed directly.
+    pub fn attested_pure(&self) -> bool {
+        self.attested_pure
+    }
+
+    /// Marks this definition's native expansion function as attested
+    /// deterministic; see [`LivelitDef::attested_pure`].
+    #[must_use]
+    pub fn attest_pure(mut self) -> LivelitDef {
+        self.attested_pure = true;
+        self
+    }
+
+    /// The object-language expansion function this definition evaluates,
+    /// if one is statically known: either the definition *is* an
+    /// object-language definition, or its native function hosts one and
+    /// recorded it via [`LivelitDef::with_object_evidence`].
+    pub fn object_expand_fn(&self) -> Option<(&IExp, EncodingScheme)> {
+        match &self.expand {
+            ExpandFn::Object(d, scheme) => Some((d, *scheme)),
+            ExpandFn::Native(_) => self
+                .object_evidence
+                .as_deref()
+                .map(|(d, scheme)| (d, *scheme)),
+        }
+    }
+
+    /// Records the object-language expansion function a native `expand`
+    /// closure hosts, so static analysis can see through the closure; see
+    /// [`LivelitDef::object_expand_fn`].
+    #[must_use]
+    pub fn with_object_evidence(mut self, d: IExp, scheme: EncodingScheme) -> LivelitDef {
+        self.object_evidence = Some(Box::new((d, scheme)));
+        self
     }
     /// Creates a definition with a native expansion function.
     pub fn native(
@@ -116,6 +163,8 @@ impl LivelitDef {
             model_ty,
             expand: ExpandFn::Native(Arc::new(expand)),
             def_id: LivelitDef::fresh_def_id(),
+            attested_pure: false,
+            object_evidence: None,
         }
     }
 
@@ -135,6 +184,8 @@ impl LivelitDef {
             model_ty,
             expand: ExpandFn::Object(d_expand, EncodingScheme::Text),
             def_id: LivelitDef::fresh_def_id(),
+            attested_pure: false,
+            object_evidence: None,
         }
     }
 
@@ -154,6 +205,8 @@ impl LivelitDef {
             model_ty,
             expand: ExpandFn::Object(d_expand, EncodingScheme::Structural),
             def_id: LivelitDef::fresh_def_id(),
+            attested_pure: false,
+            object_evidence: None,
         }
     }
 
@@ -209,12 +262,27 @@ pub struct CachedExpansion {
 /// the inputs premises 2–5 of `ELivelit` read.
 type CacheKey = (u64, TermId, Box<[Typ]>);
 
+/// A reusable, pre-interned expansion-cache key. Computing one interns the
+/// model exactly once; every follow-up cache operation in the same logical
+/// invocation (lookup, insert, elaboration, analysis) reuses it instead of
+/// re-interning. The key remembers the cache epoch it was minted in so a
+/// wholesale eviction (which restarts model ids) can never let a stale
+/// `TermId` alias a different model.
+#[derive(Debug, Clone)]
+pub struct ExpansionKey {
+    key: CacheKey,
+    epoch: u64,
+}
+
 #[derive(Debug, Default)]
 struct ExpansionCacheInner {
     /// Interns models so the key carries a compact, hashable `TermId`
     /// (models contain floats, which the tree representation cannot hash).
     models: TermStore,
     map: HashMap<CacheKey, CachedExpansion>,
+    /// Bumped on every wholesale eviction; invalidates outstanding
+    /// [`ExpansionKey`]s minted against the cleared model store.
+    epoch: u64,
 }
 
 /// Bound on cached expansions; on overflow the cache is cleared wholesale
@@ -231,16 +299,27 @@ pub struct ExpansionCache {
 }
 
 impl ExpansionCache {
-    fn key(inner: &mut ExpansionCacheInner, def_id: u64, model: &IExp, tys: &[Typ]) -> CacheKey {
+    /// Mints the `(def_id, interned model, splice types)` key for one
+    /// logical invocation. The model is interned exactly once here;
+    /// thread the returned key through every keyed operation instead of
+    /// repeating the `(def_id, model, tys)` triple.
+    pub fn make_key(&self, def_id: u64, model: &IExp, tys: &[Typ]) -> ExpansionKey {
+        let mut inner = self.inner.lock().expect("expansion cache poisoned");
         let model_id = inner.models.intern_iexp(model);
-        (def_id, model_id, tys.to_vec().into_boxed_slice())
+        ExpansionKey {
+            key: (def_id, model_id, tys.to_vec().into_boxed_slice()),
+            epoch: inner.epoch,
+        }
     }
 
     /// Looks up a validated expansion, counting a hit or a miss.
-    pub fn lookup(&self, def_id: u64, model: &IExp, tys: &[Typ]) -> Option<CachedExpansion> {
-        let mut inner = self.inner.lock().expect("expansion cache poisoned");
-        let key = ExpansionCache::key(&mut inner, def_id, model, tys);
-        let found = inner.map.get(&key).cloned();
+    pub fn lookup(&self, key: &ExpansionKey) -> Option<CachedExpansion> {
+        let inner = self.inner.lock().expect("expansion cache poisoned");
+        let found = if key.epoch == inner.epoch {
+            inner.map.get(&key.key).cloned()
+        } else {
+            None
+        };
         livelit_trace::count(
             if found.is_some() {
                 livelit_trace::Counter::ExpansionCacheHits
@@ -254,30 +333,41 @@ impl ExpansionCache {
 
     /// Like [`ExpansionCache::lookup`] but without hit/miss accounting —
     /// for follow-up reads that are part of the same logical lookup.
-    pub fn peek(&self, def_id: u64, model: &IExp, tys: &[Typ]) -> Option<CachedExpansion> {
-        let mut inner = self.inner.lock().expect("expansion cache poisoned");
-        let key = ExpansionCache::key(&mut inner, def_id, model, tys);
-        inner.map.get(&key).cloned()
+    pub fn peek(&self, key: &ExpansionKey) -> Option<CachedExpansion> {
+        let inner = self.inner.lock().expect("expansion cache poisoned");
+        if key.epoch == inner.epoch {
+            inner.map.get(&key.key).cloned()
+        } else {
+            None
+        }
     }
 
     /// Caches a validated expansion.
-    pub fn insert(&self, def_id: u64, model: &IExp, tys: &[Typ], entry: CachedExpansion) {
+    pub fn insert(&self, key: &ExpansionKey, entry: CachedExpansion) {
         let mut inner = self.inner.lock().expect("expansion cache poisoned");
         if inner.map.len() >= EXPANSION_CACHE_CAP {
             // Clearing the model store restarts ids, so the map (whose keys
-            // embed them) must go in the same breath.
+            // embed them) must go in the same breath; bumping the epoch
+            // retires every outstanding key minted against the old store.
             inner.map.clear();
             inner.models = TermStore::new();
+            inner.epoch += 1;
         }
-        let key = ExpansionCache::key(&mut inner, def_id, model, tys);
-        inner.map.insert(key, entry);
+        if key.epoch == inner.epoch {
+            inner.map.insert(key.key.clone(), entry);
+        }
+        // A stale-epoch key (minted just before the eviction above) is
+        // dropped rather than re-interned: the next invocation simply
+        // recomputes and caches under a fresh key.
     }
 
     /// Records the elaboration of an already-cached expansion.
-    pub fn set_elab(&self, def_id: u64, model: &IExp, tys: &[Typ], d: &IExp) {
+    pub fn set_elab(&self, key: &ExpansionKey, d: &IExp) {
         let mut inner = self.inner.lock().expect("expansion cache poisoned");
-        let key = ExpansionCache::key(&mut inner, def_id, model, tys);
-        if let Some(entry) = inner.map.get_mut(&key) {
+        if key.epoch != inner.epoch {
+            return;
+        }
+        if let Some(entry) = inner.map.get_mut(&key.key) {
             if entry.elab.is_none() {
                 entry.elab = Some(d.clone());
             }

@@ -34,7 +34,7 @@ use hazel_lang::typing::{ana, syn, Ctx, Delta, TypeError};
 use hazel_lang::unexpanded::{LivelitAp, UExp};
 use hazel_lang::value::value_has_typ;
 
-use crate::def::{CachedExpansion, ExpandFn, LivelitCtx};
+use crate::def::{CachedExpansion, ExpandFn, ExpansionKey, LivelitCtx};
 use crate::encoding::{decode, DecodeError};
 
 /// An expansion failure.
@@ -231,6 +231,17 @@ fn expand_invocation_with(
     ap: &LivelitAp,
     use_cache: bool,
 ) -> Result<PExpansion, ExpandError> {
+    expand_invocation_inner(phi, ap, use_cache).map(|(pe, _)| pe)
+}
+
+/// The worker behind [`expand_invocation`]: also returns the minted cache
+/// key so callers with follow-up cache traffic (elaboration memoization)
+/// reuse it instead of re-interning the model.
+fn expand_invocation_inner(
+    phi: &LivelitCtx,
+    ap: &LivelitAp,
+    use_cache: bool,
+) -> Result<(PExpansion, Option<ExpansionKey>), ExpandError> {
     livelit_trace::count(livelit_trace::Counter::ExpansionsPerformed, 1);
     // 1. Lookup.
     let def = phi
@@ -238,20 +249,25 @@ fn expand_invocation_with(
         .ok_or_else(|| ExpandError::UnboundLivelit(ap.name.clone()))?;
 
     // Premises 2–5 are a pure function of the definition, the model, and
-    // the splice types — exactly the cache key. A hit means an invocation
-    // with this key already passed every premise, so the cached expansion
-    // can be returned without re-running them.
+    // the splice types — exactly the cache key, minted once here and
+    // threaded through every cache operation for this invocation. A hit
+    // means an invocation with this key already passed every premise, so
+    // the cached expansion can be returned without re-running them.
     let splice_tys: Vec<Typ> = ap.splices.iter().map(|s| s.ty.clone()).collect();
-    if use_cache {
-        if let Some(cached) = phi
-            .expansion_cache()
-            .lookup(def.def_id(), &ap.model, &splice_tys)
-        {
-            return Ok(PExpansion {
-                pexpansion: cached.pexpansion,
-                full_ty: cached.full_ty,
-                expansion_ty: cached.expansion_ty,
-            });
+    let key = use_cache.then(|| {
+        phi.expansion_cache()
+            .make_key(def.def_id(), &ap.model, &splice_tys)
+    });
+    if let Some(key) = &key {
+        if let Some(cached) = phi.expansion_cache().lookup(key) {
+            return Ok((
+                PExpansion {
+                    pexpansion: cached.pexpansion,
+                    full_ty: cached.full_ty,
+                    expansion_ty: cached.expansion_ty,
+                },
+                Some(key.clone()),
+            ));
         }
     }
 
@@ -346,11 +362,9 @@ fn expand_invocation_with(
         }
     }
 
-    if use_cache {
+    if let Some(key) = &key {
         phi.expansion_cache().insert(
-            def.def_id(),
-            &ap.model,
-            &splice_tys,
+            key,
             CachedExpansion {
                 pexpansion: pexpansion.clone(),
                 full_ty: full_ty.clone(),
@@ -360,11 +374,14 @@ fn expand_invocation_with(
         );
     }
 
-    Ok(PExpansion {
-        pexpansion,
-        full_ty,
-        expansion_ty: def.expansion_ty.clone(),
-    })
+    Ok((
+        PExpansion {
+            pexpansion,
+            full_ty,
+            expansion_ty: def.expansion_ty.clone(),
+        },
+        key,
+    ))
 }
 
 /// [`expand_invocation`] plus the elaboration of the parameterized
@@ -378,20 +395,15 @@ pub fn expand_invocation_elab(
     phi: &LivelitCtx,
     ap: &LivelitAp,
 ) -> Result<(PExpansion, IExp), ExpandError> {
-    let pe = expand_invocation(phi, ap)?;
-    let def_id = phi.get(&ap.name).map(crate::def::LivelitDef::def_id);
-    let splice_tys: Vec<Typ> = ap.splices.iter().map(|s| s.ty.clone()).collect();
-    if let Some(def_id) = def_id {
-        if let Some(CachedExpansion { elab: Some(d), .. }) =
-            phi.expansion_cache().peek(def_id, &ap.model, &splice_tys)
-        {
+    let (pe, key) = expand_invocation_inner(phi, ap, true)?;
+    if let Some(key) = &key {
+        if let Some(CachedExpansion { elab: Some(d), .. }) = phi.expansion_cache().peek(key) {
             return Ok((pe, d));
         }
     }
     let (d, _, _) = elab_syn(&Ctx::empty(), &pe.pexpansion).map_err(ExpandError::Type)?;
-    if let Some(def_id) = def_id {
-        phi.expansion_cache()
-            .set_elab(def_id, &ap.model, &splice_tys, &d);
+    if let Some(key) = &key {
+        phi.expansion_cache().set_elab(key, &d);
     }
     Ok((pe, d))
 }

@@ -60,6 +60,6 @@ pub mod module;
 pub mod par;
 
 pub use cc::{collect, collect_with_fuel, Collection, Omega};
-pub use def::{EncodingScheme, ExpandFn, LivelitCtx, LivelitDef};
+pub use def::{EncodingScheme, ExpandFn, ExpansionKey, LivelitCtx, LivelitDef};
 pub use expansion::{expand, expand_typed, ExpandError};
 pub use live::{eval_splice, eval_splice_in_env, eval_splices, LiveError, LiveResult, SpliceJob};

@@ -155,6 +155,11 @@ impl Document {
         &self.program
     }
 
+    /// The prelude bindings, in scope order.
+    pub fn prelude(&self) -> &[PreludeBinding] {
+        &self.prelude
+    }
+
     /// The typing context induced by the prelude.
     pub fn prelude_ctx(&self) -> Ctx {
         Ctx::from_bindings(self.prelude.iter().map(|b| (b.var.clone(), b.ty.clone())))

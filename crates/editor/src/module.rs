@@ -89,6 +89,13 @@ impl Livelit for ObjectLivelit {
         self.checked.def.model_ty.clone()
     }
 
+    fn object_expand_fn(&self) -> Option<(IExp, livelit_core::def::EncodingScheme)> {
+        match &self.checked.def.expand {
+            ExpandFn::Object(d_expand, scheme) => Some((d_expand.clone(), *scheme)),
+            ExpandFn::Native(_) => None,
+        }
+    }
+
     fn init(&self, _params: &[SpliceRef], _ctx: &mut UpdateCtx<'_>) -> Result<Model, CmdError> {
         Ok(self.checked.init_model.clone())
     }

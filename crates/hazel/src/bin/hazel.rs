@@ -3,6 +3,7 @@
 //! ```console
 //! $ hazel analyze program.hzl          # diagnostics as JSON (stable codes)
 //! $ hazel analyze --text program.hzl   # human-readable diagnostics
+//! $ hazel analyze --format sarif program.hzl  # SARIF 2.1.0 for code scanning
 //! $ hazel trace program.hzl            # structured trace of the pipeline (JSONL)
 //! $ hazel trace --text program.hzl     # the same trace as an indented tree
 //! $ hazel stats program.hzl            # per-phase timings and counter totals
@@ -14,9 +15,12 @@
 //! livelit library preloaded, textual livelit declarations registered
 //! behind the generic GUI) and runs the full static analysis over it:
 //! hygiene/capture validation, splice discipline, the hole audit,
-//! definition lints, and expansion determinism. The JSON output is
-//! deterministic — same module, same bytes — so it can be diffed and
-//! asserted on in CI.
+//! definition lints, expansion determinism (statically discharged where
+//! purity is provable), and the dataflow passes (liveness/reachability,
+//! purity, hole-context facts). The JSON output is deterministic — same
+//! module, same bytes — so it can be diffed and asserted on in CI;
+//! `--format sarif` emits the same findings as a SARIF 2.1.0 log for
+//! code-scanning UIs.
 //!
 //! `serve` speaks the `livelit-server` wire protocol over stdin/stdout:
 //! one JSON request per line in, one JSON reply per line out, documents
@@ -54,7 +58,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: hazel <command> [options]\n\n\
          commands:\n  \
-         analyze [--text] <file.hzl>   run static diagnostics over a module\n  \
+         analyze [--format json|text|sarif] <file.hzl>\n                                \
+         run static diagnostics over a module\n  \
          trace [--json|--text] <file.hzl>\n                                \
          trace the pipeline (deterministic JSONL, or an indented tree)\n  \
          stats [--json] <file.hzl>     per-phase timings and counter totals\n  \
@@ -176,13 +181,30 @@ fn stats(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// The output encodings `hazel analyze` can produce.
+enum AnalyzeFormat {
+    Json,
+    Text,
+    Sarif,
+}
+
 fn analyze(args: &[String]) -> ExitCode {
-    let mut text = false;
+    let mut format = AnalyzeFormat::Json;
     let mut path = None;
-    for arg in args {
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--text" => text = true,
-            "--json" => text = false,
+            "--text" => format = AnalyzeFormat::Text,
+            "--json" => format = AnalyzeFormat::Json,
+            "--format" => match it.next().map(String::as_str) {
+                Some("json") => format = AnalyzeFormat::Json,
+                Some("text") => format = AnalyzeFormat::Text,
+                Some("sarif") => format = AnalyzeFormat::Sarif,
+                _ => {
+                    eprintln!("hazel: --format needs one of: json, text, sarif");
+                    return ExitCode::from(2);
+                }
+            },
             _ if arg.starts_with('-') => return usage(),
             _ => path = Some(arg.clone()),
         }
@@ -209,10 +231,10 @@ fn analyze(args: &[String]) -> ExitCode {
     };
 
     let report = hazel::editor::analyze_document(&registry, &doc);
-    if text {
-        emit(&report.render());
-    } else {
-        emit(&report.to_json());
+    match format {
+        AnalyzeFormat::Text => emit(&report.render()),
+        AnalyzeFormat::Json => emit(&report.to_json()),
+        AnalyzeFormat::Sarif => emit(&hazel::analysis::sarif::to_sarif(&report)),
     }
     if report.error_count() > 0 {
         ExitCode::FAILURE

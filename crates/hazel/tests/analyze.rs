@@ -1,6 +1,7 @@
 //! Acceptance tests for the `hazel analyze` pipeline over the checked-in
-//! grading fixtures: the clean module yields zero diagnostics and the
-//! seeded-bug module yields exactly the expected stable codes.
+//! grading fixtures: the clean module yields zero diagnostics, the
+//! seeded-bug module yields exactly the expected stable codes, and the
+//! SARIF export matches its golden byte-for-byte.
 
 use hazel::analysis::{Code, Location, Severity};
 use hazel::editor::{analyze_document, open_module, LivelitRegistry};
@@ -95,4 +96,73 @@ fn reports_serialize_deterministically() {
         json.contains("\"location\": {\"kind\": \"splice\", \"hole\": 1, \"index\": 0}"),
         "{json}"
     );
+}
+
+#[test]
+fn sarif_export_matches_the_buggy_golden() {
+    // `--format sarif` is the CI code-scanning surface: the golden pins
+    // the exact byte stream so schema or rule-table drift is caught.
+    let fixture = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../examples/grading_buggy.hzl"
+    );
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_hazel"))
+        .args(["analyze", "--format", "sarif", fixture])
+        .output()
+        .unwrap();
+    // The buggy fixture has one error-severity finding, so analyze exits 1.
+    assert_eq!(out.status.code(), Some(1));
+    let golden = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/grading_buggy.sarif"
+    );
+    assert_eq!(
+        String::from_utf8(out.stdout).unwrap(),
+        std::fs::read_to_string(golden).unwrap()
+    );
+}
+
+#[test]
+fn sarif_export_carries_the_reports_findings() {
+    let report = analyze_fixture("grading_buggy.hzl");
+    let sarif = hazel::analysis::sarif::to_sarif(&report);
+    // One result per diagnostic, each tagged with its stable rule id.
+    for code in ["LL0004", "LL0101", "LL0203"] {
+        assert!(
+            sarif.contains(&format!("\"ruleId\": \"{code}\"")),
+            "{sarif}"
+        );
+    }
+    // Every stable code — including the flow-analysis families — is
+    // declared in the rule table even when it fired no result.
+    for code in ["LL0501", "LL0601", "LL0701"] {
+        assert!(sarif.contains(&format!("\"id\": \"{code}\"")), "{sarif}");
+    }
+}
+
+#[test]
+fn the_codes_table_matches_its_golden() {
+    // `hazel codes` is the machine-readable lint registry (append-only
+    // numbering); the golden pins it so a new or renumbered code is a
+    // conscious, reviewed change. Regenerate with:
+    //   cargo run --bin hazel -- codes > crates/hazel/tests/golden/codes.json
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_hazel"))
+        .arg("codes")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let golden = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/codes.json");
+    assert_eq!(
+        String::from_utf8(out.stdout).unwrap(),
+        std::fs::read_to_string(golden).unwrap()
+    );
+}
+
+#[test]
+fn analyze_rejects_an_unknown_format() {
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_hazel"))
+        .args(["analyze", "--format", "yaml", "x.hzl"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
 }

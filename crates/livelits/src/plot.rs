@@ -55,6 +55,13 @@ fn sample(f: &IExp, x: f64, fuel: u64) -> Option<f64> {
 }
 
 impl Livelit for PlotLivelit {
+    // `expand` is a pure function of the model: attested so the static
+    // purity analysis (LL06xx) can discharge the dynamic determinism
+    // check (LL0401) for this livelit.
+    fn expand_pure(&self) -> bool {
+        true
+    }
+
     fn name(&self) -> LivelitName {
         LivelitName::new("$plot")
     }

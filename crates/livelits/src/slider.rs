@@ -36,6 +36,13 @@ impl SliderLivelit {
 }
 
 impl Livelit for SliderLivelit {
+    // `expand` is a pure function of the model: attested so the static
+    // purity analysis (LL06xx) can discharge the dynamic determinism
+    // check (LL0401) for this livelit.
+    fn expand_pure(&self) -> bool {
+        true
+    }
+
     fn name(&self) -> LivelitName {
         LivelitName::new("$slider")
     }
@@ -164,6 +171,13 @@ pub fn register_percent(registry: &mut hazel_editor::LivelitRegistry) {
 pub struct CheckboxLivelit;
 
 impl Livelit for CheckboxLivelit {
+    // `expand` is a pure function of the model: attested so the static
+    // purity analysis (LL06xx) can discharge the dynamic determinism
+    // check (LL0401) for this livelit.
+    fn expand_pure(&self) -> bool {
+        true
+    }
+
     fn name(&self) -> LivelitName {
         LivelitName::new("$checkbox")
     }

@@ -398,6 +398,26 @@ pub trait Livelit: Send + Sync {
     ///
     /// Implementation-specific; validated at each invocation site.
     fn expand(&self, model: &Model) -> Result<(EExp, Vec<SpliceRef>), String>;
+
+    /// Attests that [`Livelit::expand`] is deterministic: the same model
+    /// (and splice types) always yields the same expansion. Native Rust
+    /// expansion functions are opaque to the static purity analysis
+    /// (LL06xx), so an attestation is the only static evidence available
+    /// for them; attested livelits skip the dynamic double-expansion
+    /// determinism check (LL0401). Defaults to `false` — unattested
+    /// livelits stay on the dynamic check.
+    fn expand_pure(&self) -> bool {
+        false
+    }
+
+    /// The expansion function as a closed object-language term, if this
+    /// livelit has one (module-file livelits do). Exposing it lets the
+    /// static purity analysis reason about the expansion directly instead
+    /// of treating it as an opaque native function. Livelits implemented
+    /// natively in Rust return `None` (the default).
+    fn object_expand_fn(&self) -> Option<(IExp, livelit_core::def::EncodingScheme)> {
+        None
+    }
 }
 
 /// Builds the typing context implied by a declared definition-site context.

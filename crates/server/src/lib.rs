@@ -22,6 +22,7 @@
 //! | `edit` | `session`, `edit` | apply an [`EditAction`] |
 //! | `dispatch` | `session`, `hole`, `target`, `event`? | fire a handler in the acked view |
 //! | `render` | `session` | run the engine, reply patches per hole |
+//! | `analyze` | `session` | run the static analysis, reply diagnostic deltas |
 //! | `stats` | `session`? | per-session or whole-server counters |
 //! | `close` | `session` | drop the session |
 //!
@@ -52,7 +53,9 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 use hazel_editor::registry::LivelitRegistry;
-use hazel_editor::{apply_action, open_module, Document, EditAction, IncrementalEngine};
+use hazel_editor::{
+    apply_action, open_module, Document, EditAction, IncrementalAnalyzer, IncrementalEngine,
+};
 use hazel_lang::elab::elab_syn;
 use hazel_lang::eval::{eval_traced_big_stack, DEFAULT_FUEL};
 use hazel_lang::ident::{HoleName, LivelitName};
@@ -160,6 +163,12 @@ pub struct Session {
     /// The view the client last received per hole — what `render` diffs
     /// against, rolled forward with [`try_apply`] as patches ship.
     acked: BTreeMap<HoleName, Html<Action>>,
+    /// The incremental static analyzer: per-invocation findings cached by
+    /// `(name, model, splices)`, flow facts cached by hash-consed root.
+    analyzer: IncrementalAnalyzer,
+    /// The diagnostics the client last received — what `analyze` replies
+    /// diff against, so each reply ships only the delta per edit.
+    acked_diagnostics: Vec<livelit_analysis::Diagnostic>,
     stats: SessionStats,
 }
 
@@ -270,6 +279,7 @@ impl Server {
             Some("edit") => self.op_edit(req)?,
             Some("dispatch") => self.op_dispatch(req)?,
             Some("render") => self.op_render(req)?,
+            Some("analyze") => self.op_analyze(req)?,
             Some("stats") => self.op_stats(req)?,
             Some("close") => self.op_close(req)?,
             Some(other) => {
@@ -339,6 +349,8 @@ impl Server {
                 engine,
                 views,
                 acked: BTreeMap::new(),
+                analyzer: IncrementalAnalyzer::new(),
+                acked_diagnostics: Vec::new(),
                 stats: SessionStats {
                     requests: 1,
                     ..SessionStats::default()
@@ -512,6 +524,42 @@ impl Server {
         Ok(obj(fields))
     }
 
+    fn op_analyze(&mut self, req: &Json) -> RequestResult {
+        let session = self.session_mut(req)?;
+        let report = session.analyzer.analyze(&session.registry, &session.doc);
+        let current = report.diagnostics().to_vec();
+        // The client holds the diagnostics it last received; ship only the
+        // delta. Reports are sorted and deduplicated, so plain membership
+        // tests against the acked snapshot give a stable diff.
+        let added: Vec<Json> = current
+            .iter()
+            .filter(|d| !session.acked_diagnostics.contains(d))
+            .map(diagnostic_json)
+            .collect();
+        let removed: Vec<Json> = session
+            .acked_diagnostics
+            .iter()
+            .filter(|d| !current.contains(d))
+            .map(diagnostic_json)
+            .collect();
+        session.acked_diagnostics = current;
+        Ok(obj([
+            ("ok", Json::Bool(true)),
+            ("op", jstr("analyze")),
+            ("added", Json::Arr(added)),
+            ("removed", Json::Arr(removed)),
+            ("errors", uint(report.error_count() as u64)),
+            (
+                "warnings",
+                uint(report.count(livelit_analysis::Severity::Warning) as u64),
+            ),
+            (
+                "infos",
+                uint(report.count(livelit_analysis::Severity::Info) as u64),
+            ),
+        ]))
+    }
+
     fn op_stats(&mut self, req: &Json) -> RequestResult {
         let mut fields = vec![("ok", Json::Bool(true)), ("op", jstr("stats"))];
         // The open-session count only appears in the global scope: a
@@ -675,6 +723,15 @@ impl Default for Server {
     fn default() -> Server {
         Server::new()
     }
+}
+
+/// A diagnostic as wire JSON — the same shape `Report::to_json` uses,
+/// round-tripped through the server's own parser so it slots into a reply
+/// object. The serializer is ours, so the parse cannot fail.
+fn diagnostic_json(d: &livelit_analysis::Diagnostic) -> Json {
+    let mut out = String::new();
+    livelit_analysis::diagnostic::json_diagnostic(&mut out, d);
+    json::parse(&out).expect("diagnostic JSON round-trips")
 }
 
 /// Appends the echoed `id` (if the request carried one) to a reply.

@@ -236,3 +236,55 @@ fn vanished_holes_are_forgotten() {
     assert_eq!(views.len(), 1);
     assert_eq!(views[0].get("mode").and_then(Json::as_str), Some("full"));
 }
+
+#[test]
+fn analyze_ships_diagnostic_deltas_per_edit() {
+    let mut server = std_server();
+    // `x` is bound but unused and there is no fillable hole that could
+    // come to use it: the flow analysis reports LL0501.
+    assert_ok(&reply(
+        &mut server,
+        "{\"op\":\"open\",\"session\":\"s\",\"source\":\"let x = 1 in $slider@0{10}(0 : Int; 100 : Int)\"}",
+    ));
+    let first = reply(&mut server, "{\"op\":\"analyze\",\"session\":\"s\"}");
+    assert_ok(&first);
+    let added = first.get("added").and_then(Json::as_arr).expect("added");
+    assert!(
+        added
+            .iter()
+            .any(|d| d.get("code").and_then(Json::as_str) == Some("LL0501")),
+        "expected LL0501 in {first}"
+    );
+    assert_eq!(first.get("removed"), Some(&Json::Arr(vec![])));
+    assert_eq!(first.get("errors"), Some(&Json::Int(0)));
+    assert!(first.get("warnings").and_then(Json::as_int).unwrap() >= 1);
+
+    // No edit: the second analyze is an empty delta.
+    let second = reply(&mut server, "{\"op\":\"analyze\",\"session\":\"s\"}");
+    assert_ok(&second);
+    assert_eq!(second.get("added"), Some(&Json::Arr(vec![])));
+    assert_eq!(second.get("removed"), Some(&Json::Arr(vec![])));
+
+    // Pointing the slider's lower bound at `x` creates the first use: the
+    // next analyze retracts LL0501 through `removed`.
+    assert_ok(&reply(
+        &mut server,
+        "{\"op\":\"edit\",\"session\":\"s\",\"edit\":{\"kind\":\"edit_splice\",\"at\":0,\"splice\":0,\"contents\":\"x\"}}",
+    ));
+    let third = reply(&mut server, "{\"op\":\"analyze\",\"session\":\"s\"}");
+    assert_ok(&third);
+    let removed = third
+        .get("removed")
+        .and_then(Json::as_arr)
+        .expect("removed");
+    assert!(
+        removed
+            .iter()
+            .any(|d| d.get("code").and_then(Json::as_str) == Some("LL0501")),
+        "expected LL0501 retracted in {third}"
+    );
+
+    // Unknown sessions follow the error taxonomy.
+    let missing = reply(&mut server, "{\"op\":\"analyze\",\"session\":\"nope\"}");
+    assert_eq!(error_kind(&missing), "session");
+}

@@ -82,11 +82,20 @@ pub enum Counter {
     ServePatchBytes,
     /// Bytes the same `render` replies would have cost as full view trees.
     ServeFullBytes,
+    /// Dataflow facts computed by the flow fixpoint engine.
+    FlowFactsComputed,
+    /// Dataflow facts served from the fixpoint fact memo.
+    FlowFactsReused,
+    /// Definitions re-analyzed by a flow run (the dirty set).
+    FlowDirtyDefs,
+    /// Dynamic LL0401 double-expansions skipped because static purity
+    /// analysis already proved the expansion deterministic.
+    FlowDeterminismSkips,
 }
 
 impl Counter {
     /// Every counter, in serialization order.
-    pub const ALL: [Counter; 28] = [
+    pub const ALL: [Counter; 32] = [
         Counter::HolesRemaining,
         Counter::ExpansionsPerformed,
         Counter::SplicesEvaluated,
@@ -115,6 +124,10 @@ impl Counter {
         Counter::ServePatches,
         Counter::ServePatchBytes,
         Counter::ServeFullBytes,
+        Counter::FlowFactsComputed,
+        Counter::FlowFactsReused,
+        Counter::FlowDirtyDefs,
+        Counter::FlowDeterminismSkips,
     ];
 
     /// The stable snake_case name used in serialized output.
@@ -148,6 +161,10 @@ impl Counter {
             Counter::ServePatches => "serve_patches",
             Counter::ServePatchBytes => "serve_patch_bytes",
             Counter::ServeFullBytes => "serve_full_bytes",
+            Counter::FlowFactsComputed => "flow_facts_computed",
+            Counter::FlowFactsReused => "flow_facts_reused",
+            Counter::FlowDirtyDefs => "flow_dirty_defs",
+            Counter::FlowDeterminismSkips => "flow_determinism_skips",
         }
     }
 }
