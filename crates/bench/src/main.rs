@@ -1,5 +1,5 @@
 //! `livelit-bench`: the manual benchmark harness behind EXPERIMENTS.md
-//! Part II (B1–B15).
+//! Part II (B1–B16).
 //!
 //! Each experiment times its workload over `--iters` iterations (median-of-N
 //! with a warmup iteration; no external benchmarking dependency) and the
@@ -26,7 +26,7 @@ use hazel::lang::value::iv;
 use hazel::prelude::*;
 use hazel::std::dataframe::DataframeModel;
 use hazel::std::grading::grading_prelude;
-use hazel::trace::{Counter, NullSink, StatsSink, Tracer};
+use hazel::trace::{Counter, Histogram, NullSink, StatsSink, Tracer};
 use livelit_bench::{
     bench_phi, deep_redex_chain, deep_scope_invocation, expensive_then_livelit, many_invocations,
     parallel_resume_program, sized_program, sized_view, sized_view_edited, wide_invocation,
@@ -546,6 +546,157 @@ fn run_suite(config: &Config, results: &mut Vec<CaseResult>) {
     }
 }
 
+/// One B16 latency distribution: the full shape of edit+render latency at
+/// one document size, not just a median.
+struct HistResult {
+    id: &'static str,
+    group: &'static str,
+    case: String,
+    snapshot: hazel::trace::HistogramSnapshot,
+}
+
+/// B16 — edit/render latency histograms vs. document size, on the
+/// production [`hazel::trace::Histogram`] the metrics layer serves. Each
+/// sample is one splice edit plus one full engine run over a
+/// `def_chain_doc(n)` document; the warm curve reuses an incremental
+/// engine across samples (the fill-and-resume fast path), the cold curve
+/// rebuilds from scratch. Reported as p50/p99/max so tail behavior vs.
+/// size is visible — medians alone hide exactly what histograms exist to
+/// show.
+fn latency_histograms(config: &Config, hists: &mut Vec<HistResult>) {
+    if !wants(config, "B16") {
+        return;
+    }
+    let samples_per_size = if config.quick { 40u32 } else { 120 };
+    for n in sizes(config, &[4usize, 16, 64, 256]) {
+        // Warm: a model edit (slider drag), which keeps the skeleton
+        // cache valid and takes the fill-and-resume fast path.
+        let (registry, mut doc) = def_chain_doc(n);
+        let mut engine = IncrementalEngine::new();
+        engine.run(&registry, &doc).expect("pipeline");
+        let mut value = 10i64;
+        let warm = Histogram::new();
+        for _ in 0..samples_per_size {
+            value = (value + 1) % 100;
+            doc.dispatch(HoleName(0), &iv::record([("set", iv::int(value))]))
+                .expect("drag");
+            let start = Instant::now();
+            black_box(engine.run(&registry, &doc).expect("fast path"));
+            warm.record(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        }
+        assert!(
+            engine.incremental_hits >= samples_per_size as usize,
+            "model edits must stay on the fast path"
+        );
+        hists.push(HistResult {
+            id: "B16",
+            group: "latency/edit_render_warm",
+            case: format!("{n} defs"),
+            snapshot: warm.snapshot(),
+        });
+
+        // Cold: a splice edit changes the program skeleton, so every
+        // sample re-collects from scratch.
+        let (registry, mut doc) = def_chain_doc(n);
+        let cold = Histogram::new();
+        let mut v = 0i64;
+        for _ in 0..samples_per_size {
+            v = (v + 1) % 9;
+            doc.edit_splice(HoleName(0), SpliceRef(0), UExp::Int(v))
+                .expect("edit");
+            let start = Instant::now();
+            black_box(hazel::editor::run(&registry, &doc).expect("pipeline"));
+            cold.record(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        }
+        hists.push(HistResult {
+            id: "B16",
+            group: "latency/edit_render_cold",
+            case: format!("{n} defs"),
+            snapshot: cold.snapshot(),
+        });
+    }
+}
+
+/// The serve-metrics overhead experiment: the full B14 script replayed on
+/// a plain server versus one running the complete production metrics
+/// stack (attached [`ServeMetrics`] plus an installed
+/// `MetricsSink`+`SlowCapture` tracer — exactly what `hazel serve` runs by
+/// default). Same ABBA min-of-rounds discipline as [`overhead_experiment`];
+/// the contract is a ratio under 1.03 (3% of request throughput).
+fn serve_metrics_overhead(iters: u32) -> (u64, u64, f64) {
+    use hazel::server::observe::ServeMetrics;
+    use hazel::trace::{MetricsSink, PairSink};
+
+    let (lines, _) = serve_script();
+    let registry_factory: hazel::server::RegistryFactory = std::sync::Arc::new(|| {
+        let mut registry = LivelitRegistry::new();
+        hazel::std::register_all(&mut registry);
+        registry
+    });
+    let replay = |server: &mut hazel::server::Server| {
+        let mut len = 0usize;
+        for line in &lines {
+            len += server.handle_line(line).len();
+        }
+        len
+    };
+
+    // One untimed replay per configuration: allocator and cache state
+    // settle before any round can set a minimum.
+    {
+        let mut server = hazel::server::Server::with_registry(registry_factory.clone());
+        black_box(replay(&mut server));
+        let mut server = hazel::server::Server::with_registry(registry_factory.clone());
+        let metrics = ServeMetrics::new(4, 4096);
+        server.enable_metrics(metrics.clone());
+        let sink = PairSink(
+            MetricsSink::new(std::sync::Arc::clone(metrics.hub())),
+            metrics.capture().clone(),
+        );
+        let tracer = Tracer::monotonic(sink);
+        let guard = hazel::trace::install(&tracer);
+        black_box(replay(&mut server));
+        drop(guard);
+    }
+
+    // Each round runs both configurations back to back, alternating
+    // which goes first to cancel ordering bias.
+    let mut off = u64::MAX;
+    let mut on = u64::MAX;
+    for round in 0..iters.max(31) {
+        for first in [round % 2 == 0, round % 2 != 0] {
+            if first {
+                let mut server = hazel::server::Server::with_registry(registry_factory.clone());
+                let start = Instant::now();
+                black_box(replay(&mut server));
+                off = off.min(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+            } else {
+                let mut server = hazel::server::Server::with_registry(registry_factory.clone());
+                let metrics = ServeMetrics::new(4, 4096);
+                server.enable_metrics(metrics.clone());
+                let sink = PairSink(
+                    MetricsSink::new(std::sync::Arc::clone(metrics.hub())),
+                    metrics.capture().clone(),
+                );
+                let tracer = Tracer::monotonic(sink);
+                let guard = hazel::trace::install(&tracer);
+                let start = Instant::now();
+                black_box(replay(&mut server));
+                on = on.min(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                drop(guard);
+                assert_eq!(metrics.requests(), lines.len() as u64);
+            }
+        }
+    }
+    // The reported overhead is the ratio of per-configuration minimums:
+    // on a time-shared machine the per-round noise is bursty (individual
+    // replays spike by up to ~10%), so the repeatable floor each
+    // configuration reaches across many alternating rounds is the only
+    // stable estimate; per-round ratios or means inherit the spikes.
+    let ratio = on as f64 / off.max(1) as f64;
+    (off, on, ratio)
+}
+
 /// What the B14 load run measured, for the `"serve"` report section.
 struct ServeLoad {
     requests: u64,
@@ -912,10 +1063,12 @@ fn overhead_experiment(iters: u32) -> (u64, u64) {
 
 fn render_report(
     results: &[CaseResult],
+    hists: &[HistResult],
     phases: &hazel::trace::Stats,
     baseline_ns: u64,
     noop_ns: u64,
     serve: Option<&ServeLoad>,
+    metrics_overhead: (u64, u64, f64),
 ) -> String {
     use hazel::trace::event::json_string;
     let mut out = String::from("{\"results\":[");
@@ -933,6 +1086,21 @@ fn render_report(
             ",\"iters\":{},\"median_ns\":{},\"mean_ns\":{},\"min_ns\":{},\"max_ns\":{}}}",
             r.iters, r.median_ns, r.mean_ns, r.min_ns, r.max_ns
         ));
+    }
+    out.push_str("],\"histograms\":[");
+    for (i, h) in hists.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"id\":");
+        json_string(&mut out, h.id);
+        out.push_str(",\"group\":");
+        json_string(&mut out, h.group);
+        out.push_str(",\"case\":");
+        json_string(&mut out, &h.case);
+        out.push_str(",\"latency\":");
+        h.snapshot.write_json(&mut out);
+        out.push('}');
     }
     out.push_str("],\"phases\":");
     phases.write_json(&mut out);
@@ -953,7 +1121,12 @@ fn render_report(
     let ratio = noop_ns as f64 / baseline_ns.max(1) as f64;
     out.push_str(&format!(
         ",\"overhead\":{{\"baseline_min_ns\":{baseline_ns},\
-         \"noop_traced_min_ns\":{noop_ns},\"ratio\":{ratio:.4}}}}}\n"
+         \"noop_traced_min_ns\":{noop_ns},\"ratio\":{ratio:.4}}}"
+    ));
+    let (off_ns, on_ns, metrics_ratio) = metrics_overhead;
+    out.push_str(&format!(
+        ",\"serve_metrics_overhead\":{{\"off_min_ns\":{off_ns},\
+         \"on_min_ns\":{on_ns},\"ratio\":{metrics_ratio:.4}}}}}\n"
     ));
     out
 }
@@ -988,6 +1161,8 @@ fn main() {
     let mut results = Vec::new();
     run_suite(&config, &mut results);
     let serve = serve_load(&config, &mut results);
+    let mut hists = Vec::new();
+    latency_histograms(&config, &mut hists);
     for r in &results {
         println!(
             "{:<4} {:<32} {:>8}  median {:>12}  (min {} / max {})",
@@ -997,6 +1172,17 @@ fn main() {
             hazel::trace::fmt_ns(r.median_ns),
             hazel::trace::fmt_ns(r.min_ns),
             hazel::trace::fmt_ns(r.max_ns),
+        );
+    }
+    for h in &hists {
+        println!(
+            "{:<4} {:<32} {:>8}  p50 {:>12}  p99 {:>12}  max {}",
+            h.id,
+            h.group,
+            h.case,
+            hazel::trace::fmt_ns(h.snapshot.p50()),
+            hazel::trace::fmt_ns(h.snapshot.p99()),
+            hazel::trace::fmt_ns(h.snapshot.max),
         );
     }
 
@@ -1010,8 +1196,23 @@ fn main() {
         hazel::trace::fmt_ns(baseline_ns),
         hazel::trace::fmt_ns(noop_ns),
     );
+    let metrics_overhead = serve_metrics_overhead(config.iters.max(9));
+    let metrics_ratio = metrics_overhead.2;
+    println!(
+        "serve metrics overhead: off {} vs full metrics stack {} (ratio {metrics_ratio:.4})",
+        hazel::trace::fmt_ns(metrics_overhead.0),
+        hazel::trace::fmt_ns(metrics_overhead.1),
+    );
 
-    let report = render_report(&results, &phases, baseline_ns, noop_ns, serve.as_ref());
+    let report = render_report(
+        &results,
+        &hists,
+        &phases,
+        baseline_ns,
+        noop_ns,
+        serve.as_ref(),
+        metrics_overhead,
+    );
     std::fs::write(&config.out, &report).expect("write report");
     println!("\nwrote {}", config.out);
 }

@@ -98,27 +98,37 @@ impl IncrementalEngine {
             // and fill-and-resume.
             let phi = registry.phi();
             let mut omega = Omega::default();
-            match cc_expand(&phi, &program, &mut omega) {
+            let omega_result = {
+                let _span = livelit_trace::span("engine.omega");
+                cc_expand(&phi, &program, &mut omega)
+            };
+            match omega_result {
                 Ok(_) => {
                     // The displayed full expansion also depends on models;
                     // recompute it (cheap relative to evaluation — see B1).
-                    let (expansion, ty, _) = livelit_core::expansion::expand_typed(
-                        &phi,
-                        &hazel_lang::typing::Ctx::empty(),
-                        &program,
-                    )
-                    .map_err(CollectError::Expand)?;
+                    let (expansion, ty, _) = {
+                        let _span = livelit_trace::span("engine.expand");
+                        livelit_core::expansion::expand_typed(
+                            &phi,
+                            &hazel_lang::typing::Ctx::empty(),
+                            &program,
+                        )
+                        .map_err(CollectError::Expand)?
+                    };
                     let cached = self.cached.as_mut().expect("checked above");
                     let mut output = cached.output.clone();
                     output.expansion = expansion;
                     output.ty = ty;
                     output.collection.omega = omega;
                     // Re-resume environments under the fresh Ω.
+                    let resume_span = livelit_trace::span("engine.resume");
                     match output.collection.refresh_after_omega_change() {
                         Ok(()) => {}
                         Err(e) => return Err(EngineError::Collect(e.into())),
                     }
-                    match output.collection.resume_result() {
+                    let resumed = output.collection.resume_result();
+                    drop(resume_span);
+                    match resumed {
                         Ok(result) => {
                             output.result = result;
                             // Views depend on models and environments;

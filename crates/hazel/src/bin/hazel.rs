@@ -45,9 +45,12 @@
 use std::io::Write;
 use std::process::ExitCode;
 
+use std::sync::Arc;
+
 use hazel::analysis::{json_string, Code};
 use hazel::prelude::*;
-use hazel::trace::{render_events, RingSink, StatsSink, Tracer};
+use hazel::trace::metrics::{write_prom_histogram, MetricsHub, MetricsSink, Phase};
+use hazel::trace::{fmt_ns, render_events, Counter, PairSink, RingSink, StatsSink, Tracer};
 
 /// Prints to stdout, tolerating a closed pipe (`hazel codes | head`).
 fn emit(s: &str) {
@@ -63,7 +66,10 @@ fn usage() -> ExitCode {
          trace [--json|--text] <file.hzl>\n                                \
          trace the pipeline (deterministic JSONL, or an indented tree)\n  \
          stats [--json] <file.hzl>     per-phase timings and counter totals\n  \
-         serve --stdio [--batch] [--workers N]\n                                \
+         metrics [--format text|prom] <file.hzl>\n                                \
+         per-phase latency histograms (p50/p90/p99) as a\n                                \
+         table or Prometheus exposition format\n  \
+         serve --stdio [--batch] [--workers N] [--no-metrics] [--metrics-interval SECS]\n                                \
          serve documents over a JSON-lines protocol\n  \
          codes                         list every lint code\n\n\
          environment:\n  \
@@ -177,6 +183,110 @@ fn stats(args: &[String]) -> ExitCode {
         emit(&stats.to_json());
     } else {
         emit(&stats.render());
+        if livelit_sched::configured_workers() == 1 {
+            // At one worker the pool pins idle_ns to 0 for golden
+            // stability, and the zero-suppressed counter table would
+            // silently omit it — label the pin instead of implying the
+            // pool measured no idle time.
+            emit(&format!(
+                "{:<28} {:>10}\n",
+                Counter::SchedIdleNs.as_str(),
+                "pinned"
+            ));
+            emit(
+                "(idle_ns is pinned to 0 at workers=1; run with LIVELIT_THREADS>1 to measure it)\n",
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// `hazel metrics [--format text|prom] <file.hzl>`: runs the pipeline
+/// under a [`MetricsSink`] and renders the per-phase latency histograms —
+/// as an aligned table, or in Prometheus exposition format for scraping.
+fn metrics_cmd(args: &[String]) -> ExitCode {
+    let mut prom = false;
+    let mut path = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => match it.next().map(String::as_str) {
+                Some("text") => prom = false,
+                Some("prom") => prom = true,
+                _ => {
+                    eprintln!("hazel: --format needs one of: text, prom");
+                    return ExitCode::from(2);
+                }
+            },
+            _ if arg.starts_with('-') => return usage(),
+            _ => path = Some(arg.clone()),
+        }
+    }
+    let Some(path) = path else {
+        return usage();
+    };
+    let hub = Arc::new(MetricsHub::new());
+    let tracer = Tracer::monotonic(MetricsSink::new(Arc::clone(&hub)));
+    let result = {
+        let _guard = hazel::trace::install(&tracer);
+        run_pipeline(&path)
+    };
+    if let Err(code) = result {
+        return code;
+    }
+    if prom {
+        let mut out = String::from("# TYPE livelit_phase_latency_ns histogram\n");
+        for &phase in &Phase::ALL {
+            let snap = hub.phase_snapshot(phase);
+            if snap.is_empty() {
+                continue;
+            }
+            let labels = format!("phase=\"{}\"", phase.as_str());
+            write_prom_histogram(&mut out, "livelit_phase_latency_ns", &labels, &snap);
+        }
+        out.push_str("# TYPE livelit_counter_total counter\n");
+        for &c in &Counter::ALL {
+            let total = hub.counter(c);
+            if total > 0 {
+                out.push_str(&format!(
+                    "livelit_counter_total{{counter=\"{}\"}} {total}\n",
+                    c.as_str()
+                ));
+            }
+        }
+        emit(&out);
+    } else {
+        let mut out = format!(
+            "{:<14} {:>7} {:>10} {:>10} {:>10} {:>10}\n",
+            "phase", "count", "p50", "p90", "p99", "max"
+        );
+        for &phase in &Phase::ALL {
+            let snap = hub.phase_snapshot(phase);
+            if snap.is_empty() {
+                continue;
+            }
+            out.push_str(&format!(
+                "{:<14} {:>7} {:>10} {:>10} {:>10} {:>10}\n",
+                phase.as_str(),
+                snap.count,
+                fmt_ns(snap.p50()),
+                fmt_ns(snap.p90()),
+                fmt_ns(snap.p99()),
+                fmt_ns(snap.max),
+            ));
+        }
+        let mut counters = String::new();
+        for &c in &Counter::ALL {
+            let total = hub.counter(c);
+            if total > 0 {
+                counters.push_str(&format!("{:<28} {:>10}\n", c.as_str(), total));
+            }
+        }
+        if !counters.is_empty() {
+            out.push_str(&format!("\n{:<28} {:>10}\n", "counter", "total"));
+            out.push_str(&counters);
+        }
+        emit(&out);
     }
     ExitCode::SUCCESS
 }
@@ -243,22 +353,50 @@ fn analyze(args: &[String]) -> ExitCode {
     }
 }
 
-/// `hazel serve --stdio [--batch] [--workers N]`: the headless document
-/// server. One JSON request per line on stdin, one JSON reply per line on
-/// stdout, in order. `--workers N` pins the evaluation pool (N=1 makes
-/// replies deterministic for transcript diffing); `--batch` reads all of
-/// stdin up front and multiplexes distinct sessions onto the pool.
+/// How many worst requests per op the serve slow-ranking keeps.
+const SERVE_SLOW_K: usize = 4;
+/// Event buffer cap per captured slow-request span tree.
+const SERVE_CAPTURE_EVENTS: usize = 4096;
+
+/// `hazel serve --stdio [--batch] [--workers N] [--no-metrics]
+/// [--metrics-interval SECS]`: the headless document server. One JSON
+/// request per line on stdin, one JSON reply per line on stdout, in
+/// order. `--workers N` pins the evaluation pool (N=1 makes replies
+/// deterministic for transcript diffing); `--batch` reads all of stdin up
+/// front and multiplexes distinct sessions onto the pool.
+///
+/// Metrics are on by default: requests are timed into per-op histograms,
+/// the `metrics`/`watch` ops serve live snapshots, and a shutdown summary
+/// (plus the slow-request ranking) lands on stderr. In sequential stdio
+/// mode a `MetricsSink` tracer additionally attributes time to pipeline
+/// phases and captures span trees for the slowest requests. Replies never
+/// change shape — transcripts are byte-identical with `--no-metrics`.
+/// `--metrics-interval SECS` prints a one-line summary to stderr every
+/// SECS seconds.
 fn serve(args: &[String]) -> ExitCode {
     use std::io::BufRead;
 
     let mut stdio = false;
     let mut batch = false;
+    let mut metrics_on = true;
+    let mut interval: Option<u64> = None;
     let mut workers: Option<usize> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--stdio" => stdio = true,
             "--batch" => batch = true,
+            "--no-metrics" => metrics_on = false,
+            "--metrics-interval" => {
+                let parsed = it.next().and_then(|s| s.parse::<u64>().ok());
+                match parsed.filter(|&s| s >= 1) {
+                    Some(s) => interval = Some(s),
+                    None => {
+                        eprintln!("hazel: --metrics-interval needs an integer >= 1 (seconds)");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
             "--workers" => {
                 let parsed = it.next().and_then(|w| w.parse::<usize>().ok());
                 match parsed.filter(|&w| w >= 1) {
@@ -281,11 +419,32 @@ fn serve(args: &[String]) -> ExitCode {
         livelit_sched::set_workers_override(Some(w));
     }
 
-    let mut server = hazel::server::Server::with_registry(std::sync::Arc::new(|| {
+    let mut server = hazel::server::Server::with_registry(Arc::new(|| {
         let mut registry = LivelitRegistry::new();
         hazel::std::register_all(&mut registry);
         registry
     }));
+    let metrics = metrics_on.then(|| {
+        let m = hazel::server::observe::ServeMetrics::new(SERVE_SLOW_K, SERVE_CAPTURE_EVENTS);
+        server.enable_metrics(m.clone());
+        m
+    });
+    // Phase attribution and slow-trace capture ride on an installed
+    // tracer; only the sequential path gets one (batch worker threads
+    // would interleave their span parentage on the process-global stack).
+    // The guard must outlive the request loop and drop on this thread.
+    let _trace_guard = metrics.as_ref().filter(|_| !batch).map(|m| {
+        let sink = PairSink(MetricsSink::new(Arc::clone(m.hub())), m.capture().clone());
+        hazel::trace::install(&Tracer::monotonic(sink))
+    });
+    if let (Some(m), Some(secs)) = (metrics.as_ref(), interval) {
+        let reporter = m.clone();
+        // Detached on purpose: it dies with the process at shutdown.
+        std::thread::spawn(move || loop {
+            std::thread::sleep(std::time::Duration::from_secs(secs));
+            eprintln!("hazel serve: {}", reporter.summary_line());
+        });
+    }
 
     let stdin = std::io::stdin();
     let mut out = std::io::stdout().lock();
@@ -304,10 +463,26 @@ fn serve(args: &[String]) -> ExitCode {
             }
             let reply = server.handle_line(&line);
             // A reply per request, flushed eagerly: clients drive the
-            // protocol request/reply lockstep.
+            // protocol request/reply lockstep. `watch` notifications ride
+            // after the reply that triggered them.
             if writeln!(out, "{reply}").is_err() || out.flush().is_err() {
                 break;
             }
+            for note in server.take_notifications() {
+                if writeln!(out, "{note}").is_err() || out.flush().is_err() {
+                    break;
+                }
+            }
+        }
+    }
+
+    // Graceful-shutdown dump: the summary plus the slow-request ranking,
+    // on stderr so transcript-diffing consumers of stdout are unaffected.
+    if let Some(m) = metrics.as_ref() {
+        eprintln!("hazel serve: {}", m.summary_line());
+        let slow = m.render_slow();
+        if !slow.is_empty() {
+            eprint!("{slow}");
         }
     }
 
@@ -343,6 +518,7 @@ fn main() -> ExitCode {
             "analyze" => analyze(rest),
             "trace" => trace(rest),
             "stats" => stats(rest),
+            "metrics" => metrics_cmd(rest),
             "serve" => serve(rest),
             "codes" => codes(),
             _ => usage(),

@@ -49,6 +49,60 @@ fn serve_matches_the_golden_transcript_at_one_worker() {
 }
 
 #[test]
+fn serve_transcript_is_identical_with_metrics_disabled() {
+    // Metrics are on by default; nothing they record may leak into reply
+    // bytes unless a client opts in. `--no-metrics` must therefore replay
+    // the exact same golden, and the metrics-on run must confine its
+    // summary/slow-request dump to stderr.
+    let golden = std::fs::read_to_string(golden_path("serve_session.golden.jsonl")).unwrap();
+    let with = serve(&["--stdio", "--workers", "1"], &[], &requests());
+    assert!(with.status.success(), "{with:?}");
+    assert_eq!(String::from_utf8(with.stdout).unwrap(), golden);
+    let stderr = String::from_utf8(with.stderr).unwrap();
+    assert!(stderr.contains("hazel serve: metrics:"), "stderr: {stderr}");
+
+    let without = serve(
+        &["--stdio", "--workers", "1", "--no-metrics"],
+        &[],
+        &requests(),
+    );
+    assert!(without.status.success(), "{without:?}");
+    assert_eq!(String::from_utf8(without.stdout).unwrap(), golden);
+    let quiet = String::from_utf8(without.stderr).unwrap();
+    assert!(!quiet.contains("metrics:"), "stderr: {quiet}");
+}
+
+#[test]
+fn serve_metrics_op_reports_request_totals() {
+    // A live `metrics` snapshot after real traffic: deterministic totals
+    // are exact, the nondeterministic sections are present and shaped.
+    let mut input = requests();
+    input.push_str("{\"op\":\"metrics\",\"id\":99,\"slow\":true}\n");
+    let out = serve(&["--stdio", "--workers", "1"], &[], &input);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let last = stdout.lines().last().unwrap();
+    assert!(
+        last.starts_with("{\"ok\":true,\"id\":99,\"op\":\"metrics\",\"enabled\":true,"),
+        "{last}"
+    );
+    for field in [
+        "\"closed_sessions\":2",
+        "\"queue_depth\":",
+        "\"workers\":1",
+        "\"uptime_ns\":",
+        "\"ops\":[",
+        "\"p99_ns\":",
+        "\"phases\":[",
+        "\"counters\":{",
+        "\"slow\":[",
+        "serve.open",
+    ] {
+        assert!(last.contains(field), "missing {field} in {last}");
+    }
+}
+
+#[test]
 fn serve_transcript_is_stable_under_livelit_threads_1() {
     // The CI smoke matrix runs serve both with the default pool and with
     // `LIVELIT_THREADS=1`; sequential requests must not depend on it.

@@ -37,7 +37,7 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock, PoisonError};
 use std::time::Instant;
 
@@ -92,6 +92,37 @@ impl PoolStats {
         self.tasks += other.tasks;
         self.steals += other.steals;
         self.idle_ns += other.idle_ns;
+    }
+}
+
+/// Tasks dealt onto deques but not yet started, across every in-flight
+/// parallel region in the process (a gauge: rises at region start, drains
+/// as workers pick tasks up).
+static QUEUE_DEPTH: AtomicU64 = AtomicU64::new(0);
+/// Tasks executed since process start (a monotonic total).
+static TOTAL_TASKS: AtomicU64 = AtomicU64::new(0);
+/// Tasks stolen from a sibling's deque since process start.
+static TOTAL_STEALS: AtomicU64 = AtomicU64::new(0);
+
+/// A point-in-time reading of the process-global scheduler gauges,
+/// readable without a tracer installed — the `hazel serve` `metrics` op
+/// reports these alongside the latency histograms.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GaugeSnapshot {
+    /// Tasks currently queued on deques and not yet started.
+    pub queue_depth: u64,
+    /// Tasks executed since process start.
+    pub tasks: u64,
+    /// Tasks stolen from a sibling's deque since process start.
+    pub steals: u64,
+}
+
+/// Reads the process-global scheduler gauges.
+pub fn gauges() -> GaugeSnapshot {
+    GaugeSnapshot {
+        queue_depth: QUEUE_DEPTH.load(Ordering::Relaxed),
+        tasks: TOTAL_TASKS.load(Ordering::Relaxed),
+        steals: TOTAL_STEALS.load(Ordering::Relaxed),
     }
 }
 
@@ -204,6 +235,7 @@ impl Pool {
                 )
             })
             .collect();
+        QUEUE_DEPTH.fetch_add(n as u64, Ordering::Relaxed);
 
         let mut slots: Vec<Option<Result<R, TaskPanic>>> = Vec::with_capacity(n);
         slots.resize_with(n, || None);
@@ -252,6 +284,7 @@ impl Pool {
                                 if stolen {
                                     local_steals += 1;
                                 }
+                                QUEUE_DEPTH.fetch_sub(1, Ordering::Relaxed);
                                 let task_start = Instant::now();
                                 let result = catch_unwind(AssertUnwindSafe(|| f(i, &items[i])))
                                     .map_err(|payload| TaskPanic {
@@ -280,6 +313,8 @@ impl Pool {
         });
 
         let wall_ns = start.elapsed().as_nanos() as u64;
+        TOTAL_TASKS.fetch_add(n as u64, Ordering::Relaxed);
+        TOTAL_STEALS.fetch_add(steals, Ordering::Relaxed);
         let stats = PoolStats {
             tasks: n as u64,
             steals,
@@ -384,6 +419,22 @@ mod tests {
         let (results, _) = pool.map(&items, |_, &i| base[i] + 1);
         let got: Vec<u64> = results.into_iter().map(|r| r.unwrap()).collect();
         assert_eq!(got, vec![11, 21, 31]);
+    }
+
+    #[test]
+    fn gauges_drain_and_accumulate() {
+        let before = gauges();
+        let items: Vec<u64> = (0..37).collect();
+        let pool = Pool::with_workers(4);
+        let (_, stats) = pool.map(&items, |_, &x| x);
+        let after = gauges();
+        // Other tests may run regions concurrently in this process, so
+        // totals are compared as lower bounds and the queue-depth drain is
+        // checked against a generous ceiling rather than exact zero.
+        assert!(after.tasks - before.tasks >= 37);
+        assert!(after.steals >= before.steals);
+        assert!(stats.tasks == 37);
+        assert!(after.queue_depth < 1 << 32, "gauge underflowed");
     }
 
     #[test]

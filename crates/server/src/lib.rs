@@ -24,7 +24,15 @@
 //! | `render` | `session` | run the engine, reply patches per hole |
 //! | `analyze` | `session` | run the static analysis, reply diagnostic deltas |
 //! | `stats` | `session`? | per-session or whole-server counters |
+//! | `metrics` | `slow`? | observability snapshot: histograms, totals, per-session table, gauges |
+//! | `watch` | `every` | push a totals-delta notification every N requests (`0` clears) |
 //! | `close` | `session` | drop the session |
+//!
+//! `open` additionally accepts `"timings":true`, after which every reply
+//! to that session carries a `timings` object (request id, wall time,
+//! bytes in/out, per-phase breakdown). `metrics` accepts `"slow":true` to
+//! dump the K worst requests per op. Neither is on by default, so default
+//! transcripts are byte-identical with metrics on or off.
 //!
 //! The `edit.kind` values mirror [`EditAction`]: `fill_hole` (`at`,
 //! `livelit`, `params`: surface-syntax strings), `dispatch` (`at`,
@@ -70,9 +78,12 @@ use livelit_mvu::splice::SpliceRef;
 use livelit_trace::Counter;
 
 pub mod json;
+pub mod observe;
 pub mod wire;
 
 use json::{obj, str as jstr, uint, Json};
+use livelit_trace::metrics::{HistogramSnapshot, Phase, PhaseTimes};
+use observe::{ServeMetrics, OPS};
 
 /// How a request failed, for the structured `error` reply.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -170,6 +181,18 @@ pub struct Session {
     /// diff against, so each reply ships only the delta per edit.
     acked_diagnostics: Vec<livelit_analysis::Diagnostic>,
     stats: SessionStats,
+    /// Whether replies to this session echo a `timings` breakdown
+    /// (requested with `"timings":true` at `open`).
+    echo_timings: bool,
+}
+
+/// Live `watch`-op state: how often to push a metrics delta, and the
+/// totals at the last push.
+struct WatchState {
+    every: u64,
+    seq: u64,
+    since: u64,
+    last: SessionStats,
 }
 
 /// Builds the livelit registry a fresh session starts from. The server
@@ -181,6 +204,22 @@ pub type RegistryFactory = Arc<dyn Fn() -> LivelitRegistry + Send + Sync>;
 pub struct Server {
     sessions: BTreeMap<String, Session>,
     make_registry: RegistryFactory,
+    /// Deterministic whole-server totals across every handled line —
+    /// session-bound or not, open session or since closed. The `watch` op
+    /// pushes deltas of these; the `metrics` op snapshots them.
+    totals: SessionStats,
+    /// Stats accumulated from sessions that have since closed, so global
+    /// `stats` replies do not forget traffic when a session goes away.
+    retired: SessionStats,
+    retired_sessions: u64,
+    /// Latency/attribution aggregate; `None` keeps request handling free
+    /// of clocks entirely.
+    metrics: Option<ServeMetrics>,
+    watch: Option<WatchState>,
+    /// `watch` notification lines waiting to be drained by the transport
+    /// (see [`Server::take_notifications`]).
+    pending: Vec<String>,
+    next_req: u64,
 }
 
 impl Server {
@@ -194,7 +233,32 @@ impl Server {
         Server {
             sessions: BTreeMap::new(),
             make_registry,
+            totals: SessionStats::default(),
+            retired: SessionStats::default(),
+            retired_sessions: 0,
+            metrics: None,
+            watch: None,
+            pending: Vec::new(),
+            next_req: 0,
         }
+    }
+
+    /// Attaches a metrics aggregate: every subsequent request is timed and
+    /// recorded. Replies do not change shape — metrics reach clients only
+    /// through the `metrics` op or a per-session `timings` opt-in.
+    pub fn enable_metrics(&mut self, metrics: ServeMetrics) {
+        self.metrics = Some(metrics);
+    }
+
+    /// The attached metrics aggregate, if any.
+    pub fn metrics(&self) -> Option<&ServeMetrics> {
+        self.metrics.as_ref()
+    }
+
+    /// Drains pending `watch` notification lines (in emission order). The
+    /// transport writes these after the reply that triggered them.
+    pub fn take_notifications(&mut self) -> Vec<String> {
+        std::mem::take(&mut self.pending)
     }
 
     /// The number of open sessions.
@@ -208,22 +272,92 @@ impl Server {
     /// structured `error` replies.
     pub fn handle_line(&mut self, line: &str) -> String {
         livelit_trace::count(Counter::ServeRequests, 1);
-        let reply = self.reply_for_line(line);
-        if !matches!(reply.get("ok"), Some(Json::Bool(true))) {
+        self.next_req += 1;
+        let req_no = self.next_req;
+        let start = self.metrics.as_ref().map(|_| std::time::Instant::now());
+        let (reply, op, session) = self.reply_for_line(line);
+        let ok = matches!(reply.get("ok"), Some(Json::Bool(true)));
+        if !ok {
             livelit_trace::count(Counter::ServeErrors, 1);
+            self.totals.errors += 1;
         }
-        reply.to_string()
+        self.totals.requests += 1;
+        let mut text = reply.to_string();
+        if let (Some(metrics), Some(start)) = (self.metrics.as_ref(), start) {
+            let dur_ns = start.elapsed().as_nanos() as u64;
+            // Non-zero only when a `MetricsSink` tracer bracketed this
+            // request; otherwise attribution degrades to totals gracefully.
+            let phases = metrics.hub().request_phases();
+            metrics.record_request(
+                op.as_deref(),
+                req_no,
+                dur_ns,
+                line.len() as u64,
+                text.len() as u64,
+                ok,
+                phases,
+                line,
+            );
+            let echo = session
+                .as_deref()
+                .and_then(|name| self.sessions.get(name))
+                .is_some_and(|s| s.echo_timings);
+            if echo {
+                text = attach_timings(
+                    reply,
+                    req_no,
+                    dur_ns,
+                    line.len() as u64,
+                    text.len() as u64,
+                    &phases,
+                )
+                .to_string();
+            }
+        }
+        if let Some(note) = self.watch_note() {
+            self.pending.push(note);
+        }
+        text
     }
 
-    fn reply_for_line(&mut self, line: &str) -> Json {
+    /// Advances the `watch` state by one handled request and builds the
+    /// notification line when the period elapses.
+    fn watch_note(&mut self) -> Option<String> {
+        let watch = self.watch.as_mut()?;
+        watch.since += 1;
+        if watch.since < watch.every {
+            return None;
+        }
+        watch.since = 0;
+        watch.seq += 1;
+        let now = self.totals;
+        let last = watch.last;
+        watch.last = now;
+        let note = obj([
+            ("ok", Json::Bool(true)),
+            ("op", jstr("watch")),
+            ("notify", Json::Bool(true)),
+            ("seq", uint(watch.seq)),
+            ("every", uint(watch.every)),
+            ("requests", uint(now.requests - last.requests)),
+            ("errors", uint(now.errors - last.errors)),
+            ("patches", uint(now.patches - last.patches)),
+            ("patch_bytes", uint(now.patch_bytes - last.patch_bytes)),
+            ("full_bytes", uint(now.full_bytes - last.full_bytes)),
+        ]);
+        Some(note.to_string())
+    }
+
+    fn reply_for_line(&mut self, line: &str) -> (Json, Option<String>, Option<String>) {
         let req = match json::parse(line) {
             Ok(req) => req,
             Err(e) => {
-                return error_reply(
+                let reply = error_reply(
                     None,
                     None,
                     &RequestError::new(ErrorKind::Parse, e.to_string()),
-                )
+                );
+                return (reply, None, None);
             }
         };
         let op = req.get("op").and_then(Json::as_str).map(str::to_owned);
@@ -255,7 +389,7 @@ impl Server {
                 ))
             }
         };
-        match result {
+        let reply = match result {
             Ok(reply) => reply,
             Err(e) => {
                 if let Some(s) = session.as_deref().and_then(|n| self.sessions.get_mut(n)) {
@@ -263,7 +397,8 @@ impl Server {
                 }
                 error_reply(op.as_deref(), id.as_ref(), &e)
             }
-        }
+        };
+        (reply, op, session)
     }
 
     fn handle_request(&mut self, req: &Json, op: Option<&str>) -> RequestResult {
@@ -281,6 +416,8 @@ impl Server {
             Some("render") => self.op_render(req)?,
             Some("analyze") => self.op_analyze(req)?,
             Some("stats") => self.op_stats(req)?,
+            Some("metrics") => self.op_metrics(req)?,
+            Some("watch") => self.op_watch(req)?,
             Some("close") => self.op_close(req)?,
             Some(other) => {
                 return Err(RequestError::new(
@@ -331,6 +468,7 @@ impl Server {
                 ))
             }
         };
+        let echo_timings = matches!(req.get("timings"), Some(Json::Bool(true)));
         let registry = (self.make_registry)();
         let (registry, doc) = open_module(registry, &source)
             .map_err(|e| RequestError::new(ErrorKind::Doc, e.to_string()))?;
@@ -355,6 +493,7 @@ impl Server {
                     requests: 1,
                     ..SessionStats::default()
                 },
+                echo_timings,
             },
         );
         Ok(obj([
@@ -494,6 +633,9 @@ impl Server {
         session.stats.patches += patches_shipped;
         session.stats.patch_bytes += shipped_bytes;
         session.stats.full_bytes += full_bytes;
+        self.totals.patches += patches_shipped;
+        self.totals.patch_bytes += shipped_bytes;
+        self.totals.full_bytes += full_bytes;
         livelit_trace::count(Counter::ServePatches, patches_shipped);
         livelit_trace::count(Counter::ServePatchBytes, shipped_bytes);
         livelit_trace::count(Counter::ServeFullBytes, full_bytes);
@@ -580,12 +722,16 @@ impl Server {
                 ))
             }
             _ => {
-                let mut total = SessionStats::default();
+                // Global scope: open sessions plus everything retired by
+                // `close`, so totals never regress when a session goes
+                // away.
+                let mut total = self.retired;
                 for session in self.sessions.values() {
                     total.merge(&session.stats);
                 }
                 fields.push(("session", Json::Null));
                 fields.push(("sessions", uint(self.sessions.len())));
+                fields.push(("closed_sessions", uint(self.retired_sessions)));
                 total
             }
         };
@@ -599,14 +745,139 @@ impl Server {
         Ok(obj(fields))
     }
 
+    /// `metrics`: a whole-server observability snapshot. The deterministic
+    /// core (session table, request totals, scheduler gauges) is always
+    /// present; latency histograms, phase attribution, byte counts, and
+    /// uptime appear when the host attached a [`ServeMetrics`]; passing
+    /// `"slow":true` additionally dumps the slow-request ranking (with
+    /// captured span trees when a tracer fed the capture).
+    fn op_metrics(&mut self, req: &Json) -> RequestResult {
+        let want_slow = matches!(req.get("slow"), Some(Json::Bool(true)));
+        let gauges = livelit_sched::gauges();
+        let mut fields = vec![
+            ("ok", Json::Bool(true)),
+            ("op", jstr("metrics")),
+            ("enabled", Json::Bool(self.metrics.is_some())),
+            ("sessions", uint(self.sessions.len())),
+            ("closed_sessions", uint(self.retired_sessions)),
+            ("requests", uint(self.totals.requests)),
+            ("errors", uint(self.totals.errors)),
+            ("patches", uint(self.totals.patches)),
+            ("patch_bytes", uint(self.totals.patch_bytes)),
+            ("full_bytes", uint(self.totals.full_bytes)),
+            ("queue_depth", uint(gauges.queue_depth)),
+            ("sched_tasks", uint(gauges.tasks)),
+            ("sched_steals", uint(gauges.steals)),
+            ("workers", uint(livelit_sched::configured_workers() as u64)),
+        ];
+        let per_session: Vec<Json> = self
+            .sessions
+            .iter()
+            .map(|(name, s)| {
+                obj([
+                    ("session", jstr(name.clone())),
+                    ("requests", uint(s.stats.requests)),
+                    ("errors", uint(s.stats.errors)),
+                    ("patches", uint(s.stats.patches)),
+                    ("patch_bytes", uint(s.stats.patch_bytes)),
+                    ("full_bytes", uint(s.stats.full_bytes)),
+                ])
+            })
+            .collect();
+        fields.push(("per_session", Json::Arr(per_session)));
+
+        if let Some(metrics) = self.metrics.as_ref() {
+            fields.push(("uptime_ns", uint(metrics.uptime_ns())));
+            fields.push(("bytes_in", uint(metrics.bytes_in())));
+            fields.push(("bytes_out", uint(metrics.bytes_out())));
+            let ops: Vec<Json> = OPS
+                .iter()
+                .enumerate()
+                .filter_map(|(slot, name)| {
+                    let snap = metrics.op_snapshot(slot);
+                    if snap.is_empty() {
+                        return None;
+                    }
+                    Some(histogram_json(name, "op", &snap))
+                })
+                .collect();
+            fields.push(("ops", Json::Arr(ops)));
+            let phases: Vec<Json> = Phase::ALL
+                .iter()
+                .filter_map(|&phase| {
+                    let snap = metrics.hub().phase_snapshot(phase);
+                    if snap.is_empty() {
+                        return None;
+                    }
+                    Some(histogram_json(phase.as_str(), "phase", &snap))
+                })
+                .collect();
+            fields.push(("phases", Json::Arr(phases)));
+            let counters: Vec<(String, Json)> = Counter::ALL
+                .iter()
+                .filter_map(|&c| {
+                    let total = metrics.hub().counter(c);
+                    (total > 0).then(|| (c.as_str().to_owned(), uint(total)))
+                })
+                .collect();
+            fields.push(("counters", Json::Obj(counters)));
+            if want_slow {
+                fields.push(("slow", slow_json(metrics)));
+            }
+        }
+        Ok(obj(fields))
+    }
+
+    /// `watch`: sets (or with `"every":0` clears) the notification period.
+    /// Once set, after every `every` handled requests the server queues one
+    /// unsolicited line with the totals-delta since the previous push;
+    /// the transport drains them with [`Server::take_notifications`].
+    fn op_watch(&mut self, req: &Json) -> RequestResult {
+        let every = match req.get("every") {
+            Some(json) => json
+                .as_int()
+                .and_then(|n| u64::try_from(n).ok())
+                .ok_or_else(|| {
+                    RequestError::new(
+                        ErrorKind::Protocol,
+                        "\"every\" must be a non-negative integer",
+                    )
+                })?,
+            None => {
+                return Err(RequestError::new(
+                    ErrorKind::Protocol,
+                    "missing integer \"every\"",
+                ))
+            }
+        };
+        if every == 0 {
+            self.watch = None;
+        } else {
+            self.watch = Some(WatchState {
+                every,
+                seq: 0,
+                since: 0,
+                last: self.totals,
+            });
+        }
+        Ok(obj([
+            ("ok", Json::Bool(true)),
+            ("op", jstr("watch")),
+            ("every", uint(every)),
+            ("watching", Json::Bool(every > 0)),
+        ]))
+    }
+
     fn op_close(&mut self, req: &Json) -> RequestResult {
         let name = Server::session_name(req)?;
-        if self.sessions.remove(name).is_none() {
+        let Some(session) = self.sessions.remove(name) else {
             return Err(RequestError::new(
                 ErrorKind::Session,
                 format!("unknown session {name:?}"),
             ));
-        }
+        };
+        self.retired.merge(&session.stats);
+        self.retired_sessions += 1;
         Ok(obj([
             ("ok", Json::Bool(true)),
             ("op", jstr("close")),
@@ -654,6 +925,12 @@ impl Server {
             .iter()
             .map(|(name, _)| {
                 let mut sub = Server::with_registry(Arc::clone(&self.make_registry));
+                // Sub-servers share the parent's metrics aggregate, so
+                // batch traffic still lands in the histograms (recording
+                // is atomics — thread-safe by construction).
+                if let Some(metrics) = self.metrics.as_ref() {
+                    sub.enable_metrics(metrics.clone());
+                }
                 if let Some(session) = self.sessions.remove(name) {
                     sub.sessions.insert(name.clone(), session);
                 }
@@ -674,6 +951,12 @@ impl Server {
             let sub = task
                 .into_inner()
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
+            // Fold the sub-server's deterministic totals back, so `stats`,
+            // `metrics`, and `watch` agree with the sequential path.
+            self.totals.merge(&sub.totals);
+            self.retired.merge(&sub.retired);
+            self.retired_sessions += sub.retired_sessions;
+            self.next_req += sub.next_req;
             for (name, session) in sub.sessions {
                 self.sessions.insert(name, session);
             }
@@ -732,6 +1015,98 @@ fn diagnostic_json(d: &livelit_analysis::Diagnostic) -> Json {
     let mut out = String::new();
     livelit_analysis::diagnostic::json_diagnostic(&mut out, d);
     json::parse(&out).expect("diagnostic JSON round-trips")
+}
+
+/// A histogram snapshot as a reply object, labeled `{key: name}`.
+fn histogram_json(name: &str, key: &'static str, snap: &HistogramSnapshot) -> Json {
+    obj([
+        (key, jstr(name.to_owned())),
+        ("count", uint(snap.count)),
+        ("sum_ns", uint(snap.sum)),
+        ("min_ns", uint(snap.min)),
+        ("max_ns", uint(snap.max)),
+        ("mean_ns", uint(snap.mean())),
+        ("p50_ns", uint(snap.p50())),
+        ("p90_ns", uint(snap.p90())),
+        ("p99_ns", uint(snap.p99())),
+    ])
+}
+
+/// A phase breakdown as a reply object (non-zero phases only).
+fn phases_json(phases: &PhaseTimes) -> Json {
+    Json::Obj(
+        phases
+            .iter()
+            .filter(|&(_, ns)| ns > 0)
+            .map(|(phase, ns)| (format!("{}_ns", phase.as_str()), uint(ns)))
+            .collect(),
+    )
+}
+
+/// The slow-request ranking as a reply array: per op, the worst entries
+/// and (when a tracer fed the capture) their rendered span trees.
+fn slow_json(metrics: &ServeMetrics) -> Json {
+    let captured = metrics.capture().worst();
+    let mut out = Vec::new();
+    for (slot, ranked) in metrics.slow_entries().iter().enumerate() {
+        if ranked.is_empty() {
+            continue;
+        }
+        let entries: Vec<Json> = ranked
+            .iter()
+            .map(|e| {
+                obj([
+                    ("req", uint(e.req)),
+                    ("dur_ns", uint(e.dur_ns)),
+                    ("bytes_in", uint(e.bytes_in)),
+                    ("bytes_out", uint(e.bytes_out)),
+                    ("ok", Json::Bool(e.ok)),
+                    ("phases", phases_json(&e.phases)),
+                    ("request", jstr(e.line.clone())),
+                ])
+            })
+            .collect();
+        let mut fields = vec![("op", jstr(OPS[slot])), ("entries", Json::Arr(entries))];
+        let bracket = format!("serve.{}", OPS[slot]);
+        if let Some(traces) = captured.get(&bracket) {
+            fields.push((
+                "traces",
+                Json::Arr(
+                    traces
+                        .iter()
+                        .map(|t| jstr(livelit_trace::render_events(&t.events)))
+                        .collect(),
+                ),
+            ));
+        }
+        out.push(obj(fields));
+    }
+    Json::Arr(out)
+}
+
+/// Appends the opt-in `timings` breakdown to a reply object.
+fn attach_timings(
+    reply: Json,
+    req: u64,
+    dur_ns: u64,
+    bytes_in: u64,
+    bytes_out: u64,
+    phases: &PhaseTimes,
+) -> Json {
+    let timings = obj([
+        ("req", uint(req)),
+        ("total_ns", uint(dur_ns)),
+        ("bytes_in", uint(bytes_in)),
+        ("bytes_out", uint(bytes_out)),
+        ("phases", phases_json(phases)),
+    ]);
+    match reply {
+        Json::Obj(mut fields) => {
+            fields.push(("timings".to_owned(), timings));
+            Json::Obj(fields)
+        }
+        other => other,
+    }
 }
 
 /// Appends the echoed `id` (if the request carried one) to a reply.

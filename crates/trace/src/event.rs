@@ -130,6 +130,12 @@ impl Counter {
         Counter::FlowDeterminismSkips,
     ];
 
+    /// This counter's position in [`Counter::ALL`] — a dense index for
+    /// array-backed aggregation (see `metrics::MetricsHub`).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
     /// The stable snake_case name used in serialized output.
     pub fn as_str(&self) -> &'static str {
         match self {
@@ -347,6 +353,13 @@ mod tests {
         let mut out = String::new();
         json_string(&mut out, "a\"b\\c\nd\u{1}");
         assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn counter_index_matches_all_order() {
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i, "{c}");
+        }
     }
 
     #[test]

@@ -49,12 +49,17 @@
 
 pub mod clock;
 pub mod event;
+pub mod metrics;
 pub mod sink;
 pub mod tracer;
 
 pub use clock::{Clock, MonotonicClock, TestClock};
 pub use event::{json_string, render_events, Counter, Event, SpanId};
+pub use metrics::{
+    write_prom_histogram, Histogram, HistogramSnapshot, MetricsHub, MetricsSink, Phase, PhaseTimes,
+    SlowCapture, SlowTrace,
+};
 pub use sink::{
-    fmt_ns, FanoutSink, JsonlSink, NullSink, RingSink, Sink, SpanStats, Stats, StatsSink,
+    fmt_ns, FanoutSink, JsonlSink, NullSink, PairSink, RingSink, Sink, SpanStats, Stats, StatsSink,
 };
 pub use tracer::{count, enabled, install, span, span_prefixed, InstallGuard, SpanGuard, Tracer};

@@ -314,6 +314,23 @@ impl Sink for FanoutSink {
     }
 }
 
+/// A two-receiver fanout with static dispatch — the hot-path alternative
+/// to [`FanoutSink`] when the receiver set is known at compile time (e.g.
+/// the serve metrics stack: a `MetricsSink` paired with a `SlowCapture`).
+/// Every event reaches `0` then `1` with no per-event indirect calls.
+pub struct PairSink<A, B>(pub A, pub B);
+
+impl<A: Sink, B: Sink> Sink for PairSink<A, B> {
+    fn record(&mut self, event: &Event) {
+        self.0.record(event);
+        self.1.record(event);
+    }
+
+    fn is_noop(&self) -> bool {
+        self.0.is_noop() && self.1.is_noop()
+    }
+}
+
 /// Formats nanoseconds with a human-friendly unit (deterministic).
 pub fn fmt_ns(ns: u64) -> String {
     if ns >= 1_000_000_000 {

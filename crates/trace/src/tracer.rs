@@ -127,8 +127,20 @@ impl std::fmt::Debug for Tracer {
 static ENABLED: AtomicBool = AtomicBool::new(false);
 /// The installed tracer, when [`ENABLED`] is set.
 static CURRENT: Mutex<Option<Tracer>> = Mutex::new(None);
+/// Bumped on every install/uninstall; lets per-thread tracer caches
+/// detect staleness with one relaxed load instead of locking [`CURRENT`].
+static GENERATION: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 /// Serializes installations process-wide (held by the [`InstallGuard`]).
 static INSTALL: Mutex<()> = Mutex::new(());
+
+thread_local! {
+    /// This thread's last-seen `(generation, tracer)` — a cache of
+    /// [`CURRENT`] so the per-event hot path (every span begin and every
+    /// counter bump while tracing is on) costs an atomic generation check
+    /// and an `Arc` clone rather than a contended global mutex.
+    static CACHED: std::cell::RefCell<(u64, Option<Tracer>)> =
+        const { std::cell::RefCell::new((0, None)) };
+}
 
 /// Whether a tracer is currently installed. Probes compile to this single
 /// relaxed load when tracing is off.
@@ -147,6 +159,7 @@ impl Drop for InstallGuard {
     fn drop(&mut self) {
         ENABLED.store(false, Ordering::SeqCst);
         *CURRENT.lock().unwrap_or_else(PoisonError::into_inner) = None;
+        GENERATION.fetch_add(1, Ordering::Release);
     }
 }
 
@@ -161,15 +174,40 @@ pub fn install(tracer: &Tracer) -> InstallGuard {
     let serial = INSTALL.lock().unwrap_or_else(PoisonError::into_inner);
     let noop = tracer.lock().sink.is_noop();
     *CURRENT.lock().unwrap_or_else(PoisonError::into_inner) = Some(tracer.clone());
+    GENERATION.fetch_add(1, Ordering::Release);
     ENABLED.store(!noop, Ordering::SeqCst);
     InstallGuard { _serial: serial }
 }
 
+/// The installed tracer, via this thread's generation-checked cache: the
+/// common case (tracer unchanged since this thread last looked) is one
+/// relaxed load and an `Arc` clone; only a generation mismatch pays the
+/// [`CURRENT`] lock.
 fn current() -> Option<Tracer> {
-    CURRENT
-        .lock()
-        .unwrap_or_else(PoisonError::into_inner)
-        .clone()
+    // Not `Option::cloned` point-free: the higher-ranked lifetime in
+    // `with_current`'s callback rejects the bare method reference.
+    #[allow(clippy::redundant_closure_for_method_calls)]
+    with_current(|tracer| tracer.cloned())
+}
+
+/// Runs `f` on the installed tracer (or `None`) borrowed from this
+/// thread's cache — the hot-path variant of [`current`] that skips the
+/// `Arc` refcount round-trip when the caller doesn't need ownership.
+fn with_current<R>(f: impl FnOnce(Option<&Tracer>) -> R) -> R {
+    let generation = GENERATION.load(Ordering::Acquire);
+    CACHED.with(|cached| {
+        let mut cached = cached.borrow_mut();
+        if cached.0 != generation {
+            *cached = (
+                generation,
+                CURRENT
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .clone(),
+            );
+        }
+        f(cached.1.as_ref())
+    })
 }
 
 /// Closes its span when dropped. The disabled form is a no-op shell.
@@ -228,9 +266,11 @@ pub fn count(counter: Counter, delta: u64) {
     if !enabled() {
         return;
     }
-    if let Some(tracer) = current() {
-        tracer.count(counter, delta);
-    }
+    with_current(|tracer| {
+        if let Some(tracer) = tracer {
+            tracer.count(counter, delta);
+        }
+    });
 }
 
 #[cfg(test)]

@@ -131,6 +131,117 @@ fn mutated_valid_requests_always_get_a_structured_reply() {
     }
 }
 
+/// The observability-PR contract: interleaving `metrics` and `watch`
+/// requests into arbitrary traffic never breaks the one-line-in /
+/// one-reply-out protocol, and every queued watch notification is itself
+/// a well-formed JSON object.
+#[test]
+fn metrics_and_watch_interleave_with_traffic_without_breaking_the_protocol() {
+    let templates = [
+        "{\"op\":\"open\",\"session\":\"s\",\"source\":\"$slider@0{10}(0 : Int; 100 : Int)\"}",
+        "{\"op\":\"render\",\"session\":\"s\"}",
+        "{\"op\":\"edit\",\"session\":\"s\",\"edit\":{\"kind\":\"dispatch\",\"at\":0,\"action\":\"(.set 3)\"}}",
+        "{\"op\":\"metrics\"}",
+        "{\"op\":\"metrics\",\"slow\":true}",
+        "{\"op\":\"watch\",\"every\":1}",
+        "{\"op\":\"watch\",\"every\":3}",
+        "{\"op\":\"watch\",\"every\":0}",
+        "{\"op\":\"watch\"}",
+        "{\"op\":\"watch\",\"every\":-2}",
+        "{\"op\":\"stats\"}",
+        "{\"op\":\"close\",\"session\":\"s\"}",
+        "not json at all",
+    ];
+    for seed in 0..40 {
+        let mut server = Server::new();
+        server.enable_metrics(hazel::server::observe::ServeMetrics::new(2, 256));
+        let mut g = XorShift::new(seed);
+        for _ in 0..40 {
+            let line = templates[g.below(templates.len() as u64) as usize];
+            check_reply(&mut server, line);
+            for note in server.take_notifications() {
+                let parsed = json::parse(&note)
+                    .unwrap_or_else(|e| panic!("note must be valid JSON ({e}): {note}"));
+                assert_eq!(parsed.get("ok"), Some(&Json::Bool(true)), "{note}");
+                assert_eq!(parsed.get("notify"), Some(&Json::Bool(true)), "{note}");
+                assert!(parsed.get("seq").is_some(), "{note}");
+            }
+        }
+    }
+}
+
+/// With `every: 1`, watch deltas are a complete accounting: each handled
+/// request (including invalid ones and the `metrics`/`stats` requests
+/// themselves) produces exactly one notification, and the summed deltas
+/// reproduce the server's final totals exactly — nothing dropped, nothing
+/// double-counted.
+#[test]
+fn watch_deltas_sum_to_the_final_totals() {
+    let templates = [
+        "{\"op\":\"open\",\"session\":\"a\",\"source\":\"$slider@0{10}(0 : Int; 100 : Int)\"}",
+        "{\"op\":\"render\",\"session\":\"a\"}",
+        "{\"op\":\"render\",\"session\":\"a\"}",
+        "{\"op\":\"edit\",\"session\":\"a\",\"edit\":{\"kind\":\"dispatch\",\"at\":0,\"action\":\"(.set 7)\"}}",
+        "{\"op\":\"render\",\"session\":\"missing\"}",
+        "{\"op\":\"stats\"}",
+        "garbage",
+    ];
+    for seed in 0..20 {
+        let mut server = Server::new();
+        let mut g = XorShift::new(seed);
+        // Pre-watch traffic the deltas must NOT cover.
+        let before = 1 + g.below(5);
+        for _ in 0..before {
+            let line = templates[g.below(templates.len() as u64) as usize];
+            check_reply(&mut server, line);
+        }
+        server.take_notifications();
+        check_reply(&mut server, "{\"op\":\"watch\",\"every\":1}");
+        let after = 5 + g.below(20);
+        let mut errors_after = 0u64;
+        for _ in 0..after {
+            let line = templates[g.below(templates.len() as u64) as usize];
+            if check_reply(&mut server, line).get("ok") == Some(&Json::Bool(false)) {
+                errors_after += 1;
+            }
+        }
+        // The final snapshot reports totals as of *before* itself.
+        let snap = check_reply(&mut server, "{\"op\":\"metrics\"}");
+        let total = |j: &Json, k: &str| j.get(k).and_then(Json::as_int).unwrap() as u64;
+        let mut notes = Vec::new();
+        for note in server.take_notifications() {
+            notes.push(json::parse(&note).unwrap());
+        }
+        // One note per request from the watch-enable on: `after` traffic
+        // requests plus the enable itself plus the final metrics request.
+        assert_eq!(notes.len() as u64, after + 2, "seed {seed}");
+        let summed = |k: &str| notes.iter().map(|n| total(n, k)).sum::<u64>();
+        // The metrics snapshot excludes itself and the deltas include the
+        // watch-enable request, so: snapshot = pre-watch + (deltas − 1
+        // metrics request − 1 enable request) + enable request.
+        assert_eq!(summed("requests"), after + 2, "seed {seed}");
+        assert_eq!(summed("errors"), errors_after, "seed {seed}");
+        assert_eq!(
+            total(&snap, "requests"),
+            before + 1 + after,
+            "seed {seed}: snapshot covers everything before itself"
+        );
+        // Byte/patch/error tallies carry no off-by-one subtleties: the
+        // watch-enable and metrics requests contribute zero, so the sums
+        // must cover exactly what happened since the pre-watch cut.
+        for key in ["patches", "patch_bytes", "full_bytes"] {
+            assert!(
+                summed(key) <= total(&snap, key),
+                "seed {seed}: {key} deltas cannot exceed lifetime totals"
+            );
+        }
+        // Sequence numbers are dense from 1.
+        for (i, n) in notes.iter().enumerate() {
+            assert_eq!(total(n, "seq"), i as u64 + 1, "seed {seed}");
+        }
+    }
+}
+
 /// A random view tree. Handler actions are small integer values — the
 /// diff algebra only compares them for equality, so structure, not
 /// meaning, is what matters here.
