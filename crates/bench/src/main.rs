@@ -617,6 +617,207 @@ fn latency_histograms(config: &Config, hists: &mut Vec<HistResult>) {
     }
 }
 
+/// One B17 measurement: retained-render behavior at one document size.
+struct RetainedResult {
+    defs: usize,
+    warm: hazel::trace::HistogramSnapshot,
+    cold: hazel::trace::HistogramSnapshot,
+    /// Mean `engine.views` span time per warm drag — the render phase
+    /// alone, which the retained arena is supposed to hold near-flat
+    /// while the surrounding Ω-rebuild/resume work stays O(doc).
+    views_mean_ns: u64,
+    /// Median time for the legacy pipeline the arena replaced: rebuild
+    /// every view from scratch, then whole-tree diff each against the
+    /// previous render.
+    legacy_views_median_ns: u64,
+    patch_bytes: usize,
+    full_bytes: usize,
+    reused: u64,
+    rebuilt: u64,
+}
+
+impl RetainedResult {
+    fn reused_fraction(&self) -> f64 {
+        self.reused as f64 / (self.reused + self.rebuilt).max(1) as f64
+    }
+}
+
+/// The B17 document: `n` independent definitions, each spliced into its
+/// own `$slider`, so a drag on slider 0 invalidates exactly one retained
+/// view out of `n` (chained defs would change every σ and defeat the
+/// memo on purpose — independence is the point of the experiment).
+fn multi_slider_doc(n: usize) -> (LivelitRegistry, Document) {
+    let mut registry = LivelitRegistry::new();
+    hazel::std::register_all(&mut registry);
+    let mut src = String::new();
+    for i in 0..n {
+        src.push_str(&format!("def d{i} : Int = {} ;;\n", i + 1));
+    }
+    let sum = (0..n)
+        .map(|i| format!("$slider@{i}{{10}}(0 : Int; d{i} : Int)"))
+        .collect::<Vec<_>>()
+        .join(" + ");
+    src.push_str(&sum);
+    hazel::editor::open_module(registry, &src).expect("module")
+}
+
+/// B17 — the retained view arena: render/reconcile latency and patch
+/// payload size vs. document size on a multi-slider document. The warm
+/// curve drags slider 0 through the incremental fast path — the other
+/// `n-1` retained views must be memo hits, so latency stays near-flat in
+/// `n` and the patch payload is proportional to the *changed* nodes. The
+/// cold curve edits a splice (a skeleton change), forcing a fresh
+/// collection whose new interning lineage conservatively misses every
+/// memo. The reuse counters come from a separate traced pass so tracer
+/// overhead never contaminates the timings.
+fn retained_render(config: &Config, hists: &mut Vec<HistResult>, out: &mut Vec<RetainedResult>) {
+    if !wants(config, "B17") {
+        return;
+    }
+    let samples_per_size = if config.quick { 20u32 } else { 40 };
+    for n in sizes(config, &[4usize, 16, 64, 256]) {
+        // Warm: slider drags on one instance, fast path, untraced.
+        let (registry, mut doc) = multi_slider_doc(n);
+        let mut engine = IncrementalEngine::new();
+        engine.run(&registry, &doc).expect("pipeline");
+        let warm = Histogram::new();
+        let mut value = 10i64;
+        for _ in 0..samples_per_size {
+            value = (value + 1) % 100;
+            doc.dispatch(HoleName(0), &iv::record([("set", iv::int(value))]))
+                .expect("drag");
+            let start = Instant::now();
+            black_box(engine.run(&registry, &doc).expect("fast path"));
+            warm.record(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        }
+        assert!(
+            engine.incremental_hits >= samples_per_size as usize,
+            "model edits must stay on the fast path"
+        );
+
+        // Patch payload of the last drag's stored reconcile output vs.
+        // the full tree it updates — the wire cost a patch-applying
+        // client pays, in the same encoding `hazel serve` ships.
+        let delta = engine
+            .view_delta(HoleName(0))
+            .expect("dragged slider has a retained root");
+        let patch_bytes = {
+            let payload = hazel::server::json::Json::Arr(
+                delta
+                    .last_patches
+                    .iter()
+                    .map(hazel::server::wire::patch_json)
+                    .collect(),
+            );
+            let mut s = String::new();
+            payload.write(&mut s);
+            s.len()
+        };
+        let full_bytes = {
+            let output = engine.run(&registry, &doc).expect("pipeline");
+            let view: &Html<_> = &output.views[&HoleName(0)];
+            let mut s = String::new();
+            hazel::server::wire::html_json(view).write(&mut s);
+            s.len()
+        };
+
+        // Node-reuse accounting and render-phase timing: a short traced
+        // pass of further drags on a real clock.
+        let sink = StatsSink::new();
+        let tracer = Tracer::monotonic(sink.clone());
+        let traced_drags = 8u64;
+        {
+            let _guard = hazel::trace::install(&tracer);
+            for _ in 0..traced_drags {
+                value = (value + 1) % 100;
+                doc.dispatch(HoleName(0), &iv::record([("set", iv::int(value))]))
+                    .expect("drag");
+                black_box(engine.run(&registry, &doc).expect("fast path"));
+            }
+        }
+        let stats = sink.snapshot();
+        let reused = stats.counter(Counter::ViewNodesReused);
+        let rebuilt = stats.counter(Counter::ViewNodesRebuilt);
+        let views_mean_ns = stats
+            .spans
+            .get("engine.views")
+            .map(|s| s.total_ns / traced_drags)
+            .unwrap_or(0);
+
+        // The before column: the legacy rebuild-everything render pass —
+        // every view recomputed from scratch, then whole-tree diffed
+        // against the previous render (the PR 5 pipeline).
+        let legacy_views_median_ns = {
+            let output = engine.run(&registry, &doc).expect("pipeline");
+            let mut samples = sample(8, || {
+                let (legacy_views, _) = hazel::editor::compute_views_from_scratch(
+                    &registry,
+                    &doc,
+                    &output.collection,
+                    hazel::editor::engine::ENGINE_FUEL,
+                );
+                let mut patches = 0usize;
+                for (u, view) in &legacy_views {
+                    patches += hazel::mvu::diff(&*output.views[u], view).len();
+                }
+                patches
+            });
+            samples.sort_unstable();
+            samples[samples.len() / 2]
+        };
+
+        // Cold: splice edits change the skeleton, so every sample
+        // re-collects and the fresh lineage misses every memo.
+        let (registry, mut doc) = multi_slider_doc(n);
+        let mut engine = IncrementalEngine::new();
+        engine.run(&registry, &doc).expect("pipeline");
+        let cold = Histogram::new();
+        let mut v = 0i64;
+        for _ in 0..samples_per_size {
+            v = (v + 1) % 9;
+            doc.edit_splice(HoleName(0), SpliceRef(0), UExp::Int(v))
+                .expect("edit");
+            let start = Instant::now();
+            black_box(engine.run(&registry, &doc).expect("pipeline"));
+            cold.record(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        }
+
+        let result = RetainedResult {
+            defs: n,
+            warm: warm.snapshot(),
+            cold: cold.snapshot(),
+            views_mean_ns,
+            legacy_views_median_ns,
+            patch_bytes,
+            full_bytes,
+            reused,
+            rebuilt,
+        };
+        // The acceptance bar: on single-instance edits at 256 defs, at
+        // least 90% of view nodes must survive in place.
+        if n >= 256 {
+            assert!(
+                result.reused_fraction() >= 0.9,
+                "B17: reused-node fraction {:.3} below 0.9 at {n} defs",
+                result.reused_fraction()
+            );
+        }
+        hists.push(HistResult {
+            id: "B17",
+            group: "retained/warm_model_edit",
+            case: format!("{n} defs"),
+            snapshot: result.warm.clone(),
+        });
+        hists.push(HistResult {
+            id: "B17",
+            group: "retained/cold_skeleton_edit",
+            case: format!("{n} defs"),
+            snapshot: result.cold.clone(),
+        });
+        out.push(result);
+    }
+}
+
 /// The serve-metrics overhead experiment: the full B14 script replayed on
 /// a plain server versus one running the complete production metrics
 /// stack (attached [`ServeMetrics`] plus an installed
@@ -1061,9 +1262,11 @@ fn overhead_experiment(iters: u32) -> (u64, u64) {
     (baseline, noop)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn render_report(
     results: &[CaseResult],
     hists: &[HistResult],
+    retained: &[RetainedResult],
     phases: &hazel::trace::Stats,
     baseline_ns: u64,
     noop_ns: u64,
@@ -1101,6 +1304,32 @@ fn render_report(
         out.push_str(",\"latency\":");
         h.snapshot.write_json(&mut out);
         out.push('}');
+    }
+    out.push_str("],\"retained\":[");
+    for (i, r) in retained.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"defs\":{},\"warm_p50_ns\":{},\"warm_p99_ns\":{},\
+             \"cold_p50_ns\":{},\"cold_p99_ns\":{},\"warm_views_mean_ns\":{},\
+             \"legacy_views_median_ns\":{},\
+             \"patch_bytes\":{},\
+             \"full_bytes\":{},\"reused\":{},\"rebuilt\":{},\
+             \"reused_fraction\":{:.4}}}",
+            r.defs,
+            r.warm.p50(),
+            r.warm.p99(),
+            r.cold.p50(),
+            r.cold.p99(),
+            r.views_mean_ns,
+            r.legacy_views_median_ns,
+            r.patch_bytes,
+            r.full_bytes,
+            r.reused,
+            r.rebuilt,
+            r.reused_fraction()
+        ));
     }
     out.push_str("],\"phases\":");
     phases.write_json(&mut out);
@@ -1163,6 +1392,8 @@ fn main() {
     let serve = serve_load(&config, &mut results);
     let mut hists = Vec::new();
     latency_histograms(&config, &mut hists);
+    let mut retained = Vec::new();
+    retained_render(&config, &mut hists, &mut retained);
     for r in &results {
         println!(
             "{:<4} {:<32} {:>8}  median {:>12}  (min {} / max {})",
@@ -1183,6 +1414,18 @@ fn main() {
             hazel::trace::fmt_ns(h.snapshot.p50()),
             hazel::trace::fmt_ns(h.snapshot.p99()),
             hazel::trace::fmt_ns(h.snapshot.max),
+        );
+    }
+    for r in &retained {
+        println!(
+            "B17  retained/patch_payload        {:>4} defs  patch {}B vs full {}B  \
+             views {} (legacy {})  reused {:.1}%",
+            r.defs,
+            r.patch_bytes,
+            r.full_bytes,
+            hazel::trace::fmt_ns(r.views_mean_ns),
+            hazel::trace::fmt_ns(r.legacy_views_median_ns),
+            r.reused_fraction() * 100.0,
         );
     }
 
@@ -1207,6 +1450,7 @@ fn main() {
     let report = render_report(
         &results,
         &hists,
+        &retained,
         &phases,
         baseline_ns,
         noop_ns,

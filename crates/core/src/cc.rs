@@ -27,6 +27,7 @@
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::mem;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 
 use hazel_lang::elab::elab_syn;
@@ -367,16 +368,44 @@ impl SpliceCache {
 /// on term structure — so entries stay valid across
 /// [`Collection::refresh_after_omega_change`]: after a model edit, only
 /// splices whose σ actually changed miss.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct InternedEnvs {
+    /// A process-unique nonce identifying this interning *lineage*. σ ids
+    /// are content-addressed only within one `InternedEnvs` value: two
+    /// different lineages can hand out the same `u32` for different
+    /// contents. Pairing an id with the lineage nonce makes it globally
+    /// comparable, which is what view memo keys need.
+    ///
+    /// [`Collection::refresh_after_omega_change`] moves the state
+    /// (`mem::take`) into a fresh `Arc`, so the nonce *survives* the
+    /// incremental fast path — only a from-scratch collection (which
+    /// builds a fresh default) starts a new lineage and conservatively
+    /// invalidates every memoized view.
+    pub namespace: u64,
     /// The store holding interned σ values, splice terms, and results.
     pub store: TermStore,
-    /// σ interned per (livelit hole, closure index), built on first use.
-    pub envs: BTreeMap<(HoleName, usize), InternedSigma>,
+    /// σ interned per (livelit hole, closure index), built on first use,
+    /// paired with its compact σ id so repeat lookups (the render
+    /// pipeline fingerprints every instance on every run) skip both the
+    /// pair-list clone and the content re-hash.
+    pub envs: BTreeMap<(HoleName, usize), (InternedSigma, u32)>,
     /// Compact ids for distinct σ contents, assigned in first-use order.
     pub sigma_ids: HashMap<InternedSigma, u32>,
     /// The splice-result cache, keyed by (elaborated splice, σ id).
     pub results: SpliceCache,
+}
+
+impl Default for InternedEnvs {
+    fn default() -> InternedEnvs {
+        static NEXT_NAMESPACE: AtomicU64 = AtomicU64::new(1);
+        InternedEnvs {
+            namespace: NEXT_NAMESPACE.fetch_add(1, Ordering::Relaxed),
+            store: TermStore::default(),
+            envs: BTreeMap::new(),
+            sigma_ids: HashMap::new(),
+            results: SpliceCache::default(),
+        }
+    }
 }
 
 impl InternedEnvs {
@@ -439,6 +468,30 @@ impl Collection {
     /// The shared interned-environment state for live splice evaluation.
     pub(crate) fn interned(&self) -> &Arc<Mutex<InternedEnvs>> {
         &self.interned
+    }
+
+    /// A content-addressed fingerprint of the σ at `env_index` for hole
+    /// `u`: the interning-lineage nonce plus the compact σ id. Two equal
+    /// fingerprints guarantee identical σ contents (ids are unique within
+    /// a lineage); across lineages fingerprints never compare equal, which
+    /// is the conservative direction. `None` when no environment was
+    /// collected at that index.
+    ///
+    /// Interns the σ on first use — in the render pipeline the prewarm
+    /// batch has always interned it already, so this is a map lookup.
+    pub fn sigma_fingerprint(&self, u: HoleName, env_index: usize) -> Option<(u64, u32)> {
+        let sigma = self.envs_for(u).get(env_index)?;
+        let mut interned = self.interned.lock().unwrap_or_else(PoisonError::into_inner);
+        let sid = match interned.envs.get(&(u, env_index)) {
+            Some(&(_, sid)) => sid,
+            None => {
+                let pairs = interned.store.intern_sigma(sigma);
+                let sid = interned.sigma_id(&pairs);
+                interned.envs.insert((u, env_index), (pairs, sid));
+                sid
+            }
+        };
+        Some((interned.namespace, sid))
     }
 
     /// Recomputes the collected environments after Ω changed (a livelit

@@ -231,10 +231,10 @@ pub fn eval_splices(
         // and the closedness check reads the store's free-variable cache.
         if !interned.envs.contains_key(&(job.u, job.env_index)) {
             let pairs = interned.store.intern_sigma(sigma);
-            interned.envs.insert((job.u, job.env_index), pairs);
+            let sid = interned.sigma_id(&pairs);
+            interned.envs.insert((job.u, job.env_index), (pairs, sid));
         }
-        let pairs = interned.envs[&(job.u, job.env_index)].clone();
-        let sid = interned.sigma_id(&pairs);
+        let sid = interned.envs[&(job.u, job.env_index)].1;
         let dt = interned.store.intern_iexp(&d);
         let key = (dt, sid);
         if let Some(cached) = interned.results.lookup(&key) {
@@ -250,6 +250,7 @@ pub fn eval_splices(
             continue;
         }
         livelit_trace::count(livelit_trace::Counter::SpliceCacheMisses, 1);
+        let pairs = interned.envs[&(job.u, job.env_index)].0.clone();
         let closed = interned.store.subst_many(dt, &pairs);
         if !interned.store.is_closed(closed) {
             // A variable in the splice has no collected value.

@@ -7,6 +7,8 @@
 //! other parts of the program from evaluating" (Sec. 2.4.1).
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::sync::OnceLock;
 
 use hazel_lang::external::EExp;
 use hazel_lang::ident::HoleName;
@@ -22,6 +24,7 @@ use livelit_mvu::livelit::{Action, CmdError};
 
 use crate::doc::{DocError, Document};
 use crate::registry::LivelitRegistry;
+use crate::views::{view_key, ViewKey, ViewRetainer};
 
 /// Default evaluation fuel for the interactive pipeline.
 pub const ENGINE_FUEL: u64 = 4_000_000;
@@ -51,8 +54,9 @@ pub struct EngineOutput {
     /// Livelit failures marked as non-empty holes during the pre-pass.
     pub errors: Vec<MarkedError>,
     /// The computed view for each livelit instance, under its selected
-    /// closure.
-    pub views: BTreeMap<HoleName, Html<Action>>,
+    /// closure. Shared with the retained arena's snapshot, so an unchanged
+    /// view is an `Arc` clone, not a tree copy.
+    pub views: BTreeMap<HoleName, Arc<Html<Action>>>,
     /// View-computation failures, displayed in place of the GUI (not
     /// semantic errors, Sec. 5.1).
     pub view_errors: BTreeMap<HoleName, CmdError>,
@@ -147,6 +151,24 @@ pub fn run_with_fuel(
     doc: &Document,
     fuel: u64,
 ) -> Result<EngineOutput, EngineError> {
+    // One-shot runs get a throwaway retainer; the incremental engine
+    // threads its persistent one through `run_with_fuel_in` so retained
+    // trees survive across edits.
+    let mut retainer = ViewRetainer::new();
+    run_with_fuel_in(registry, doc, fuel, &mut retainer)
+}
+
+/// [`run_with_fuel`] building views into a caller-owned [`ViewRetainer`].
+///
+/// # Errors
+///
+/// See [`run`].
+pub(crate) fn run_with_fuel_in(
+    registry: &LivelitRegistry,
+    doc: &Document,
+    fuel: u64,
+    retainer: &mut ViewRetainer,
+) -> Result<EngineOutput, EngineError> {
     let _span = livelit_trace::span("engine.run");
     let phi = registry.phi();
     let program = doc.full_program();
@@ -191,40 +213,73 @@ pub fn run_with_fuel(
         views: BTreeMap::new(),
         view_errors: BTreeMap::new(),
     };
-    recompute_views(registry, doc, &mut output, fuel);
+    recompute_views(registry, doc, &mut output, fuel, retainer);
     Ok(output)
+}
+
+/// Whether the `LIVELIT_VIEW_ORACLE` differential oracle is on: every
+/// retained render is shadowed by a legacy from-scratch rebuild and the
+/// two are asserted identical. Off by default (the `view_arena_props`
+/// suite runs the same comparison as a test); set the variable to any
+/// value but `0` to enable it in a debugging session.
+fn view_oracle_enabled() -> bool {
+    static ORACLE: OnceLock<bool> = OnceLock::new();
+    *ORACLE.get_or_init(|| std::env::var("LIVELIT_VIEW_ORACLE").is_ok_and(|v| v != "0"))
 }
 
 /// Recomputes each livelit's view under its selected closure, in place.
 /// Used by both the full pipeline and the incremental fast path (views
 /// depend on models and environments, which both may have changed).
+///
+/// Views are built through `retainer`: an instance whose [`view_key`]
+/// matches its retained one reuses the retained snapshot without
+/// recomputing anything; otherwise the fresh view is reconciled against
+/// the retained tree (patching only changed nodes) or inserted anew.
 pub(crate) fn recompute_views(
     registry: &LivelitRegistry,
     doc: &Document,
     output: &mut EngineOutput,
     fuel: u64,
+    retainer: &mut ViewRetainer,
 ) {
     let _span = livelit_trace::span("engine.views");
     let phi = registry.phi();
     output.views.clear();
     output.view_errors.clear();
-    // Prewarm the splice-result cache in one batch: every splice of every
-    // instance, under its selected closure. The batch evaluates distinct
-    // cache misses in parallel on the scheduler pool; the per-splice
-    // `eval_splice` calls the views make below then hit the cache.
-    let mut jobs: Vec<SpliceJob<'_>> = Vec::new();
+    retainer.begin_refresh();
+    // Memo pass first: an instance whose key matches pays only the key
+    // build (including the σ fingerprint — the change detection), never
+    // splice elaboration or view construction.
+    let mut misses: Vec<(HoleName, ViewKey)> = Vec::new();
     for u in doc.livelit_holes() {
         let Some(instance) = doc.instance(u) else {
             continue;
         };
-        let envs = output.collection.envs_for(u);
+        let key = view_key(instance, &output.collection, fuel);
+        if let Some(snapshot) = retainer.memo_hit(u, &key) {
+            output.views.insert(u, snapshot);
+            continue;
+        }
+        misses.push((u, key));
+    }
+    // Prewarm the splice-result cache in one batch: every splice of every
+    // *missed* instance, under its selected closure. The batch evaluates
+    // distinct cache misses in parallel on the scheduler pool; the
+    // per-splice `eval_splice` calls the views make below then hit the
+    // cache.
+    let mut jobs: Vec<SpliceJob<'_>> = Vec::new();
+    for (u, _) in &misses {
+        let Some(instance) = doc.instance(*u) else {
+            continue;
+        };
+        let envs = output.collection.envs_for(*u);
         if envs.is_empty() {
             continue;
         }
         let env_index = instance.selected_env.min(envs.len() - 1);
         for (_r, info) in instance.store().iter() {
             jobs.push(SpliceJob {
-                u,
+                u: *u,
                 env_index,
                 splice: &info.content,
                 ty: &info.ty,
@@ -234,7 +289,7 @@ pub(crate) fn recompute_views(
     // Errors are cached per splice and resurface identically when the
     // view asks for that splice, so the batch's own slots are not needed.
     let _ = eval_splices(&phi, &output.collection, &jobs);
-    for u in doc.livelit_holes() {
+    for (u, key) in misses {
         let Some(instance) = doc.instance(u) else {
             continue;
         };
@@ -246,11 +301,86 @@ pub(crate) fn recompute_views(
             .unwrap_or_else(|| doc.prelude_ctx());
         match instance.view_live(&phi, &gamma, &output.collection, fuel) {
             Ok(view) => {
-                output.views.insert(u, view);
+                output.views.insert(u, retainer.install(u, key, view));
             }
             Err(e) => {
+                retainer.remove(u);
                 output.view_errors.insert(u, e);
             }
         }
     }
+    // Instances that vanished from the document release their trees.
+    let live = &output.views;
+    retainer.retain_holes(|u| live.contains_key(&u));
+    if livelit_trace::enabled() {
+        let (reused, rebuilt) = retainer.refresh_stats();
+        if reused > 0 {
+            livelit_trace::count(livelit_trace::Counter::ViewNodesReused, reused);
+        }
+        if rebuilt > 0 {
+            livelit_trace::count(livelit_trace::Counter::ViewNodesRebuilt, rebuilt);
+        }
+        let arena_live = retainer.arena_live() as u64;
+        if arena_live > 0 {
+            livelit_trace::count(livelit_trace::Counter::ViewArenaLive, arena_live);
+        }
+    }
+    if view_oracle_enabled() {
+        let (legacy_views, legacy_errors) =
+            compute_views_from_scratch(registry, doc, &output.collection, fuel);
+        assert_eq!(
+            legacy_views.len(),
+            output.views.len(),
+            "view oracle: retained and legacy view sets diverge"
+        );
+        for (u, view) in &output.views {
+            assert_eq!(
+                legacy_views.get(u),
+                Some(&**view),
+                "view oracle: retained view for {u} diverges from legacy rebuild"
+            );
+        }
+        assert_eq!(
+            legacy_errors, output.view_errors,
+            "view oracle: view errors diverge"
+        );
+    }
+}
+
+/// The legacy rebuild-everything view pass: computes every instance's view
+/// from scratch with no retained state. This is the differential oracle
+/// the retained pipeline is validated against — by the
+/// `view_arena_props` suite on random edit scripts, and inline on every
+/// render when `LIVELIT_VIEW_ORACLE` is set.
+pub fn compute_views_from_scratch(
+    registry: &LivelitRegistry,
+    doc: &Document,
+    collection: &Collection,
+    fuel: u64,
+) -> (
+    BTreeMap<HoleName, Html<Action>>,
+    BTreeMap<HoleName, CmdError>,
+) {
+    let phi = registry.phi();
+    let mut views = BTreeMap::new();
+    let mut view_errors = BTreeMap::new();
+    for u in doc.livelit_holes() {
+        let Some(instance) = doc.instance(u) else {
+            continue;
+        };
+        let gamma = collection
+            .delta
+            .get(u)
+            .map(|hyp| hyp.ctx.clone())
+            .unwrap_or_else(|| doc.prelude_ctx());
+        match instance.view_live(&phi, &gamma, collection, fuel) {
+            Ok(view) => {
+                views.insert(u, view);
+            }
+            Err(e) => {
+                view_errors.insert(u, e);
+            }
+        }
+    }
+    (views, view_errors)
 }

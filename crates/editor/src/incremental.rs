@@ -24,9 +24,12 @@ use hazel_lang::unexpanded::LivelitAp;
 use livelit_core::cc::{cc_expand, CollectError, Omega};
 use livelit_core::expansion::expand_invocation;
 
+use hazel_lang::ident::HoleName;
+
 use crate::doc::Document;
-use crate::engine::{run_with_fuel, EngineError, EngineOutput, ENGINE_FUEL};
+use crate::engine::{run_with_fuel_in, EngineError, EngineOutput, ENGINE_FUEL};
 use crate::registry::LivelitRegistry;
+use crate::views::{ViewDelta, ViewRetainer};
 
 /// Bound on the engine-owned skeleton store; past this many interned nodes
 /// the store (and with it the cache) is reset, so an unboundedly long edit
@@ -41,6 +44,10 @@ pub struct IncrementalEngine {
     /// program versions share all unchanged subtrees.
     store: TermStore,
     cached: Option<Cached>,
+    /// Retained view trees, kept across both the fast and full paths so
+    /// unchanged instances reuse their memoized views and changed ones
+    /// reconcile in place.
+    retainer: ViewRetainer,
     /// Statistics: how many runs took the incremental path.
     pub incremental_hits: usize,
     /// Statistics: how many runs re-collected from scratch.
@@ -64,6 +71,7 @@ impl IncrementalEngine {
             fuel,
             store: TermStore::new(),
             cached: None,
+            retainer: ViewRetainer::new(),
             incremental_hits: 0,
             full_runs: 0,
         }
@@ -83,6 +91,7 @@ impl IncrementalEngine {
         if self.store.len() > SKELETON_STORE_CAP {
             self.store = TermStore::new();
             self.cached = None;
+            self.retainer.clear();
         }
         let current_skeleton = self.store.intern_uexp_skeleton(&program);
         self.store.report_trace_counters();
@@ -115,8 +124,7 @@ impl IncrementalEngine {
                         )
                         .map_err(CollectError::Expand)?
                     };
-                    let cached = self.cached.as_mut().expect("checked above");
-                    let mut output = cached.output.clone();
+                    let mut output = self.cached.as_ref().expect("checked above").output.clone();
                     output.expansion = expansion;
                     output.ty = ty;
                     output.collection.omega = omega;
@@ -132,9 +140,16 @@ impl IncrementalEngine {
                         Ok(result) => {
                             output.result = result;
                             // Views depend on models and environments;
-                            // recompute them.
-                            crate::engine::recompute_views(registry, doc, &mut output, self.fuel);
-                            cached.output = output;
+                            // recompute them (through the retained arena,
+                            // so unchanged instances are memo hits).
+                            crate::engine::recompute_views(
+                                registry,
+                                doc,
+                                &mut output,
+                                self.fuel,
+                                &mut self.retainer,
+                            );
+                            self.cached.as_mut().expect("checked above").output = output;
                             self.incremental_hits += 1;
                             livelit_trace::count(livelit_trace::Counter::IncrementalFastPaths, 1);
                             return Ok(&self.cached.as_ref().expect("set above").output);
@@ -150,8 +165,11 @@ impl IncrementalEngine {
             }
         }
 
-        // Full path.
-        let output = run_with_fuel(registry, doc, self.fuel)?;
+        // Full path. The retainer is threaded through so retained views
+        // survive full recollection too: an instance whose memo key still
+        // matches (e.g. one with no collected σ) stays a memo hit, and
+        // changed ones reconcile against their retained trees.
+        let output = run_with_fuel_in(registry, doc, self.fuel, &mut self.retainer)?;
         self.full_runs += 1;
         livelit_trace::count(livelit_trace::Counter::IncrementalFullRuns, 1);
         self.cached = Some(Cached {
@@ -161,9 +179,24 @@ impl IncrementalEngine {
         Ok(&self.cached.as_ref().expect("just set").output)
     }
 
-    /// Drops the cache (e.g. when the registry changes).
+    /// Drops the cache (e.g. when the registry changes). Also drops every
+    /// retained view tree — registry changes can alter view *functions*,
+    /// which memo keys do not capture.
     pub fn invalidate(&mut self) {
         self.cached = None;
+        self.retainer.clear();
+    }
+
+    /// The retained generation/patch state for hole `u`'s view, if any —
+    /// what the server needs to derive a render reply from the acked
+    /// generation.
+    pub fn view_delta(&self, u: HoleName) -> Option<ViewDelta> {
+        self.retainer.delta(u)
+    }
+
+    /// Live nodes in this engine's retained view arena.
+    pub fn view_arena_live(&self) -> usize {
+        self.retainer.arena_live()
     }
 }
 

@@ -30,11 +30,14 @@ pub mod module;
 pub mod registry;
 pub mod render;
 pub mod text;
+pub mod views;
 
 pub use actions::{apply_action, replay, EditAction, EditScript, Recorder, ReplayError};
 pub use analysis::{analyze_document, IncrementalAnalyzer};
 pub use doc::{DocError, Document, PreludeBinding};
-pub use engine::{run, run_with_fuel, EngineError, EngineOutput, MarkedError};
+pub use engine::{
+    compute_views_from_scratch, run, run_with_fuel, EngineError, EngineOutput, MarkedError,
+};
 pub use incremental::IncrementalEngine;
 pub use inspect::{describe_diagnostics, describe_livelit, describe_splice, describe_timings};
 pub use module::{open_module, ModuleError, ObjectLivelit};
@@ -44,3 +47,4 @@ pub use render::{
     InstanceResolver, OpaqueResolver, SpliceResolver,
 };
 pub use text::{load_buffer, save_buffer, BufferError};
+pub use views::{view_key, ViewDelta, ViewKey, ViewRetainer};

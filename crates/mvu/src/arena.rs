@@ -1,0 +1,385 @@
+//! A generational slab arena for retained view trees.
+//!
+//! The render pipeline used to rebuild every `Html<A>` tree from scratch
+//! on each edit and diff the two full trees. The arena is the retained
+//! half of the replacement: view nodes live in a slab with stable ids, a
+//! reconciler ([`crate::reconcile`]) mutates them in place against the
+//! freshly computed tree, and unchanged nodes are never reallocated.
+//!
+//! Ids are *generational* (the `tree_arena` discipline from masonry): a
+//! [`ViewId`] carries both a slot index and the generation the slot had
+//! when the node was inserted. Freeing a node bumps the slot's generation,
+//! so a stale handle held across a free can never alias the slot's next
+//! occupant — lookups with an outdated generation return `None` instead of
+//! silently reading an unrelated node. Freed slots go on a freelist and
+//! are reused before the slab grows.
+
+use crate::html::{Dim, EventKind, Html};
+use crate::splice::SpliceRef;
+
+/// A stable, generation-checked handle to a node in a [`ViewArena`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ViewId {
+    index: u32,
+    generation: u32,
+}
+
+impl ViewId {
+    /// The slot index (diagnostics only; lookups go through the arena).
+    pub fn index(self) -> u32 {
+        self.index
+    }
+
+    /// The generation this handle was minted at.
+    pub fn generation(self) -> u32 {
+        self.generation
+    }
+}
+
+/// The payload of one retained node: the [`Html`] variant with child
+/// *ids* instead of owned child trees.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeKind<A> {
+    /// An element: tag, attributes, handlers, and child node ids.
+    Element {
+        /// The tag name.
+        tag: String,
+        /// Attribute key/value pairs, in emission order.
+        attrs: Vec<(String, String)>,
+        /// Event handlers.
+        handlers: Vec<(EventKind, A)>,
+        /// Child node ids, in document order.
+        children: Vec<ViewId>,
+    },
+    /// A text leaf.
+    Text(String),
+    /// An embedded splice editor.
+    Editor {
+        /// The splice shown in the editor.
+        splice: SpliceRef,
+        /// Requested dimensions.
+        dim: Dim,
+    },
+    /// A splice result view.
+    ResultView {
+        /// The splice whose live result is shown.
+        splice: SpliceRef,
+        /// Requested dimensions.
+        dim: Dim,
+    },
+}
+
+/// One retained node: its parent link and payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Node<A> {
+    /// The parent node, `None` for a retained root.
+    pub parent: Option<ViewId>,
+    /// The payload.
+    pub kind: NodeKind<A>,
+}
+
+#[derive(Debug)]
+struct Slot<A> {
+    generation: u32,
+    node: Option<Node<A>>,
+}
+
+/// A generational slab of retained view nodes.
+#[derive(Debug)]
+pub struct ViewArena<A> {
+    slots: Vec<Slot<A>>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl<A> Default for ViewArena<A> {
+    fn default() -> ViewArena<A> {
+        ViewArena::new()
+    }
+}
+
+impl<A> ViewArena<A> {
+    /// An empty arena.
+    pub fn new() -> ViewArena<A> {
+        ViewArena {
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// The number of live nodes.
+    pub fn live_count(&self) -> usize {
+        self.live
+    }
+
+    /// The number of slots ever allocated (live + freelist).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Inserts a node, reusing a freed slot when one is available.
+    pub fn insert(&mut self, parent: Option<ViewId>, kind: NodeKind<A>) -> ViewId {
+        self.live += 1;
+        let node = Some(Node { parent, kind });
+        if let Some(index) = self.free.pop() {
+            let slot = &mut self.slots[index as usize];
+            debug_assert!(slot.node.is_none(), "freelist slot still occupied");
+            slot.node = node;
+            return ViewId {
+                index,
+                generation: slot.generation,
+            };
+        }
+        let index = u32::try_from(self.slots.len()).expect("view arena slot overflow");
+        self.slots.push(Slot {
+            generation: 0,
+            node,
+        });
+        ViewId {
+            index,
+            generation: 0,
+        }
+    }
+
+    /// The node behind `id`, or `None` when the handle is stale (its slot
+    /// was freed — and possibly reused — since the handle was minted).
+    pub fn get(&self, id: ViewId) -> Option<&Node<A>> {
+        let slot = self.slots.get(id.index as usize)?;
+        if slot.generation != id.generation {
+            return None;
+        }
+        slot.node.as_ref()
+    }
+
+    /// Mutable access to the node behind `id`, with the same staleness
+    /// check as [`ViewArena::get`].
+    pub fn get_mut(&mut self, id: ViewId) -> Option<&mut Node<A>> {
+        let slot = self.slots.get_mut(id.index as usize)?;
+        if slot.generation != id.generation {
+            return None;
+        }
+        slot.node.as_mut()
+    }
+
+    /// Frees `id` and its entire subtree, bumping each freed slot's
+    /// generation so outstanding handles to the subtree go stale. A stale
+    /// or already-freed handle is ignored.
+    pub fn free_tree(&mut self, id: ViewId) {
+        let mut stack = vec![id];
+        while let Some(id) = stack.pop() {
+            let Some(slot) = self.slots.get_mut(id.index as usize) else {
+                continue;
+            };
+            if slot.generation != id.generation {
+                continue;
+            }
+            let Some(node) = slot.node.take() else {
+                continue;
+            };
+            slot.generation = slot.generation.wrapping_add(1);
+            self.live -= 1;
+            self.free.push(id.index);
+            if let NodeKind::Element { children, .. } = node.kind {
+                stack.extend(children);
+            }
+        }
+    }
+
+    /// Drops every node and forgets the freelist, keeping allocations.
+    pub fn clear(&mut self) {
+        for slot in &mut self.slots {
+            if slot.node.take().is_some() {
+                slot.generation = slot.generation.wrapping_add(1);
+            }
+        }
+        self.free.clear();
+        self.free.extend((0..self.slots.len() as u32).rev());
+        self.live = 0;
+    }
+}
+
+impl<A: Clone> ViewArena<A> {
+    /// Inserts a whole [`Html`] tree, returning the id of its root. Every
+    /// node of the tree becomes one arena node; the return value of
+    /// [`ViewArena::to_html`] on the result is the input tree.
+    pub fn insert_tree(&mut self, tree: &Html<A>, parent: Option<ViewId>) -> ViewId {
+        match tree {
+            Html::Element {
+                tag,
+                attrs,
+                handlers,
+                children,
+            } => {
+                let id = self.insert(
+                    parent,
+                    NodeKind::Element {
+                        tag: tag.clone(),
+                        attrs: attrs.clone(),
+                        handlers: handlers.clone(),
+                        children: Vec::with_capacity(children.len()),
+                    },
+                );
+                let child_ids: Vec<ViewId> = children
+                    .iter()
+                    .map(|child| self.insert_tree(child, Some(id)))
+                    .collect();
+                match &mut self.get_mut(id).expect("just inserted").kind {
+                    NodeKind::Element { children, .. } => *children = child_ids,
+                    _ => unreachable!("inserted as an element"),
+                }
+                id
+            }
+            Html::Text(s) => self.insert(parent, NodeKind::Text(s.clone())),
+            Html::Editor { splice, dim } => self.insert(
+                parent,
+                NodeKind::Editor {
+                    splice: *splice,
+                    dim: *dim,
+                },
+            ),
+            Html::ResultView { splice, dim } => self.insert(
+                parent,
+                NodeKind::ResultView {
+                    splice: *splice,
+                    dim: *dim,
+                },
+            ),
+        }
+    }
+
+    /// Materializes the subtree rooted at `id` back into an owned
+    /// [`Html`] tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a stale handle — retained roots are owned by the caller
+    /// and must be freed through [`ViewArena::free_tree`], never left
+    /// dangling.
+    pub fn to_html(&self, id: ViewId) -> Html<A> {
+        let node = self.get(id).expect("live arena handle");
+        match &node.kind {
+            NodeKind::Element {
+                tag,
+                attrs,
+                handlers,
+                children,
+            } => Html::Element {
+                tag: tag.clone(),
+                attrs: attrs.clone(),
+                handlers: handlers.clone(),
+                children: children.iter().map(|&c| self.to_html(c)).collect(),
+            },
+            NodeKind::Text(s) => Html::Text(s.clone()),
+            NodeKind::Editor { splice, dim } => Html::Editor {
+                splice: *splice,
+                dim: *dim,
+            },
+            NodeKind::ResultView { splice, dim } => Html::ResultView {
+                splice: *splice,
+                dim: *dim,
+            },
+        }
+    }
+
+    /// The number of nodes in the subtree rooted at `id` (0 for a stale
+    /// handle).
+    pub fn subtree_size(&self, id: ViewId) -> usize {
+        let Some(node) = self.get(id) else {
+            return 0;
+        };
+        match &node.kind {
+            NodeKind::Element { children, .. } => {
+                1 + children
+                    .iter()
+                    .map(|&c| self.subtree_size(c))
+                    .sum::<usize>()
+            }
+            _ => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::html::tags::*;
+
+    fn sample() -> Html<u32> {
+        div(vec![
+            Html::text("a"),
+            span(vec![Html::text("b")]).attr("k", "v"),
+            Html::Editor {
+                splice: SpliceRef(3),
+                dim: Dim::fixed_width(20),
+            },
+        ])
+    }
+
+    #[test]
+    fn insert_tree_round_trips() {
+        let mut arena: ViewArena<u32> = ViewArena::new();
+        let tree = sample();
+        let root = arena.insert_tree(&tree, None);
+        assert_eq!(arena.to_html(root), tree);
+        assert_eq!(arena.live_count(), tree.size());
+        assert_eq!(arena.subtree_size(root), tree.size());
+    }
+
+    #[test]
+    fn stale_handle_after_free_is_none() {
+        let mut arena: ViewArena<u32> = ViewArena::new();
+        let root = arena.insert_tree(&sample(), None);
+        let child = match &arena.get(root).unwrap().kind {
+            NodeKind::Element { children, .. } => children[1],
+            _ => unreachable!(),
+        };
+        arena.free_tree(root);
+        assert_eq!(arena.live_count(), 0);
+        assert!(arena.get(root).is_none(), "freed root must read as stale");
+        assert!(
+            arena.get(child).is_none(),
+            "freed subtree must read as stale"
+        );
+    }
+
+    #[test]
+    fn freelist_reuse_never_aliases_old_handles() {
+        let mut arena: ViewArena<u32> = ViewArena::new();
+        let old_root = arena.insert_tree(&sample(), None);
+        let slots_before = arena.capacity();
+        arena.free_tree(old_root);
+        let new_root = arena.insert_tree(&sample(), None);
+        // Slots were reused, not grown.
+        assert_eq!(arena.capacity(), slots_before);
+        // The old handle indexes a reused slot but a newer generation.
+        assert!(arena.get(old_root).is_none());
+        assert!(arena.get(new_root).is_some());
+        assert_ne!(old_root, new_root);
+    }
+
+    #[test]
+    fn parent_links_are_recorded() {
+        let mut arena: ViewArena<u32> = ViewArena::new();
+        let root = arena.insert_tree(&sample(), None);
+        assert_eq!(arena.get(root).unwrap().parent, None);
+        let NodeKind::Element { children, .. } = &arena.get(root).unwrap().kind else {
+            unreachable!()
+        };
+        for &child in children {
+            assert_eq!(arena.get(child).unwrap().parent, Some(root));
+        }
+    }
+
+    #[test]
+    fn clear_frees_everything_and_reuses_slots() {
+        let mut arena: ViewArena<u32> = ViewArena::new();
+        let root = arena.insert_tree(&sample(), None);
+        arena.clear();
+        assert_eq!(arena.live_count(), 0);
+        assert!(arena.get(root).is_none());
+        let cap = arena.capacity();
+        let _ = arena.insert_tree(&sample(), None);
+        assert_eq!(arena.capacity(), cap, "cleared slots must be reused");
+    }
+}

@@ -46,9 +46,18 @@ impl<A> Patch<A> {
 
 /// Computes a patch script transforming `old` into `new`.
 pub fn diff<A: Clone + PartialEq>(old: &Html<A>, new: &Html<A>) -> Vec<Patch<A>> {
-    let _span = livelit_trace::span("mvu.diff");
     let mut patches = Vec::new();
-    diff_at(old, new, &mut Vec::new(), &mut patches);
+    diff_into(old, new, &mut patches);
+    patches
+}
+
+/// Like [`diff`], but appends onto a caller-owned buffer so render loops
+/// can reuse one allocation across instances instead of growing a fresh
+/// `Vec` per diff.
+pub fn diff_into<A: Clone + PartialEq>(old: &Html<A>, new: &Html<A>, out: &mut Vec<Patch<A>>) {
+    let _span = livelit_trace::span("mvu.diff");
+    let before = out.len();
+    diff_at(old, new, &mut Vec::new(), out);
     if livelit_trace::enabled() {
         livelit_trace::count(
             livelit_trace::Counter::ViewDiffNodes,
@@ -56,10 +65,9 @@ pub fn diff<A: Clone + PartialEq>(old: &Html<A>, new: &Html<A>) -> Vec<Patch<A>>
         );
         livelit_trace::count(
             livelit_trace::Counter::ViewDiffPatches,
-            patches.len() as u64,
+            (out.len() - before) as u64,
         );
     }
-    patches
 }
 
 fn diff_at<A: Clone + PartialEq>(

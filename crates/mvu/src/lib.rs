@@ -20,17 +20,21 @@
 #![warn(missing_docs)]
 
 pub mod abbrev;
+pub mod arena;
 pub mod diff;
 pub mod host;
 pub mod html;
 pub mod livelit;
+pub mod reconcile;
 pub mod splice;
 
 pub use abbrev::AbbrevCtx;
-pub use diff::{apply, diff, try_apply, Patch, PatchError};
+pub use arena::{NodeKind, ViewArena, ViewId};
+pub use diff::{apply, diff, diff_into, try_apply, Patch, PatchError};
 pub use host::{def_for, Instance};
 pub use html::{Dim, EventKind, Html};
 pub use livelit::{
     Action, CmdError, ContextBinding, Livelit, LivelitLayout, Model, UpdateCtx, ViewCtx,
 };
+pub use reconcile::{reconcile, ReconcileStats};
 pub use splice::{SpliceRef, SpliceStore};

@@ -1,0 +1,416 @@
+//! Incremental reconciliation of a retained arena tree against a freshly
+//! computed [`Html`] tree.
+//!
+//! [`reconcile`] is the retained-mode replacement for
+//! [`crate::diff::diff`]: instead of diffing two owned trees it walks the
+//! retained nodes in a [`ViewArena`] against the new tree, mutating the
+//! arena in place and emitting the *same patch script* `diff(old, new)`
+//! would have produced — bit-identical, in the same order. That contract
+//! is what lets the server ship reconciler output to clients that validate
+//! against [`crate::diff::try_apply`], and it is enforced by unit tests
+//! here and by the `view_arena_props` differential suite.
+//!
+//! Unchanged nodes are visited but never reallocated; replaced subtrees
+//! are freed back to the arena's freelist and their replacements inserted
+//! under the same root id, so retained root handles stay stable across any
+//! number of edits.
+
+use crate::arena::{NodeKind, ViewArena, ViewId};
+use crate::diff::{Patch, Path};
+use crate::html::Html;
+
+/// What one [`reconcile`] pass did, in nodes of the *new* tree: every new
+/// node is either `reused` (its retained slot survived, possibly patched
+/// in place) or `rebuilt` (it was shipped inside a `Replace`/`AppendChild`
+/// payload and freshly inserted). `reused + rebuilt == new.size()`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReconcileStats {
+    /// Nodes whose retained slot was kept (identical or patched in place).
+    pub reused: u64,
+    /// Nodes freshly inserted into the arena (replaced or appended).
+    pub rebuilt: u64,
+}
+
+/// Reconciles the retained subtree at `root` against `new`, pushing the
+/// patch script onto `out` (a caller-owned scratch buffer, reused across
+/// instances) and mutating the arena so that afterwards
+/// `arena.to_html(root) == *new`. The root id itself is never freed —
+/// wholesale replacement refurbishes the root slot in place.
+pub fn reconcile<A: Clone + PartialEq>(
+    arena: &mut ViewArena<A>,
+    root: ViewId,
+    new: &Html<A>,
+    out: &mut Vec<Patch<A>>,
+) -> ReconcileStats {
+    let mut stats = ReconcileStats::default();
+    let mut path = Vec::new();
+    reconcile_at(arena, root, new, &mut path, out, &mut stats);
+    stats
+}
+
+/// The decision the probe phase makes for one node, so the arena borrow is
+/// released before any mutation.
+enum Step {
+    /// Same-kind text node; `Some` carries the new text to set.
+    Text(Option<String>),
+    /// Same-kind editor/result leaf; `true` means splice/dim changed
+    /// (diff emits `Replace`, we refurbish the slot in place).
+    Leaf(bool),
+    /// Same-tag element: which in-place patches to emit, plus the retained
+    /// child ids to recurse into.
+    Element {
+        set_attrs: bool,
+        set_handlers: bool,
+        old_children: Vec<ViewId>,
+    },
+    /// Kind or tag mismatch: wholesale replacement.
+    Replace,
+}
+
+fn reconcile_at<A: Clone + PartialEq>(
+    arena: &mut ViewArena<A>,
+    id: ViewId,
+    new: &Html<A>,
+    path: &mut Path,
+    out: &mut Vec<Patch<A>>,
+    stats: &mut ReconcileStats,
+) {
+    let step = {
+        let node = arena.get(id).expect("live retained node");
+        match (&node.kind, new) {
+            (NodeKind::Text(a), Html::Text(b)) => Step::Text((a != b).then(|| b.clone())),
+            (
+                NodeKind::Editor {
+                    splice: s1,
+                    dim: d1,
+                },
+                Html::Editor {
+                    splice: s2,
+                    dim: d2,
+                },
+            )
+            | (
+                NodeKind::ResultView {
+                    splice: s1,
+                    dim: d1,
+                },
+                Html::ResultView {
+                    splice: s2,
+                    dim: d2,
+                },
+            ) => Step::Leaf(s1 != s2 || d1 != d2),
+            (
+                NodeKind::Element {
+                    tag: t1,
+                    attrs: a1,
+                    handlers: h1,
+                    children: c1,
+                },
+                Html::Element {
+                    tag: t2,
+                    attrs: a2,
+                    handlers: h2,
+                    ..
+                },
+            ) => {
+                if t1 != t2 {
+                    Step::Replace
+                } else {
+                    Step::Element {
+                        set_attrs: a1 != a2,
+                        set_handlers: h1 != h2,
+                        old_children: c1.clone(),
+                    }
+                }
+            }
+            _ => Step::Replace,
+        }
+    };
+    match step {
+        Step::Text(changed) => {
+            stats.reused += 1;
+            if let Some(text) = changed {
+                out.push(Patch::SetText(path.clone(), text.clone()));
+                match &mut arena.get_mut(id).expect("live retained node").kind {
+                    NodeKind::Text(t) => *t = text,
+                    _ => unreachable!("probed as text"),
+                }
+            }
+        }
+        Step::Leaf(changed) => {
+            if changed {
+                out.push(Patch::Replace(path.clone(), new.clone()));
+                replace_in_place(arena, id, new, stats);
+            } else {
+                stats.reused += 1;
+            }
+        }
+        Step::Element {
+            set_attrs,
+            set_handlers,
+            old_children,
+        } => {
+            stats.reused += 1;
+            let Html::Element {
+                attrs: a2,
+                handlers: h2,
+                children: c2,
+                ..
+            } = new
+            else {
+                unreachable!("probed as a same-tag element");
+            };
+            if set_attrs {
+                out.push(Patch::SetAttrs(path.clone(), a2.clone()));
+                match &mut arena.get_mut(id).expect("live retained node").kind {
+                    NodeKind::Element { attrs, .. } => *attrs = a2.clone(),
+                    _ => unreachable!("probed as an element"),
+                }
+            }
+            if set_handlers {
+                out.push(Patch::SetHandlers(path.clone(), h2.clone()));
+                match &mut arena.get_mut(id).expect("live retained node").kind {
+                    NodeKind::Element { handlers, .. } => *handlers = h2.clone(),
+                    _ => unreachable!("probed as an element"),
+                }
+            }
+            let common = old_children.len().min(c2.len());
+            for i in 0..common {
+                path.push(i);
+                reconcile_at(arena, old_children[i], &c2[i], path, out, stats);
+                path.pop();
+            }
+            if c2.len() < old_children.len() {
+                out.push(Patch::TruncateChildren(path.clone(), c2.len()));
+                for &child in &old_children[c2.len()..] {
+                    arena.free_tree(child);
+                }
+                match &mut arena.get_mut(id).expect("live retained node").kind {
+                    NodeKind::Element { children, .. } => children.truncate(c2.len()),
+                    _ => unreachable!("probed as an element"),
+                }
+            }
+            for child in &c2[common..] {
+                out.push(Patch::AppendChild(path.clone(), child.clone()));
+                let child_id = arena.insert_tree(child, Some(id));
+                stats.rebuilt += child.size() as u64;
+                match &mut arena.get_mut(id).expect("live retained node").kind {
+                    NodeKind::Element { children, .. } => children.push(child_id),
+                    _ => unreachable!("probed as an element"),
+                }
+            }
+        }
+        Step::Replace => {
+            out.push(Patch::Replace(path.clone(), new.clone()));
+            replace_in_place(arena, id, new, stats);
+        }
+    }
+}
+
+/// Rewrites the node at `id` to mirror `new`, freeing its old child
+/// subtrees and inserting the new ones — the retained analogue of a
+/// `Replace` patch. The slot (and therefore the id) survives, so retained
+/// roots stay valid across wholesale replacement.
+fn replace_in_place<A: Clone + PartialEq>(
+    arena: &mut ViewArena<A>,
+    id: ViewId,
+    new: &Html<A>,
+    stats: &mut ReconcileStats,
+) {
+    let old_children: Vec<ViewId> = match &arena.get(id).expect("live retained node").kind {
+        NodeKind::Element { children, .. } => children.clone(),
+        _ => Vec::new(),
+    };
+    for child in old_children {
+        arena.free_tree(child);
+    }
+    let kind = match new {
+        Html::Element {
+            tag,
+            attrs,
+            handlers,
+            ..
+        } => NodeKind::Element {
+            tag: tag.clone(),
+            attrs: attrs.clone(),
+            handlers: handlers.clone(),
+            children: Vec::new(),
+        },
+        Html::Text(s) => NodeKind::Text(s.clone()),
+        Html::Editor { splice, dim } => NodeKind::Editor {
+            splice: *splice,
+            dim: *dim,
+        },
+        Html::ResultView { splice, dim } => NodeKind::ResultView {
+            splice: *splice,
+            dim: *dim,
+        },
+    };
+    arena.get_mut(id).expect("live retained node").kind = kind;
+    if let Html::Element { children, .. } = new {
+        let child_ids: Vec<ViewId> = children
+            .iter()
+            .map(|child| arena.insert_tree(child, Some(id)))
+            .collect();
+        match &mut arena.get_mut(id).expect("live retained node").kind {
+            NodeKind::Element { children, .. } => *children = child_ids,
+            _ => unreachable!("just written as an element"),
+        }
+    }
+    stats.rebuilt += new.size() as u64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diff::{diff, try_apply};
+    use crate::html::tags::*;
+    use crate::html::{Dim, Html};
+    use crate::splice::SpliceRef;
+
+    /// The differential contract on one (old, new) pair: reconciling the
+    /// retained form of `old` against `new` leaves the arena holding `new`
+    /// and emits exactly `diff(old, new)`.
+    fn check(old: &Html<u32>, new: &Html<u32>) -> ReconcileStats {
+        let mut arena: ViewArena<u32> = ViewArena::new();
+        let root = arena.insert_tree(old, None);
+        let mut patches = Vec::new();
+        let stats = reconcile(&mut arena, root, new, &mut patches);
+        assert_eq!(patches, diff(old, new), "patch script must match diff");
+        assert_eq!(arena.to_html(root), *new, "arena must hold the new tree");
+        assert_eq!(try_apply(old, &patches), Ok(new.clone()));
+        assert_eq!(
+            stats.reused + stats.rebuilt,
+            new.size() as u64,
+            "every new node is reused or rebuilt"
+        );
+        assert_eq!(
+            arena.live_count(),
+            new.size(),
+            "no leaked or missing arena nodes"
+        );
+        stats
+    }
+
+    #[test]
+    fn identical_trees_reuse_everything() {
+        let t: Html<u32> = div(vec![
+            Html::text("x"),
+            span(vec![Html::text("y")]).attr("k", "v"),
+        ]);
+        let stats = check(&t, &t.clone());
+        assert_eq!(stats.rebuilt, 0);
+        assert_eq!(stats.reused, t.size() as u64);
+    }
+
+    #[test]
+    fn text_edit_patches_in_place() {
+        let old: Html<u32> = div(vec![Html::text("57")]);
+        let new: Html<u32> = div(vec![Html::text("58")]);
+        let stats = check(&old, &new);
+        assert_eq!(stats.rebuilt, 0);
+    }
+
+    #[test]
+    fn attr_and_handler_edits_patch_in_place() {
+        let old: Html<u32> = div(vec![button(vec![]).attr("class", "a").on_click(1)]);
+        let new: Html<u32> = div(vec![button(vec![]).attr("class", "b").on_click(2)]);
+        let stats = check(&old, &new);
+        assert_eq!(stats.rebuilt, 0);
+    }
+
+    #[test]
+    fn child_growth_rebuilds_only_the_appended_subtree() {
+        let old: Html<u32> = div(vec![Html::text("a")]);
+        let new: Html<u32> = div(vec![Html::text("a"), span(vec![Html::text("b")])]);
+        let stats = check(&old, &new);
+        assert_eq!(stats.rebuilt, 2, "the appended span subtree only");
+    }
+
+    #[test]
+    fn child_shrink_truncates_and_frees() {
+        let old: Html<u32> = div(vec![Html::text("a"), span(vec![Html::text("b")])]);
+        let new: Html<u32> = div(vec![Html::text("a")]);
+        let stats = check(&old, &new);
+        assert_eq!(stats.rebuilt, 0);
+    }
+
+    #[test]
+    fn tag_change_rebuilds_the_subtree_at_a_stable_root() {
+        let old: Html<u32> = div(vec![span(vec![Html::text("deep")])]);
+        let new: Html<u32> = div(vec![button(vec![Html::text("deep")])]);
+        let stats = check(&old, &new);
+        assert_eq!(stats.rebuilt, 2, "the replaced button subtree");
+    }
+
+    #[test]
+    fn kind_change_at_the_root_keeps_the_root_id() {
+        let old: Html<u32> = Html::text("x");
+        let new: Html<u32> = div(vec![Html::text("y")]);
+        let mut arena: ViewArena<u32> = ViewArena::new();
+        let root = arena.insert_tree(&old, None);
+        let mut patches = Vec::new();
+        reconcile(&mut arena, root, &new, &mut patches);
+        assert_eq!(patches, diff(&old, &new));
+        assert_eq!(arena.to_html(root), new, "same root id after replacement");
+    }
+
+    #[test]
+    fn editor_leaf_change_is_a_replace() {
+        let old: Html<u32> = Html::Editor {
+            splice: SpliceRef(0),
+            dim: Dim::fixed_width(20),
+        };
+        let new: Html<u32> = Html::Editor {
+            splice: SpliceRef(1),
+            dim: Dim::fixed_width(20),
+        };
+        let stats = check(&old, &new);
+        assert_eq!(stats.rebuilt, 1);
+    }
+
+    #[test]
+    fn editor_to_result_is_a_kind_mismatch() {
+        let old: Html<u32> = Html::Editor {
+            splice: SpliceRef(0),
+            dim: Dim::fixed_width(20),
+        };
+        let new: Html<u32> = Html::ResultView {
+            splice: SpliceRef(0),
+            dim: Dim::fixed_width(20),
+        };
+        check(&old, &new);
+    }
+
+    #[test]
+    fn repeated_reconciles_stay_consistent() {
+        // A drag-like sequence: the same retained root reconciled through
+        // several versions; each step must match diff against the previous
+        // version, and slots freed on shrink must be reused on growth.
+        let versions: Vec<Html<u32>> = (0..6u32)
+            .map(|i| {
+                let mut children = vec![Html::text(format!("v{i}"))];
+                for j in 0..(i % 3) {
+                    children.push(span(vec![Html::text(format!("c{j}"))]));
+                }
+                div(children).attr("step", i.to_string())
+            })
+            .collect();
+        let mut arena: ViewArena<u32> = ViewArena::new();
+        let root = arena.insert_tree(&versions[0], None);
+        let mut scratch = Vec::new();
+        for w in versions.windows(2) {
+            scratch.clear();
+            reconcile(&mut arena, root, &w[1], &mut scratch);
+            assert_eq!(scratch, diff(&w[0], &w[1]));
+            assert_eq!(arena.to_html(root), w[1]);
+            assert_eq!(arena.live_count(), w[1].size());
+        }
+        // The slab never grew past the largest version's node count.
+        let max_size = versions.iter().map(Html::size).max().unwrap();
+        assert!(
+            arena.capacity() <= max_size + 2,
+            "freelist reuse bounds slots"
+        );
+    }
+}

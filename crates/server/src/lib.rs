@@ -71,7 +71,7 @@ use hazel_lang::parse::parse_uexp;
 use hazel_lang::pretty::print_iexp;
 use hazel_lang::typing::Ctx;
 use hazel_lang::IExp;
-use livelit_mvu::diff::{diff, try_apply};
+use livelit_mvu::diff::{try_apply, Patch};
 use livelit_mvu::html::Html;
 use livelit_mvu::livelit::Action;
 use livelit_mvu::splice::SpliceRef;
@@ -164,16 +164,27 @@ impl SessionStats {
     }
 }
 
+/// The view a client last received for one hole, stamped with the
+/// retained-tree generation it corresponds to. `render` replies are
+/// derived from the stamp: same generation as the retained tree → empty
+/// patch list; exactly one reconcile behind → the stored patch script;
+/// anything else → full tree.
+struct AckedView {
+    gen: u64,
+    view: Arc<Html<Action>>,
+}
+
 /// One open document session.
 pub struct Session {
     registry: LivelitRegistry,
     doc: Document,
     engine: IncrementalEngine,
-    /// The views computed by the most recent engine run.
-    views: BTreeMap<HoleName, Html<Action>>,
-    /// The view the client last received per hole — what `render` diffs
-    /// against, rolled forward with [`try_apply`] as patches ship.
-    acked: BTreeMap<HoleName, Html<Action>>,
+    /// The views computed by the most recent engine run (shared with the
+    /// engine's retained arena snapshots).
+    views: BTreeMap<HoleName, Arc<Html<Action>>>,
+    /// The view the client last received per hole, with its generation
+    /// stamp — what `render` replies are derived from.
+    acked: BTreeMap<HoleName, AckedView>,
     /// The incremental static analyzer: per-invocation findings cached by
     /// `(name, model, splices)`, flow facts cached by hash-consed root.
     analyzer: IncrementalAnalyzer,
@@ -542,6 +553,7 @@ impl Server {
         let view = session
             .acked
             .get(&hole)
+            .map(|acked| &acked.view)
             .or_else(|| session.views.get(&hole))
             .ok_or_else(|| {
                 RequestError::new(ErrorKind::Doc, format!("no view for hole {}", hole.0))
@@ -586,22 +598,45 @@ impl Server {
         let mut patches_shipped: u64 = 0;
         let mut shipped_bytes: u64 = 0;
         let mut full_bytes: u64 = 0;
+        let empty_patches: Arc<Vec<Patch<Action>>> = Arc::new(Vec::new());
         for (hole, new_view) in &views {
             let full_json = wire::html_json(new_view);
             let full_len = full_json.to_string().len() as u64;
             full_bytes += full_len;
-            // Diff against the acked view where one exists and the patch
-            // script rolls it forward cleanly; otherwise ship the full
-            // tree. `try_apply` (not `apply`) guards the roll-forward: a
-            // stale acked view must degrade to a full render, not panic
-            // the server.
-            let patched = session.acked.get(hole).and_then(|acked| {
-                let patches = diff(acked, new_view);
-                match try_apply(acked, &patches) {
-                    Ok(applied) if applied == *new_view => Some(patches),
+            // Generation protocol: the retained arena already reconciled
+            // this hole's view, so the reply is derived from the acked
+            // generation stamp instead of re-diffing two full trees. Same
+            // generation → the client is current (empty patch list, byte-
+            // identical to the old empty diff); exactly one reconcile
+            // behind → ship the stored patch script (by the reconciler's
+            // contract, identical to `diff(acked, new)`); anything else —
+            // no ack yet, a stale stamp, or a recreated hole — degrades to
+            // a full render, exactly as the old path did.
+            let delta = session.engine.view_delta(*hole);
+            let patched: Option<Arc<Vec<Patch<Action>>>> =
+                match (session.acked.get(hole), delta.as_ref()) {
+                    (Some(acked), Some(d)) if acked.gen == d.gen => {
+                        Some(Arc::clone(&empty_patches))
+                    }
+                    (Some(acked), Some(d)) if acked.gen == d.prev_gen => {
+                        Some(Arc::clone(&d.last_patches))
+                    }
                     _ => None,
+                };
+            // The old rebuild-then-roll-forward validation survives as a
+            // debug assertion (and as the `view_arena_props` oracle): the
+            // shipped script must roll the acked view forward to the new
+            // one.
+            if cfg!(debug_assertions) {
+                if let (Some(acked), Some(patches)) = (session.acked.get(hole), patched.as_ref()) {
+                    let applied = try_apply(&acked.view, patches);
+                    debug_assert!(
+                        applied.as_ref() == Ok(&**new_view),
+                        "generation protocol shipped a script that does not roll hole {} forward",
+                        hole.0
+                    );
                 }
-            });
+            }
             match patched {
                 Some(patches) => {
                     let payload = Json::Arr(patches.iter().map(wire::patch_json).collect());
@@ -623,7 +658,13 @@ impl Server {
                     ]));
                 }
             }
-            session.acked.insert(*hole, new_view.clone());
+            session.acked.insert(
+                *hole,
+                AckedView {
+                    gen: delta.map(|d| d.gen).unwrap_or(0),
+                    view: Arc::clone(new_view),
+                },
+            );
         }
         // Holes that vanished (e.g. the invocation was edited away) drop
         // out of the acked state so a later reuse of the name re-ships.
@@ -769,6 +810,17 @@ impl Server {
             ("sched_tasks", uint(gauges.tasks)),
             ("sched_steals", uint(gauges.steals)),
             ("workers", uint(livelit_sched::configured_workers() as u64)),
+            (
+                // A true gauge (not a counter total): live nodes currently
+                // retained across every open session's view arena.
+                "view_arena_live",
+                uint(
+                    self.sessions
+                        .values()
+                        .map(|s| s.engine.view_arena_live() as u64)
+                        .sum::<u64>(),
+                ),
+            ),
         ];
         let per_session: Vec<Json> = self
             .sessions

@@ -91,11 +91,20 @@ pub enum Counter {
     /// Dynamic LL0401 double-expansions skipped because static purity
     /// analysis already proved the expansion deterministic.
     FlowDeterminismSkips,
+    /// Retained view nodes kept in place by a reconcile pass (memo hits
+    /// count their whole subtree without walking it).
+    ViewNodesReused,
+    /// View nodes freshly inserted into the arena by a reconcile pass
+    /// (replaced or appended subtrees).
+    ViewNodesRebuilt,
+    /// Live nodes in the retained view arena, sampled once per view
+    /// refresh (a level, so totals across events are not additive).
+    ViewArenaLive,
 }
 
 impl Counter {
     /// Every counter, in serialization order.
-    pub const ALL: [Counter; 32] = [
+    pub const ALL: [Counter; 35] = [
         Counter::HolesRemaining,
         Counter::ExpansionsPerformed,
         Counter::SplicesEvaluated,
@@ -128,6 +137,9 @@ impl Counter {
         Counter::FlowFactsReused,
         Counter::FlowDirtyDefs,
         Counter::FlowDeterminismSkips,
+        Counter::ViewNodesReused,
+        Counter::ViewNodesRebuilt,
+        Counter::ViewArenaLive,
     ];
 
     /// This counter's position in [`Counter::ALL`] — a dense index for
@@ -171,6 +183,9 @@ impl Counter {
             Counter::FlowFactsReused => "flow_facts_reused",
             Counter::FlowDirtyDefs => "flow_dirty_defs",
             Counter::FlowDeterminismSkips => "flow_determinism_skips",
+            Counter::ViewNodesReused => "view_nodes_reused",
+            Counter::ViewNodesRebuilt => "view_nodes_rebuilt",
+            Counter::ViewArenaLive => "view_arena_live",
         }
     }
 }
