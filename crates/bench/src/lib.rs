@@ -193,6 +193,48 @@ pub fn deep_redex_chain(n: usize) -> IExp {
     })
 }
 
+/// An internal expression with `n` nested redexes whose bodies each bury
+/// `k` occurrences of the bound variable under a branch that is never
+/// taken: `(λx. x + (if x < 0 then x + x + ... + x else acc)) i`.
+///
+/// Substitution-based evaluators rewrite eagerly, so every β-step must
+/// path-copy (and re-intern, for the store) the dead `k`-node payload —
+/// O(n·k) work that produces nothing. The environment machine just binds
+/// `x` in the live environment and never decodes the untaken branch, so
+/// its cost is O(n) regardless of `k`. Every lambda binds the same
+/// variable, which keeps the hash-consed input small: the payload interns
+/// once and the whole term is O(n + k) distinct nodes. This is the B18
+/// workload; the evaluated result is `Σ 1..=n`, as in [`deep_redex_chain`].
+pub fn deep_guarded_chain(n: usize, k: usize) -> IExp {
+    let x = Var::new("x");
+    let payload = (1..k).fold(IExp::Var(x.clone()), |acc, _| {
+        IExp::Bin(BinOp::Add, Box::new(IExp::Var(x.clone())), Box::new(acc))
+    });
+    (1..=n).fold(IExp::Int(0), |acc, i| {
+        let dead = IExp::If(
+            Box::new(IExp::Bin(
+                BinOp::Lt,
+                Box::new(IExp::Var(x.clone())),
+                Box::new(IExp::Int(0)),
+            )),
+            Box::new(payload.clone()),
+            Box::new(acc),
+        );
+        IExp::Ap(
+            Box::new(IExp::Lam(
+                x.clone(),
+                Typ::Int,
+                Box::new(IExp::Bin(
+                    BinOp::Add,
+                    Box::new(IExp::Var(x.clone())),
+                    Box::new(dead),
+                )),
+            )),
+            Box::new(IExp::Int(i as i64)),
+        )
+    })
+}
+
 /// A view tree with `n` leaf nodes for diff benchmarks.
 pub fn sized_view(n: usize) -> hazel::mvu::Html<u32> {
     use hazel::mvu::html::tags::div;

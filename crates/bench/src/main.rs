@@ -1,5 +1,5 @@
 //! `livelit-bench`: the manual benchmark harness behind EXPERIMENTS.md
-//! Part II (B1–B16).
+//! Part II (B1–B18).
 //!
 //! Each experiment times its workload over `--iters` iterations (median-of-N
 //! with a warmup iteration; no external benchmarking dependency) and the
@@ -28,8 +28,9 @@ use hazel::std::dataframe::DataframeModel;
 use hazel::std::grading::grading_prelude;
 use hazel::trace::{Counter, Histogram, NullSink, StatsSink, Tracer};
 use livelit_bench::{
-    bench_phi, deep_redex_chain, deep_scope_invocation, expensive_then_livelit, many_invocations,
-    parallel_resume_program, sized_program, sized_view, sized_view_edited, wide_invocation,
+    bench_phi, deep_guarded_chain, deep_redex_chain, deep_scope_invocation, expensive_then_livelit,
+    many_invocations, parallel_resume_program, sized_program, sized_view, sized_view_edited,
+    wide_invocation,
 };
 
 /// One timed case: experiment id, group, case label, and the statistics of
@@ -543,6 +544,108 @@ fn run_suite(config: &Config, results: &mut Vec<CaseResult>) {
         assert_eq!(dirty, 1, "a single-definition edit must dirty one unit");
         assert!(reused > 0, "unchanged facts must be reused");
         println!("B15  diagnostics/one_edit_counters     dirty {dirty} / reused {reused}");
+    }
+
+    // B18 — the environment machine against both substitution evaluators
+    // on a deep-redex chain whose bodies bury the bound variable in a
+    // dead branch (see [`deep_guarded_chain`]): substitution-based
+    // evaluators must rewrite the payload at every β-step, while the
+    // machine binds the variable in the live environment and never decodes
+    // the untaken branch (closures carry environments; the frame stack
+    // replaces Rust recursion). The machine curve must undercut the store
+    // curve by ≥10× at size 256.
+    if wants(config, "B18") {
+        use hazel::lang::eval::{Evaluator, StoreEvaluator, DEFAULT_FUEL};
+        use hazel::lang::machine::MachineEvaluator;
+        use hazel::lang::TermStore;
+        for n in sizes(config, &[1usize, 4, 16, 64, 256]) {
+            let chain = deep_guarded_chain(n, 256);
+            let expected = IExp::Int((1..=n as i64).sum());
+            // The term is interned once up front and the (small, hash-
+            // consed) store cloned per iteration, so the store and machine
+            // arms time evaluation — not re-decoding an input tree that
+            // repeats the payload at every level. Each clone starts with
+            // an empty substitution memo; no state leaks across samples.
+            let mut base = TermStore::new();
+            let t = base.intern_iexp(&chain);
+            // The tree evaluator is O(n²·k) on this workload — seconds
+            // per iteration at 256 — so its curve stops at 64; the store
+            // curve bounds it from below everywhere.
+            if n <= 64 {
+                results.push(summarize(
+                    "B18",
+                    "eval/tree",
+                    n.to_string(),
+                    sample(config.iters, || {
+                        let result = Evaluator::with_fuel(DEFAULT_FUEL)
+                            .eval(&chain)
+                            .expect("evaluates");
+                        assert_eq!(result, expected);
+                        result
+                    }),
+                ));
+            } else {
+                println!("B18  eval/tree                        {n}  skipped (O(n²·k); see 64)");
+            }
+            results.push(summarize(
+                "B18",
+                "eval/store",
+                n.to_string(),
+                sample(config.iters, || {
+                    let mut store = base.clone();
+                    let r = StoreEvaluator::with_fuel(&mut store, DEFAULT_FUEL)
+                        .eval(t)
+                        .expect("evaluates");
+                    let result = store.to_iexp(r);
+                    assert_eq!(result, expected);
+                    result
+                }),
+            ));
+            results.push(summarize(
+                "B18",
+                "eval/machine",
+                n.to_string(),
+                sample(config.iters, || {
+                    let mut store = base.clone();
+                    let r = MachineEvaluator::with_fuel(&mut store, DEFAULT_FUEL)
+                        .eval(t)
+                        .expect("evaluates");
+                    let result = store.to_iexp(r);
+                    assert_eq!(result, expected);
+                    result
+                }),
+            ));
+        }
+
+        // The serve-level delta: the B14 request script replayed with the
+        // evaluator kind pinned to the machine and then to the store
+        // oracle — a fresh server per iteration, exactly as B14 times it.
+        let (lines, _expected_errors) = serve_script();
+        let registry_factory: hazel::server::RegistryFactory = std::sync::Arc::new(|| {
+            let mut registry = LivelitRegistry::new();
+            hazel::std::register_all(&mut registry);
+            registry
+        });
+        for (kind, label) in [
+            (hazel::lang::EvalKind::Machine, "serve/machine"),
+            (hazel::lang::EvalKind::Store, "serve/store"),
+        ] {
+            hazel::lang::set_eval_kind_override(Some(kind));
+            results.push(summarize(
+                "B18",
+                label,
+                "1000 requests".to_string(),
+                sample(config.iters, || {
+                    let mut server = hazel::server::Server::with_registry(registry_factory.clone());
+                    let mut len = 0usize;
+                    for line in &lines {
+                        len += server.handle_line(line).len();
+                    }
+                    len
+                }),
+            ));
+        }
+        hazel::lang::set_eval_kind_override(None);
     }
 }
 

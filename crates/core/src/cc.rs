@@ -31,10 +31,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 
 use hazel_lang::elab::elab_syn;
-use hazel_lang::eval::{eval_traced_big_stack, fill, resume_sigma, EvalError, DEFAULT_FUEL};
+use hazel_lang::eval::{
+    eval_traced_auto, fill, report_machine_counters, resume_sigma_counted, EvalError, DEFAULT_FUEL,
+};
 use hazel_lang::external::{CaseArm, EExp};
 use hazel_lang::ident::HoleName;
 use hazel_lang::internal::{IExp, Sigma};
+use hazel_lang::machine::eval_kind;
 use hazel_lang::store::{TermId, TermStore, VarId};
 use hazel_lang::typ::Typ;
 use hazel_lang::typing::{syn, Ctx, Delta, TypeError};
@@ -531,7 +534,7 @@ impl Collection {
         let _span = livelit_trace::span("cc.resume_result");
         let filled = self.omega.fill(&self.proto_result);
         // The program is closed, so resumption is ordinary evaluation.
-        eval_traced_big_stack(&filled, self.fuel)
+        eval_traced_auto(&filled, self.fuel)
     }
 }
 
@@ -557,7 +560,7 @@ pub fn collect_with_fuel(
     let (d_cc, _, delta) = elab_syn(&Ctx::empty(), &cc_exp)?;
     let proto_result = {
         let _span = livelit_trace::span("cc.eval");
-        eval_traced_big_stack(&d_cc, fuel)?
+        eval_traced_auto(&d_cc, fuel)?
     };
 
     let envs = collect_envs(&proto_result, &omega, fuel)?;
@@ -605,9 +608,13 @@ fn collect_envs(
         .into_iter()
         .flat_map(|(u, sigmas)| sigmas.into_iter().map(move |s| (u, s)))
         .collect();
-    let resumed = crate::par::run_tasks(&tasks, |_, (_, sigma)| {
+    // Capture the evaluator kind once so every resumption task in the
+    // batch uses the same evaluator; machine counters are returned per
+    // task and counted below on this thread, in task order.
+    let kind = eval_kind();
+    let resumed = crate::par::run_tasks(&tasks, move |_, (_, sigma)| {
         let filled = omega.fill_sigma(sigma);
-        resume_sigma(&filled, fuel)
+        resume_sigma_counted(&filled, fuel, kind)
     });
 
     let mut envs: BTreeMap<HoleName, Vec<Sigma>> = BTreeMap::new();
@@ -621,7 +628,9 @@ fn collect_envs(
         for task_result in results.by_ref().take(count) {
             // Outer: a panicking task, folded to `EvalError::Internal` by
             // the pool bridge. Inner: an ordinary resumption failure.
-            hole_envs.push(task_result??);
+            let (resumed_sigma, machine) = task_result?;
+            report_machine_counters(machine);
+            hole_envs.push(resumed_sigma?);
         }
         envs.insert(u, hole_envs);
         idx += count;
@@ -648,7 +657,7 @@ pub fn collect(phi: &LivelitCtx, program: &UExp) -> Result<Collection, CollectEr
 pub fn eval_full(phi: &LivelitCtx, program: &UExp, fuel: u64) -> Result<IExp, CollectError> {
     let expanded = expand(phi, program)?;
     let (d, _, _) = elab_syn(&Ctx::empty(), &expanded)?;
-    Ok(eval_traced_big_stack(&d, fuel)?)
+    Ok(eval_traced_auto(&d, fuel)?)
 }
 
 #[cfg(test)]

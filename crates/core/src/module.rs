@@ -13,9 +13,7 @@
 use std::fmt;
 
 use hazel_lang::elab::elab_ana;
-use hazel_lang::eval::{
-    try_run_on_big_stack_sized, EvalError, Evaluator, BIG_STACK_BYTES, DEFAULT_FUEL,
-};
+use hazel_lang::eval::{eval_traced_auto, EvalError, DEFAULT_FUEL};
 use hazel_lang::ident::LivelitName;
 use hazel_lang::internal::IExp;
 use hazel_lang::module::LivelitDecl;
@@ -100,14 +98,11 @@ pub fn load_decl(decl: &LivelitDecl) -> Result<CheckedDecl, DeclError> {
                 error,
             }
         })?;
-    let init_model = try_run_on_big_stack_sized(BIG_STACK_BYTES, || {
-        Evaluator::with_fuel(DEFAULT_FUEL).eval(&d_init)
-    })
-    .unwrap_or_else(|msg| Err(EvalError::Internal(msg)))
-    .map_err(|error| DeclError::InitEval {
-        livelit: decl.name.clone(),
-        error,
-    })?;
+    let init_model =
+        eval_traced_auto(&d_init, DEFAULT_FUEL).map_err(|error| DeclError::InitEval {
+            livelit: decl.name.clone(),
+            error,
+        })?;
     if !value_has_typ(&init_model, &decl.model_ty) {
         return Err(DeclError::InitNotAValue {
             livelit: decl.name.clone(),

@@ -46,17 +46,13 @@ impl ObjectLivelit {
         match &self.checked.def.expand {
             ExpandFn::Object(d_expand, scheme) => {
                 let applied = IExp::Ap(Box::new(d_expand.clone()), Box::new(model.clone()));
-                // Spawn failure (resource exhaustion) degrades to an
-                // expansion error on this invocation, not a host abort.
-                let encoded = hazel_lang::eval::try_run_on_big_stack_sized(
-                    hazel_lang::eval::BIG_STACK_BYTES,
-                    || {
-                        hazel_lang::eval::Evaluator::with_fuel(hazel_lang::eval::DEFAULT_FUEL)
-                            .eval(&applied)
-                    },
-                )
-                .unwrap_or_else(|msg| Err(hazel_lang::eval::EvalError::Internal(msg)))
-                .map_err(|e| e.to_string())?;
+                // The machine path runs inline on an explicit frame
+                // arena; the store-oracle path degrades a spawn failure
+                // (resource exhaustion) to an expansion error on this
+                // invocation, not a host abort.
+                let encoded =
+                    hazel_lang::eval::eval_traced_auto(&applied, hazel_lang::eval::DEFAULT_FUEL)
+                        .map_err(|e| e.to_string())?;
                 match scheme {
                     livelit_core::def::EncodingScheme::Text => {
                         livelit_core::encoding::decode(&encoded).map_err(|e| e.to_string())

@@ -572,40 +572,77 @@ pub fn eval_traced_in_store(
     fuel: u64,
 ) -> Result<TermId, EvalError> {
     let _span = livelit_trace::span("eval");
-    let mut evaluator = StoreEvaluator::with_fuel(store, fuel);
-    let result = evaluator.eval(t);
-    let steps = evaluator.steps();
-    livelit_trace::count(livelit_trace::Counter::EvalSteps, steps);
+    let result = match crate::machine::eval_kind() {
+        crate::machine::EvalKind::Machine => {
+            let mut evaluator = crate::machine::MachineEvaluator::with_fuel(store, fuel);
+            let result = evaluator.eval(t);
+            let steps = evaluator.steps();
+            let machine = evaluator.counters();
+            livelit_trace::count(livelit_trace::Counter::EvalSteps, steps);
+            report_machine_counters(machine);
+            result
+        }
+        crate::machine::EvalKind::Store => {
+            let mut evaluator = StoreEvaluator::with_fuel(store, fuel);
+            let result = evaluator.eval(t);
+            let steps = evaluator.steps();
+            livelit_trace::count(livelit_trace::Counter::EvalSteps, steps);
+            result
+        }
+    };
     store.report_trace_counters();
     result
 }
 
+/// Reports machine work counters to the trace layer (no-ops on zeroes so
+/// store-evaluator runs leave no machine counters behind).
+pub fn report_machine_counters(c: crate::machine::MachineCounters) {
+    if c.transitions > 0 {
+        livelit_trace::count(livelit_trace::Counter::MachineSteps, c.transitions);
+    }
+    if c.allocs > 0 {
+        livelit_trace::count(livelit_trace::Counter::MachineAllocs, c.allocs);
+    }
+    if c.env_reuse > 0 {
+        livelit_trace::count(livelit_trace::Counter::MachineEnvReuse, c.env_reuse);
+    }
+}
+
+/// Kind-dispatching instrumented evaluation — the entry point pipeline
+/// callers use when they hold a tree-form `d`.
+///
+/// Under [`crate::machine::EvalKind::Machine`] (the default) this runs
+/// the environment machine *inline*: its control state is an explicit
+/// frame arena, so deep object-language recursion never grows the host
+/// stack and no big-stack thread is spawned. Under
+/// [`crate::machine::EvalKind::Store`] (`LIVELIT_EVAL=store`, the
+/// differential-testing oracle) it routes through
+/// [`eval_traced_big_stack`], because the substitution-based evaluator
+/// recurses on redex depth.
+///
+/// # Errors
+///
+/// See [`EvalError`].
+pub fn eval_traced_auto(d: &IExp, fuel: u64) -> Result<IExp, EvalError> {
+    match crate::machine::eval_kind() {
+        crate::machine::EvalKind::Machine => eval_traced(d, fuel),
+        crate::machine::EvalKind::Store => eval_traced_big_stack(d, fuel),
+    }
+}
+
 /// Evaluates `d` with the default fuel budget.
 ///
-/// Evaluation is recursive; for programs with deep recursion (or very long
-/// list spines) use [`eval_with_stack`], which runs on a dedicated thread
-/// with a large stack.
+/// The tree evaluator is recursive; for programs with deep recursion (or
+/// very long list spines) use [`eval_traced_auto`], whose default
+/// machine path keeps its control state on an explicit frame arena (or
+/// [`eval_traced_big_stack`] for the substitution evaluators on a
+/// dedicated big-stack thread).
 ///
 /// # Errors
 ///
 /// See [`EvalError`].
 pub fn eval(d: &IExp) -> Result<IExp, EvalError> {
     Evaluator::with_fuel(DEFAULT_FUEL).eval(d)
-}
-
-/// Evaluates `d` on a dedicated thread with `stack_bytes` of stack, for
-/// programs whose recursion depth would overflow the caller's stack.
-///
-/// # Errors
-///
-/// See [`EvalError`]. A panic on (or a failure to spawn) the evaluation
-/// thread is caught and surfaced as [`EvalError::Internal`] rather than
-/// propagated, so a runaway evaluation cannot take down the host.
-pub fn eval_with_stack(d: &IExp, fuel: u64, stack_bytes: usize) -> Result<IExp, EvalError> {
-    match try_run_on_big_stack_sized(stack_bytes, || Evaluator::with_fuel(fuel).eval(d)) {
-        Ok(result) => result,
-        Err(msg) => Err(EvalError::Internal(msg)),
-    }
 }
 
 /// Default stack size for [`run_on_big_stack`]: generous enough for deeply
@@ -864,6 +901,50 @@ pub fn resume_sigma(sigma: &Sigma, fuel: u64) -> Result<Sigma, EvalError> {
     Ok(Sigma(out))
 }
 
+/// Kind-dispatching [`resume_sigma`] that also returns the machine work
+/// counters it accumulated (zero under [`crate::machine::EvalKind::Store`],
+/// whose tree-evaluator resumption has no machine).
+///
+/// `kind` is explicit rather than read from the process configuration so
+/// that a batch coordinator can capture it once and hand it to pool
+/// tasks, keeping a whole batch on one evaluator. Results are
+/// bit-identical across kinds (property-tested); only the counters
+/// differ. Each entry gets a fresh `fuel` budget, exactly as
+/// [`resume`] gives each entry a fresh evaluator.
+pub fn resume_sigma_counted(
+    sigma: &Sigma,
+    fuel: u64,
+    kind: crate::machine::EvalKind,
+) -> (Result<Sigma, EvalError>, crate::machine::MachineCounters) {
+    match kind {
+        crate::machine::EvalKind::Store => (
+            resume_sigma(sigma, fuel),
+            crate::machine::MachineCounters::default(),
+        ),
+        crate::machine::EvalKind::Machine => {
+            let mut counters = crate::machine::MachineCounters::default();
+            let mut store = TermStore::new();
+            let mut out = std::collections::BTreeMap::new();
+            for (x, d) in sigma.iter() {
+                let resumed = if d.is_closed() {
+                    let t = store.intern_iexp(d);
+                    let mut machine = crate::machine::MachineEvaluator::with_fuel(&mut store, fuel);
+                    let result = machine.eval(t);
+                    counters.merge(machine.counters());
+                    match result {
+                        Ok(id) => store.to_iexp(id),
+                        Err(e) => return (Err(e), counters),
+                    }
+                } else {
+                    d.clone()
+                };
+                out.insert(x.clone(), resumed);
+            }
+            (Ok(Sigma(out)), counters)
+        }
+    }
+}
+
 /// Expression resumption (Def. 4.7, clauses 2 and 3): evaluates `d` if it
 /// is closed, otherwise returns it unchanged.
 ///
@@ -976,10 +1057,7 @@ mod tests {
             ap(var("f"), int(0)),
         );
         let (d, _, _) = elab_syn(&Ctx::empty(), &omega).unwrap();
-        assert_eq!(
-            eval_with_stack(&d, 10_000, 512 * 1024 * 1024),
-            Err(EvalError::OutOfFuel)
-        );
+        assert_eq!(eval_traced_auto(&d, 10_000), Err(EvalError::OutOfFuel));
     }
 
     #[test]
@@ -1131,12 +1209,17 @@ mod tests {
     }
 
     #[test]
-    fn eval_with_stack_still_evaluates() {
+    fn eval_traced_auto_evaluates_under_both_kinds() {
         let (d, _, _) = elab_syn(&Ctx::empty(), &add(int(20), int(22))).unwrap();
-        assert_eq!(
-            eval_with_stack(&d, DEFAULT_FUEL, 8 * 1024 * 1024),
-            Ok(IExp::Int(42))
-        );
+        for kind in [
+            crate::machine::EvalKind::Machine,
+            crate::machine::EvalKind::Store,
+        ] {
+            crate::machine::set_eval_kind_override(Some(kind));
+            let result = eval_traced_auto(&d, DEFAULT_FUEL);
+            crate::machine::set_eval_kind_override(None);
+            assert_eq!(result, Ok(IExp::Int(42)), "under {kind:?}");
+        }
     }
 
     #[test]

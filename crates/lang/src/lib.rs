@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod build;
+pub mod compile;
 pub mod elab;
 pub mod eval;
 pub mod external;
@@ -49,6 +50,7 @@ pub mod final_form;
 pub mod ident;
 pub mod internal;
 pub mod internal_typing;
+pub mod machine;
 pub mod module;
 pub mod ops;
 pub mod parse;
@@ -62,6 +64,7 @@ pub mod value;
 pub use external::EExp;
 pub use ident::{HoleName, Label, LivelitName, TVar, Var};
 pub use internal::{IExp, Sigma};
+pub use machine::{eval_kind, set_eval_kind_override, EvalKind, MachineCounters, MachineEvaluator};
 pub use ops::BinOp;
 pub use store::{TermId, TermStore, VarId};
 pub use typ::Typ;

@@ -65,7 +65,7 @@ use hazel_editor::{
     apply_action, open_module, Document, EditAction, IncrementalAnalyzer, IncrementalEngine,
 };
 use hazel_lang::elab::elab_syn;
-use hazel_lang::eval::{eval_traced_big_stack, DEFAULT_FUEL};
+use hazel_lang::eval::{eval_traced_auto, DEFAULT_FUEL};
 use hazel_lang::ident::{HoleName, LivelitName};
 use hazel_lang::parse::parse_uexp;
 use hazel_lang::pretty::print_iexp;
@@ -1223,7 +1223,7 @@ fn eval_value(registry: &LivelitRegistry, src: &str, what: &str) -> Result<IExp,
         .map_err(|e| RequestError::new(ErrorKind::Doc, format!("bad {what}: {e}")))?;
     let (d, _, _) = elab_syn(&Ctx::empty(), &expanded)
         .map_err(|e| RequestError::new(ErrorKind::Doc, format!("bad {what}: {e}")))?;
-    eval_traced_big_stack(&d, DEFAULT_FUEL)
+    eval_traced_auto(&d, DEFAULT_FUEL)
         .map_err(|e| RequestError::new(ErrorKind::Doc, format!("bad {what}: {e}")))
 }
 

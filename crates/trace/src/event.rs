@@ -100,11 +100,22 @@ pub enum Counter {
     /// Live nodes in the retained view arena, sampled once per view
     /// refresh (a level, so totals across events are not additive).
     ViewArenaLive,
+    /// Environment-machine transitions executed (control-state
+    /// dispatches). Distinct from [`Counter::EvalSteps`]: replay charging
+    /// keeps `EvalSteps` equal to what the substitution semantics would
+    /// consume, while this counts the work the machine actually did.
+    MachineSteps,
+    /// Environment-machine arena allocations (continuation frames plus
+    /// environment nodes pushed).
+    MachineAllocs,
+    /// Environment extensions that shared an existing (non-empty) parent
+    /// chain — persistent environment reuse instead of substitution.
+    MachineEnvReuse,
 }
 
 impl Counter {
     /// Every counter, in serialization order.
-    pub const ALL: [Counter; 35] = [
+    pub const ALL: [Counter; 38] = [
         Counter::HolesRemaining,
         Counter::ExpansionsPerformed,
         Counter::SplicesEvaluated,
@@ -140,6 +151,9 @@ impl Counter {
         Counter::ViewNodesReused,
         Counter::ViewNodesRebuilt,
         Counter::ViewArenaLive,
+        Counter::MachineSteps,
+        Counter::MachineAllocs,
+        Counter::MachineEnvReuse,
     ];
 
     /// This counter's position in [`Counter::ALL`] — a dense index for
@@ -186,6 +200,9 @@ impl Counter {
             Counter::ViewNodesReused => "view_nodes_reused",
             Counter::ViewNodesRebuilt => "view_nodes_rebuilt",
             Counter::ViewArenaLive => "view_arena_live",
+            Counter::MachineSteps => "machine_steps",
+            Counter::MachineAllocs => "machine_allocs",
+            Counter::MachineEnvReuse => "machine_env_reuse",
         }
     }
 }

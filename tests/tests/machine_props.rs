@@ -1,0 +1,457 @@
+//! The environment machine must be unobservable: bit-identical to both
+//! substitution-based evaluators.
+//!
+//! `MachineEvaluator` replaces substitution with persistent environments,
+//! Rust recursion with an explicit frame stack, and re-evaluation of
+//! substituted values with replay charging. None of that may be
+//! observable: over seeded random programs *and* adversarial hand-rolled
+//! internal terms (free variables, division by zero, ill-typed
+//! applications, unguarded recursion under tiny fuel budgets), the
+//! machine must agree with `StoreEvaluator` and the seed tree evaluator
+//! on values, recorded σ environments, the `EvalError` taxonomy, and the
+//! exact step counts — and the full pipeline must produce identical
+//! transcripts under either evaluator kind at pool sizes 1, 2, and 8.
+
+use std::sync::{Mutex, OnceLock};
+
+use hazel::core::eval_splice;
+use hazel::lang::elab::elab_syn;
+use hazel::lang::eval::{EvalError, Evaluator, StoreEvaluator, DEFAULT_FUEL};
+use hazel::lang::machine::{set_eval_kind_override, EvalKind, MachineEvaluator};
+use hazel::lang::TermStore;
+use hazel::prelude::*;
+use hazel::sched::set_workers_override;
+use hazel::trace::{Counter, Stats, StatsSink, Tracer};
+use integration_tests::{test_phi, Gen, GenConfig, XorShift};
+
+const CASES: u64 = 40;
+
+/// The evaluator-kind override is process-global; tests that flip it
+/// serialize on this lock (and restore the default before releasing it).
+fn kind_lock() -> &'static Mutex<()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+}
+
+fn gen_full(seed: u64) -> Gen {
+    // Same population as the store property suite: holes exercise σ
+    // recording, livelits exercise expansion, collection, and splices.
+    Gen::with_config(
+        seed,
+        GenConfig {
+            exp_depth: 4,
+            hole_pct: 15,
+            livelit_pct: 25,
+            typ_depth: 2,
+        },
+    )
+}
+
+/// Expands and elaborates a generated program, or `None` when the random
+/// program fails a shared pipeline stage.
+fn elaborated(phi: &LivelitCtx, program: &UExp) -> Option<IExp> {
+    let (expanded, _, _) = expand_typed(phi, &Ctx::empty(), program).ok()?;
+    let (d, _, _) = elab_syn(&Ctx::empty(), &expanded).ok()?;
+    Some(d)
+}
+
+/// Runs all three evaluators on `d` with the given fuel, returning
+/// (result, steps) for each — tree, store, machine, in that order.
+#[allow(clippy::type_complexity)]
+fn run_three(
+    d: &IExp,
+    fuel: u64,
+) -> (
+    (Result<IExp, EvalError>, u64),
+    (Result<IExp, EvalError>, u64),
+    (Result<IExp, EvalError>, u64),
+) {
+    let mut tree_ev = Evaluator::with_fuel(fuel);
+    let tree = tree_ev.eval(d);
+
+    let mut store = TermStore::new();
+    let t = store.intern_iexp(d);
+    let mut store_ev = StoreEvaluator::with_fuel(&mut store, fuel);
+    let interned = store_ev.eval(t);
+    let store_steps = store_ev.steps();
+    let interned = interned.map(|r| store.to_iexp(r));
+
+    let mut mstore = TermStore::new();
+    let mt = mstore.intern_iexp(d);
+    let mut machine = MachineEvaluator::with_fuel(&mut mstore, fuel);
+    let machined = machine.eval(mt);
+    let machine_steps = machine.steps();
+    let machined = machined.map(|r| mstore.to_iexp(r));
+
+    (
+        (tree, tree_ev.steps()),
+        (interned, store_steps),
+        (machined, machine_steps),
+    )
+}
+
+#[test]
+fn machine_matches_store_and_tree_on_random_programs() {
+    let phi = test_phi();
+    let mut compared = 0u32;
+    for seed in 0..CASES {
+        let (program, _) = gen_full(seed).program(&phi);
+        let Some(d) = elaborated(&phi, &program) else {
+            continue;
+        };
+        let ((tree, tree_steps), (interned, store_steps), (machined, machine_steps)) =
+            run_three(&d, DEFAULT_FUEL);
+        assert_eq!(machined, tree, "seed {seed}: machine vs tree diverge");
+        assert_eq!(machined, interned, "seed {seed}: machine vs store diverge");
+        assert_eq!(machine_steps, tree_steps, "seed {seed}: steps diverge");
+        assert_eq!(machine_steps, store_steps, "seed {seed}: steps diverge");
+        // Hole closures — σ included — agree exactly.
+        if let (Ok(a), Ok(b)) = (&tree, &machined) {
+            assert_eq!(
+                a.hole_closures(),
+                b.hole_closures(),
+                "seed {seed}: σ diverge"
+            );
+        }
+        compared += 1;
+    }
+    assert!(
+        u64::from(compared) >= CASES / 2,
+        "only {compared} programs compared"
+    );
+}
+
+/// An adversarial internal-term generator: unlike `Gen`, which produces
+/// well-typed programs, this produces terms with free variables, holes
+/// whose σ entries are open, ill-typed redexes (applying an integer,
+/// branching on a list), division by zero, and unguarded `fix` — the
+/// populations where the error taxonomy and the fuel clamp must agree.
+fn gen_adversarial(rng: &mut XorShift, depth: u32) -> IExp {
+    let vars = ["a", "b", "c"];
+    if depth == 0 {
+        return match rng.below(6) {
+            0 => IExp::Int(rng.range(-3, 4)),
+            1 => IExp::Bool(rng.bool()),
+            2 => IExp::Var(Var::new(vars[rng.index(vars.len())])),
+            3 => IExp::EmptyHole(
+                HoleName(rng.below(4)),
+                Sigma::identity([&Var::new(vars[rng.index(vars.len())])]),
+            ),
+            4 => IExp::Nil(Typ::Int),
+            _ => IExp::Unit,
+        };
+    }
+    let sub = |rng: &mut XorShift| Box::new(gen_adversarial(rng, depth - 1));
+    match rng.below(12) {
+        0 => {
+            let op = [BinOp::Add, BinOp::Div, BinOp::Le, BinOp::Mul][rng.index(4)];
+            IExp::Bin(op, sub(rng), sub(rng))
+        }
+        1 => IExp::If(sub(rng), sub(rng), sub(rng)),
+        2 => IExp::Ap(sub(rng), sub(rng)),
+        3 => IExp::Lam(Var::new(vars[rng.index(vars.len())]), Typ::Int, sub(rng)),
+        4 => IExp::Fix(
+            Var::new(vars[rng.index(vars.len())]),
+            Typ::arrow(Typ::Int, Typ::Int),
+            sub(rng),
+        ),
+        5 => IExp::Cons(sub(rng), sub(rng)),
+        6 => IExp::ListCase(
+            sub(rng),
+            sub(rng),
+            Var::new("h"),
+            Var::new("t"),
+            Box::new(gen_adversarial(rng, depth - 1)),
+        ),
+        7 => IExp::NonEmptyHole(HoleName(rng.below(4)), Sigma::empty(), sub(rng)),
+        8 => IExp::Bin(BinOp::Div, sub(rng), Box::new(IExp::Int(0))),
+        9 => IExp::Ap(Box::new(IExp::Int(3)), sub(rng)),
+        10 => IExp::Tuple(vec![
+            (Label::new("l"), gen_adversarial(rng, depth - 1)),
+            (Label::new("r"), gen_adversarial(rng, depth - 1)),
+        ]),
+        _ => IExp::Proj(sub(rng), Label::new("l")),
+    }
+}
+
+#[test]
+fn machine_agrees_on_adversarial_terms_at_tiny_and_large_fuels() {
+    // The recursive *oracles* need a big stack for unguarded fix at fuel
+    // 5000 — the machine itself does not (see
+    // `deep_redex_evaluates_on_a_small_stack`).
+    hazel::lang::eval::run_on_big_stack(machine_agrees_on_adversarial_terms_body);
+}
+
+fn machine_agrees_on_adversarial_terms_body() {
+    let mut out_of_fuel_seen = 0u32;
+    let mut errors_seen = 0u32;
+    for seed in 0..200u64 {
+        let mut rng = XorShift::new(seed.wrapping_mul(0x9e37_79b9).wrapping_add(17));
+        let d = gen_adversarial(&mut rng, 4);
+        for fuel in [5u64, 50, 5_000] {
+            let ((tree, tree_steps), (interned, store_steps), (machined, machine_steps)) =
+                run_three(&d, fuel);
+            assert_eq!(
+                machined, tree,
+                "seed {seed} fuel {fuel}: machine vs tree diverge on {d:?}"
+            );
+            assert_eq!(
+                machined, interned,
+                "seed {seed} fuel {fuel}: machine vs store diverge on {d:?}"
+            );
+            assert_eq!(
+                machine_steps, tree_steps,
+                "seed {seed} fuel {fuel}: machine vs tree steps diverge on {d:?}"
+            );
+            assert_eq!(
+                machine_steps, store_steps,
+                "seed {seed} fuel {fuel}: machine vs store steps diverge on {d:?}"
+            );
+            match &machined {
+                Err(EvalError::OutOfFuel) => {
+                    // The clamp: every evaluator lands exactly one past
+                    // the budget when fuel runs out.
+                    assert_eq!(machine_steps, fuel + 1, "seed {seed} fuel {fuel}");
+                    out_of_fuel_seen += 1;
+                }
+                Err(_) => errors_seen += 1,
+                Ok(_) => {}
+            }
+        }
+    }
+    // The generator must actually exercise the error taxonomy.
+    assert!(out_of_fuel_seen > 0, "no OutOfFuel cases generated");
+    assert!(errors_seen > 0, "no typed-error cases generated");
+}
+
+/// Collects every livelit invocation in a program.
+fn invocations(e: &UExp) -> Vec<LivelitAp> {
+    let mut aps = Vec::new();
+    let _ = e.map(&mut |n| {
+        if let UExp::Livelit(ap) = &n {
+            aps.push((**ap).clone());
+        }
+        n
+    });
+    aps
+}
+
+/// One full pipeline run at the current pool size and evaluator kind:
+/// closure collection, per-hole σ lists in order, the resumed result, and
+/// every live splice result, rendered into one comparable transcript.
+fn run_case(program: &UExp) -> (String, Stats) {
+    let phi = &test_phi();
+    let sink = StatsSink::new();
+    let tracer = Tracer::deterministic(sink.clone());
+    let transcript = {
+        let _guard = hazel::trace::install(&tracer);
+        let mut log = String::new();
+        match collect(phi, program) {
+            Err(e) => log.push_str(&format!("collect error: {e}\n")),
+            Ok(collection) => {
+                for (u, envs) in &collection.envs {
+                    log.push_str(&format!("hole {u:?}: {envs:?}\n"));
+                }
+                log.push_str(&format!("result: {:?}\n", collection.resume_result()));
+                for ap in invocations(program) {
+                    let n_envs = collection.envs_for(ap.hole).len();
+                    for i in 0..n_envs {
+                        for splice in &ap.splices {
+                            let r =
+                                eval_splice(phi, &collection, ap.hole, i, &splice.exp, &splice.ty);
+                            log.push_str(&format!("splice {:?}/{i}: {r:?}\n", ap.hole));
+                        }
+                    }
+                }
+            }
+        }
+        log
+    };
+    (transcript, sink.snapshot())
+}
+
+/// Counter totals that must agree at any pool size *within* one evaluator
+/// kind: everything except the documented nondeterministic scheduling
+/// quantities.
+fn deterministic_totals(stats: &Stats) -> Vec<(&'static str, u64)> {
+    Counter::ALL
+        .iter()
+        .filter(|c| !matches!(c, Counter::SchedSteals | Counter::SchedIdleNs))
+        .map(|c| (c.as_str(), stats.counter(*c)))
+        .collect()
+}
+
+/// Counter totals that must agree *across* evaluator kinds: the semantic
+/// quantities. Machine-internal work counters (`machine_*`), interner and
+/// substitution-memo traffic necessarily differ between a substituting
+/// evaluator and a non-substituting one.
+fn cross_kind_totals(stats: &Stats) -> Vec<(&'static str, u64)> {
+    [
+        Counter::EvalSteps,
+        Counter::SplicesEvaluated,
+        Counter::SpliceCacheHits,
+        Counter::SpliceCacheMisses,
+        Counter::ClosuresCollected,
+    ]
+    .iter()
+    .map(|c| (c.as_str(), stats.counter(*c)))
+    .collect()
+}
+
+#[test]
+fn pipeline_transcripts_identical_across_kinds_and_pool_sizes() {
+    let _serial = kind_lock().lock().unwrap();
+    let phi = test_phi();
+    let mut compared = 0u32;
+    for seed in 0..12u64 {
+        let (program, _) = gen_full(seed).program(&phi);
+
+        set_eval_kind_override(Some(EvalKind::Machine));
+        set_workers_override(Some(1));
+        let (machine_seq, machine_seq_stats) = run_case(&program);
+        for workers in [2usize, 8] {
+            set_workers_override(Some(workers));
+            let (parallel, par_stats) = run_case(&program);
+            assert_eq!(
+                machine_seq, parallel,
+                "seed {seed}: machine transcript diverges at {workers} workers"
+            );
+            assert_eq!(
+                deterministic_totals(&machine_seq_stats),
+                deterministic_totals(&par_stats),
+                "seed {seed}: machine counters diverge at {workers} workers"
+            );
+        }
+
+        set_eval_kind_override(Some(EvalKind::Store));
+        set_workers_override(Some(1));
+        let (store_seq, store_seq_stats) = run_case(&program);
+        for workers in [2usize, 8] {
+            set_workers_override(Some(workers));
+            let (parallel, par_stats) = run_case(&program);
+            assert_eq!(
+                store_seq, parallel,
+                "seed {seed}: store transcript diverges at {workers} workers"
+            );
+            assert_eq!(
+                deterministic_totals(&store_seq_stats),
+                deterministic_totals(&par_stats),
+                "seed {seed}: store counters diverge at {workers} workers"
+            );
+        }
+
+        // Across kinds: identical results (σ, resumed values, every
+        // splice) and identical semantic counters.
+        assert_eq!(
+            machine_seq, store_seq,
+            "seed {seed}: machine and store transcripts diverge"
+        );
+        assert_eq!(
+            cross_kind_totals(&machine_seq_stats),
+            cross_kind_totals(&store_seq_stats),
+            "seed {seed}: semantic counters diverge across kinds"
+        );
+        compared += 1;
+    }
+    set_workers_override(None);
+    set_eval_kind_override(None);
+    assert!(compared > 0);
+}
+
+#[test]
+fn switching_evaluator_kinds_does_not_double_miss_the_splice_cache() {
+    let _serial = kind_lock().lock().unwrap();
+    let phi = test_phi();
+    // let baseline = 57 in $sum2(baseline + 50, 1) — one livelit with a
+    // splice that uses a client variable, so evaluation is non-trivial.
+    let program = UExp::Let(
+        Var::new("baseline"),
+        None,
+        Box::new(UExp::Int(57)),
+        Box::new(UExp::Livelit(Box::new(LivelitAp {
+            name: LivelitName::new("$sum2"),
+            model: IExp::Unit,
+            splices: vec![
+                Splice::new(
+                    UExp::Bin(
+                        BinOp::Add,
+                        Box::new(UExp::Var(Var::new("baseline"))),
+                        Box::new(UExp::Int(50)),
+                    ),
+                    Typ::Int,
+                ),
+                Splice::new(UExp::Int(1), Typ::Int),
+            ],
+            hole: HoleName(0),
+        }))),
+    );
+    let collection = collect(&phi, &program).expect("fixed program collects");
+    let mut checked = 0u32;
+    for ap in invocations(&program) {
+        if collection.envs_for(ap.hole).is_empty() {
+            continue;
+        }
+        for splice in &ap.splices {
+            let sink = StatsSink::new();
+            let tracer = Tracer::deterministic(sink.clone());
+            let _guard = hazel::trace::install(&tracer);
+            // Machine evaluates the splice: exactly one cache miss.
+            set_eval_kind_override(Some(EvalKind::Machine));
+            let first = eval_splice(&phi, &collection, ap.hole, 0, &splice.exp, &splice.ty);
+            // Switching kinds must hit the same cache — the key is
+            // (interned splice, σ id), independent of the evaluator.
+            set_eval_kind_override(Some(EvalKind::Store));
+            let second = eval_splice(&phi, &collection, ap.hole, 0, &splice.exp, &splice.ty);
+            set_eval_kind_override(Some(EvalKind::Machine));
+            let third = eval_splice(&phi, &collection, ap.hole, 0, &splice.exp, &splice.ty);
+            set_eval_kind_override(None);
+            assert_eq!(first, second, "results must not depend on the kind");
+            assert_eq!(first, third, "results must not depend on the kind");
+            let stats = sink.snapshot();
+            assert_eq!(
+                stats.counter(Counter::SpliceCacheMisses),
+                1,
+                "switching evaluator kinds double-missed the splice cache"
+            );
+            assert_eq!(stats.counter(Counter::SpliceCacheHits), 2);
+            checked += 1;
+        }
+        break;
+    }
+    assert!(checked > 0, "no splice was exercised");
+}
+
+#[test]
+fn deep_redex_evaluates_on_a_small_stack() {
+    // A 10k-deep application chain: (λx. x + 10000) ((λx. x + 9999) (…
+    // (λx. x + 1) 0 …)). The substitution evaluators need a big-stack
+    // thread for this; the machine's control state lives on its frame
+    // arena, so a 64 KiB thread stack must suffice.
+    let depth: i64 = 10_000;
+    let built = std::thread::Builder::new()
+        .stack_size(64 * 1024)
+        .spawn(move || {
+            use hazel::lang::store::Node;
+            let mut store = TermStore::new();
+            let mut term = store.intern(Node::Int(0));
+            for k in 1..=depth {
+                let lam = {
+                    let x = store.intern_var(&Var::new("x"));
+                    let body = {
+                        let vx = store.intern(Node::Var(x));
+                        let kk = store.intern(Node::Int(k));
+                        store.intern(Node::Bin(BinOp::Add, vx, kk))
+                    };
+                    store.intern(Node::Lam(x, Typ::Int, body))
+                };
+                term = store.intern(Node::Ap(lam, term));
+            }
+            let mut machine = MachineEvaluator::with_fuel(&mut store, DEFAULT_FUEL);
+            let result = machine.eval(term).expect("deep redex evaluates");
+            store.to_iexp(result)
+        })
+        .expect("spawn small-stack thread")
+        .join()
+        .expect("machine must not overflow a 64 KiB stack");
+    assert_eq!(built, IExp::Int((1..=depth).sum()));
+}
