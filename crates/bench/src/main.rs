@@ -1195,6 +1195,311 @@ fn serve_load(config: &Config, results: &mut Vec<CaseResult>) -> Option<ServeLoa
     Some(load)
 }
 
+/// What the B19 socket-churn run measured, for the `"socket_churn"`
+/// report section.
+struct SocketChurn {
+    clients: usize,
+    requests: u64,
+    restored_sessions: usize,
+    lost_sessions: u64,
+    mismatched_replies: u64,
+    elapsed_ns: u64,
+    latency: hazel::trace::metrics::HistogramSnapshot,
+}
+
+impl SocketChurn {
+    fn requests_per_sec(&self) -> f64 {
+        self.requests as f64 / (self.elapsed_ns.max(1) as f64 / 1e9)
+    }
+}
+
+/// One B19 client's logical request sequence: open a private session,
+/// drag it a few rounds, and render the final state.
+fn churn_plan(client: usize) -> (String, Vec<String>) {
+    let session = format!("c{client}");
+    let mut lines = vec![format!(
+        "{{\"op\":\"open\",\"session\":{session:?},\"source\":\
+         \"$slider@0{{10}}(0 : Int; 100 : Int)\"}}"
+    )];
+    for round in 0..3 {
+        let target = if (client + round).is_multiple_of(2) {
+            "inc"
+        } else {
+            "dec"
+        };
+        lines.push(format!(
+            "{{\"op\":\"dispatch\",\"session\":{session:?},\"hole\":0,\
+             \"target\":{target:?},\"event\":\"click\"}}"
+        ));
+        lines.push(format!("{{\"op\":\"render\",\"session\":{session:?}}}"));
+    }
+    lines.push(format!("{{\"op\":\"render\",\"session\":{session:?}}}"));
+    (session, lines)
+}
+
+/// Plays `lines[from..]` against `addr`, appending each reply to
+/// `transcript` and each request latency to `latency`. Returns the index
+/// of the first request that was NOT acknowledged (== `lines.len()` when
+/// everything was).
+///
+/// This is the reference client resume discipline: a clean EOF means the
+/// server drained — stop and resume against the restarted server from
+/// exactly the first unacknowledged request (the drain contract is that
+/// a request was processed and journaled iff its reply was delivered). A
+/// reset or refused connect, by contrast, is transient churn (a thousand
+/// clients flooding a backlog-128 listener), so the client reconnects
+/// with backoff and carries on.
+fn churn_client(
+    addr: std::net::SocketAddr,
+    lines: &[String],
+    from: usize,
+    transcript: &mut Vec<String>,
+    latency: &Histogram,
+    acked: &std::sync::atomic::AtomicU64,
+) -> usize {
+    use std::io::{BufRead, BufReader, Write};
+    let mut at = from;
+    let mut reconnects = 0u32;
+    'reconnect: while at < lines.len() {
+        let stream = loop {
+            match std::net::TcpStream::connect(addr) {
+                Ok(s) => break s,
+                Err(_) if reconnects < 200 => {
+                    reconnects += 1;
+                    std::thread::sleep(std::time::Duration::from_millis(25));
+                }
+                // The listener is gone for good: the server drained.
+                Err(_) => return at,
+            }
+        };
+        let Ok(mut writer) = stream.try_clone() else {
+            return at;
+        };
+        let mut reader = BufReader::new(stream);
+        while at < lines.len() {
+            let started = Instant::now();
+            if writer
+                .write_all(lines[at].as_bytes())
+                .and_then(|()| writer.write_all(b"\n"))
+                .and_then(|()| writer.flush())
+                .is_err()
+            {
+                // Reset mid-write: nothing past `at` was processed; try
+                // again on a fresh connection.
+                reconnects += 1;
+                if reconnects >= 200 {
+                    return at;
+                }
+                continue 'reconnect;
+            }
+            let mut reply = String::new();
+            match reader.read_line(&mut reply) {
+                Ok(n) if n > 0 => {
+                    latency.record(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                    transcript.push(reply.trim_end().to_string());
+                    acked.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    at += 1;
+                }
+                // Clean EOF: the server drained gracefully. `at` was not
+                // processed; resume from it after the restart.
+                Ok(_) => return at,
+                // Reset: transient connection churn, not a drain.
+                Err(_) => {
+                    reconnects += 1;
+                    if reconnects >= 200 {
+                        return at;
+                    }
+                    continue 'reconnect;
+                }
+            }
+        }
+    }
+    lines.len()
+}
+
+/// B19 — socket churn with a mid-run kill: ≥1k concurrent TCP sessions
+/// (64 under `--quick`) against the snapshotting transport; the server is
+/// drained mid-traffic (the in-process `kill -TERM`), restarted from its
+/// snapshot directory on a new port, and every client reconnects and
+/// resumes from its first unacknowledged request. Every client's full
+/// reply transcript must be byte-identical to a sequential oracle server
+/// that never died — zero lost sessions, zero divergent replies.
+fn socket_churn(config: &Config, results: &mut Vec<CaseResult>) -> Option<SocketChurn> {
+    use hazel::server::transport::{BindTo, Transport, TransportConfig};
+
+    if !wants(config, "B19") {
+        return None;
+    }
+    let clients = if config.quick { 64 } else { 1024 };
+    let registry_factory: hazel::server::RegistryFactory = std::sync::Arc::new(|| {
+        let mut registry = LivelitRegistry::new();
+        hazel::std::register_all(&mut registry);
+        registry
+    });
+    let snap_dir = std::env::temp_dir().join(format!("hzbench-b19-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&snap_dir);
+    let transport_config = TransportConfig {
+        max_conns: clients + 8,
+        ..TransportConfig::default()
+    };
+
+    let bind = |factory: &hazel::server::RegistryFactory, dir: &std::path::Path| {
+        let mut server = hazel::server::Server::with_registry(factory.clone());
+        let report = server.enable_snapshots(dir).expect("snapshot dir");
+        let transport = Transport::bind(
+            &BindTo::Tcp("127.0.0.1:0".into()),
+            server,
+            transport_config.clone(),
+        )
+        .expect("bind");
+        (transport, report)
+    };
+
+    let plans: Vec<(String, Vec<String>)> = (0..clients).map(churn_plan).collect();
+    let latency = std::sync::Arc::new(Histogram::new());
+    let started = Instant::now();
+
+    // First life: all clients fire concurrently; the server is drained
+    // mid-traffic, cutting an arbitrary subset of them off between
+    // requests.
+    let (transport, _) = bind(&registry_factory, &snap_dir);
+    let addr = transport.tcp_addr().expect("tcp addr");
+    let drain = transport.shutdown_handle();
+    let server_thread = std::thread::spawn(move || transport.run());
+    let total_requests: u64 = plans.iter().map(|(_, lines)| lines.len() as u64).sum();
+    let acked_count = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let phase1: Vec<(Vec<String>, usize)> = std::thread::scope(|scope| {
+        let kill_timer = {
+            let drain = drain.clone();
+            let acked_count = std::sync::Arc::clone(&acked_count);
+            scope.spawn(move || {
+                // The mid-run kill, data-triggered: wait until traffic is
+                // in full swing (a quarter of the requests acked) so the
+                // drain genuinely cuts clients off mid-plan, then pull
+                // the plug.
+                while acked_count.load(std::sync::atomic::Ordering::Relaxed) < total_requests / 4 {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+                drain.request_drain();
+            })
+        };
+        let handles: Vec<_> = plans
+            .iter()
+            .map(|(_, lines)| {
+                let latency = std::sync::Arc::clone(&latency);
+                let acked_count = std::sync::Arc::clone(&acked_count);
+                scope.spawn(move || {
+                    let mut transcript = Vec::new();
+                    let acked =
+                        churn_client(addr, lines, 0, &mut transcript, &latency, &acked_count);
+                    (transcript, acked)
+                })
+            })
+            .collect();
+        let out = handles
+            .into_iter()
+            .map(|h| h.join().expect("client"))
+            .collect();
+        kill_timer.join().expect("kill timer");
+        out
+    });
+    let first_life = server_thread.join().expect("transport thread");
+    drop(first_life.server);
+
+    // Second life: a fresh process image — new server, restored from the
+    // journals, new port. Every client resumes from its first unacked
+    // request.
+    let (transport, report) = bind(&registry_factory, &snap_dir);
+    let restored_sessions = report.restored.len();
+    assert!(report.failed.is_empty(), "{:?}", report.failed);
+    assert!(
+        restored_sessions > 0,
+        "the mid-run kill must land after some sessions were journaled"
+    );
+    let addr2 = transport.tcp_addr().expect("tcp addr");
+    let drain2 = transport.shutdown_handle();
+    let server_thread = std::thread::spawn(move || transport.run());
+    let transcripts: Vec<Vec<String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = plans
+            .iter()
+            .zip(&phase1)
+            .map(|((_, lines), (transcript, acked))| {
+                let latency = std::sync::Arc::clone(&latency);
+                let mut transcript = transcript.clone();
+                let acked = *acked;
+                let acked_count = std::sync::Arc::clone(&acked_count);
+                scope.spawn(move || {
+                    let done =
+                        churn_client(addr2, lines, acked, &mut transcript, &latency, &acked_count);
+                    assert_eq!(done, lines.len(), "no drain in the second life");
+                    transcript
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client"))
+            .collect()
+    });
+    drain2.request_drain();
+    server_thread.join().expect("transport thread");
+    let elapsed_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let _ = std::fs::remove_dir_all(&snap_dir);
+
+    // The oracle: one sequential server that never died, serving each
+    // client's full request sequence. Byte-identical transcripts mean
+    // zero sessions lost and zero requests double-applied.
+    let mut oracle = hazel::server::Server::with_registry(registry_factory.clone());
+    let mut lost_sessions = 0u64;
+    let mut mismatched_replies = 0u64;
+    let mut requests = 0u64;
+    for ((_, lines), transcript) in plans.iter().zip(&transcripts) {
+        if transcript.len() != lines.len() {
+            lost_sessions += 1;
+            continue;
+        }
+        requests += lines.len() as u64;
+        for (line, got) in lines.iter().zip(transcript) {
+            let expected = oracle.handle_line(line);
+            if *got != expected {
+                mismatched_replies += 1;
+            }
+        }
+    }
+    assert_eq!(lost_sessions, 0, "every client finished its plan");
+    assert_eq!(
+        mismatched_replies, 0,
+        "resumed transcripts are byte-identical to the uninterrupted oracle"
+    );
+
+    let churn = SocketChurn {
+        clients,
+        requests,
+        restored_sessions,
+        lost_sessions,
+        mismatched_replies,
+        elapsed_ns,
+        latency: latency.snapshot(),
+    };
+    results.push(summarize(
+        "B19",
+        "socket/churn",
+        format!("{clients} clients"),
+        vec![elapsed_ns],
+    ));
+    println!(
+        "B19  socket/kill_restart              {} clients, {} req, {} restored, \
+         p50 {} p99 {}, {:.0} req/s",
+        churn.clients,
+        churn.requests,
+        churn.restored_sessions,
+        hazel::trace::fmt_ns(churn.latency.p50()),
+        hazel::trace::fmt_ns(churn.latency.p99()),
+        churn.requests_per_sec(),
+    );
+    Some(churn)
+}
+
 /// The B13 document: an independent `$slider` (hole 2), the dragged
 /// `$slider` (hole 0), and a dependent `$slider` whose min splice reads
 /// the dragged slider's value (hole 1). The independent slider is bound
@@ -1374,6 +1679,7 @@ fn render_report(
     baseline_ns: u64,
     noop_ns: u64,
     serve: Option<&ServeLoad>,
+    socket: Option<&SocketChurn>,
     metrics_overhead: (u64, u64, f64),
 ) -> String {
     use hazel::trace::event::json_string;
@@ -1450,6 +1756,23 @@ fn render_report(
             load.drag_ratio()
         ));
     }
+    if let Some(churn) = socket {
+        out.push_str(&format!(
+            ",\"socket_churn\":{{\"clients\":{},\"requests\":{},\
+             \"restored_sessions\":{},\"lost_sessions\":{},\
+             \"mismatched_replies\":{},\"elapsed_ns\":{},\
+             \"requests_per_sec\":{:.0},\"p50_ns\":{},\"p99_ns\":{}}}",
+            churn.clients,
+            churn.requests,
+            churn.restored_sessions,
+            churn.lost_sessions,
+            churn.mismatched_replies,
+            churn.elapsed_ns,
+            churn.requests_per_sec(),
+            churn.latency.p50(),
+            churn.latency.p99(),
+        ));
+    }
     let ratio = noop_ns as f64 / baseline_ns.max(1) as f64;
     out.push_str(&format!(
         ",\"overhead\":{{\"baseline_min_ns\":{baseline_ns},\
@@ -1493,6 +1816,7 @@ fn main() {
     let mut results = Vec::new();
     run_suite(&config, &mut results);
     let serve = serve_load(&config, &mut results);
+    let socket = socket_churn(&config, &mut results);
     let mut hists = Vec::new();
     latency_histograms(&config, &mut hists);
     let mut retained = Vec::new();
@@ -1558,6 +1882,7 @@ fn main() {
         baseline_ns,
         noop_ns,
         serve.as_ref(),
+        socket.as_ref(),
         metrics_overhead,
     );
     std::fs::write(&config.out, &report).expect("write report");

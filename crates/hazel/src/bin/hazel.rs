@@ -8,6 +8,10 @@
 //! $ hazel trace --text program.hzl     # the same trace as an indented tree
 //! $ hazel stats program.hzl            # per-phase timings and counter totals
 //! $ hazel serve --stdio                # multi-session document server (JSON lines)
+//! $ hazel serve --listen 127.0.0.1:7878 --snapshot-dir state/
+//!                                      # the same server over TCP, sessions
+//!                                      # journaled and restored across restarts
+//! $ hazel serve --uds /tmp/hazel.sock  # ... or over a Unix-domain socket
 //! $ hazel codes                        # the LL lint-code table
 //! ```
 //!
@@ -69,8 +73,13 @@ fn usage() -> ExitCode {
          metrics [--format text|prom] <file.hzl>\n                                \
          per-phase latency histograms (p50/p90/p99) as a\n                                \
          table or Prometheus exposition format\n  \
-         serve --stdio [--batch] [--workers N] [--no-metrics] [--metrics-interval SECS]\n                                \
-         serve documents over a JSON-lines protocol\n  \
+         serve (--stdio | --listen ADDR | --uds PATH) [--batch] [--workers N]\n        \
+         [--snapshot-dir DIR] [--max-conns N] [--idle-timeout SECS]\n        \
+         [--no-metrics] [--metrics-interval SECS]\n                                \
+         serve documents over a JSON-lines protocol — on\n                                \
+         stdio, a TCP address, or a Unix socket; with\n                                \
+         --snapshot-dir, sessions are journaled and restored\n                                \
+         across restarts\n  \
          codes                         list every lint code\n\n\
          environment:\n  \
          LIVELIT_THREADS=N   evaluation worker threads: an integer >= 1\n                      \
@@ -358,12 +367,25 @@ const SERVE_SLOW_K: usize = 4;
 /// Event buffer cap per captured slow-request span tree.
 const SERVE_CAPTURE_EVENTS: usize = 4096;
 
-/// `hazel serve --stdio [--batch] [--workers N] [--no-metrics]
-/// [--metrics-interval SECS]`: the headless document server. One JSON
-/// request per line on stdin, one JSON reply per line on stdout, in
-/// order. `--workers N` pins the evaluation pool (N=1 makes replies
-/// deterministic for transcript diffing); `--batch` reads all of stdin up
-/// front and multiplexes distinct sessions onto the pool.
+/// `hazel serve (--stdio | --listen ADDR | --uds PATH) [--batch]
+/// [--workers N] [--snapshot-dir DIR] [--max-conns N] [--idle-timeout
+/// SECS] [--no-metrics] [--metrics-interval SECS]`: the headless
+/// document server. One JSON request per line in, one JSON reply per
+/// line out, in order. `--workers N` pins the evaluation pool (N=1
+/// makes replies deterministic for transcript diffing); `--batch` (stdio
+/// only) reads all of stdin up front and multiplexes distinct sessions
+/// onto the pool.
+///
+/// `--listen ADDR` serves TCP (e.g. `127.0.0.1:7878`), `--uds PATH` a
+/// Unix-domain socket; both run the production transport — connection
+/// cap (`--max-conns`, default 1024), idle timeout (`--idle-timeout`,
+/// default 300s), write backpressure, and graceful drain on SIGTERM,
+/// SIGINT, or a `shutdown` op.
+///
+/// `--snapshot-dir DIR` makes sessions crash-safe: every acked
+/// session-mutating request is journaled to `DIR` before its reply
+/// ships, and a restarted server replays the journals so clients resume
+/// mid-session.
 ///
 /// Metrics are on by default: requests are timed into per-op histograms,
 /// the `metrics`/`watch` ops serve live snapshots, and a shutdown summary
@@ -376,15 +398,65 @@ const SERVE_CAPTURE_EVENTS: usize = 4096;
 fn serve(args: &[String]) -> ExitCode {
     use std::io::BufRead;
 
+    use hazel::server::transport::{
+        signal, transport_error_line, BindTo, Transport, TransportConfig,
+    };
+    use hazel::server::wire::{FrameError, LineReader};
+
     let mut stdio = false;
+    let mut listen: Option<String> = None;
+    let mut uds: Option<String> = None;
+    let mut snapshot_dir: Option<String> = None;
     let mut batch = false;
     let mut metrics_on = true;
     let mut interval: Option<u64> = None;
     let mut workers: Option<usize> = None;
+    let mut config = TransportConfig::default();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--stdio" => stdio = true,
+            "--listen" => match it.next() {
+                Some(addr) => listen = Some(addr.clone()),
+                None => {
+                    eprintln!("hazel: --listen needs an address, e.g. 127.0.0.1:7878");
+                    return ExitCode::from(2);
+                }
+            },
+            "--uds" => match it.next() {
+                Some(path) => uds = Some(path.clone()),
+                None => {
+                    eprintln!("hazel: --uds needs a socket path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--snapshot-dir" => match it.next() {
+                Some(dir) => snapshot_dir = Some(dir.clone()),
+                None => {
+                    eprintln!("hazel: --snapshot-dir needs a directory path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--max-conns" => {
+                let parsed = it.next().and_then(|n| n.parse::<usize>().ok());
+                match parsed.filter(|&n| n >= 1) {
+                    Some(n) => config.max_conns = n,
+                    None => {
+                        eprintln!("hazel: --max-conns needs an integer >= 1");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--idle-timeout" => {
+                let parsed = it.next().and_then(|s| s.parse::<u64>().ok());
+                match parsed.filter(|&s| s >= 1) {
+                    Some(s) => config.idle_timeout = std::time::Duration::from_secs(s),
+                    None => {
+                        eprintln!("hazel: --idle-timeout needs an integer >= 1 (seconds)");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
             "--batch" => batch = true,
             "--no-metrics" => metrics_on = false,
             "--metrics-interval" => {
@@ -410,10 +482,17 @@ fn serve(args: &[String]) -> ExitCode {
             _ => return usage(),
         }
     }
-    if !stdio {
-        // Only the stdio transport exists today; requiring the flag keeps
-        // room for a socket transport without a meaning change.
-        return usage();
+    let transports =
+        usize::from(stdio) + usize::from(listen.is_some()) + usize::from(uds.is_some());
+    if transports != 1 {
+        eprintln!(
+            "hazel: serve needs exactly one transport: --stdio, --listen ADDR, or --uds PATH"
+        );
+        return ExitCode::from(2);
+    }
+    if batch && !stdio {
+        eprintln!("hazel: --batch is a stdio mode (sockets already multiplex sessions)");
+        return ExitCode::from(2);
     }
     if let Some(w) = workers {
         livelit_sched::set_workers_override(Some(w));
@@ -429,11 +508,38 @@ fn serve(args: &[String]) -> ExitCode {
         server.enable_metrics(m.clone());
         m
     });
+    if let Some(dir) = &snapshot_dir {
+        match server.enable_snapshots(std::path::Path::new(dir)) {
+            Ok(report) => {
+                if !report.restored.is_empty() {
+                    let lines: usize = report.restored.iter().map(|(_, n)| n).sum();
+                    eprintln!(
+                        "hazel serve: restored {} session(s) from {dir} ({lines} journal line(s))",
+                        report.restored.len()
+                    );
+                }
+                for session in &report.torn {
+                    eprintln!(
+                        "hazel serve: journal for session {session:?} had a torn tail; \
+                         recovered the acked prefix"
+                    );
+                }
+                for (file, err) in &report.failed {
+                    eprintln!("hazel serve: snapshot {file} not restored: {}", err.message);
+                }
+            }
+            Err(e) => {
+                eprintln!("hazel: cannot use snapshot dir {dir}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
     // Phase attribution and slow-trace capture ride on an installed
-    // tracer; only the sequential path gets one (batch worker threads
-    // would interleave their span parentage on the process-global stack).
-    // The guard must outlive the request loop and drop on this thread.
-    let _trace_guard = metrics.as_ref().filter(|_| !batch).map(|m| {
+    // tracer; only the sequential stdio path gets one (batch and socket
+    // handler threads would interleave their span parentage on the
+    // process-global stack). The guard must outlive the request loop and
+    // drop on this thread.
+    let _trace_guard = metrics.as_ref().filter(|_| stdio && !batch).map(|m| {
         let sink = PairSink(MetricsSink::new(Arc::clone(m.hub())), m.capture().clone());
         hazel::trace::install(&Tracer::monotonic(sink))
     });
@@ -446,33 +552,92 @@ fn serve(args: &[String]) -> ExitCode {
         });
     }
 
-    let stdin = std::io::stdin();
-    let mut out = std::io::stdout().lock();
-    if batch {
-        let lines: Vec<String> = stdin.lock().lines().map_while(Result::ok).collect();
-        for reply in server.handle_batch(&lines) {
-            if writeln!(out, "{reply}").is_err() {
-                break;
-            }
-        }
-    } else {
-        for line in stdin.lock().lines() {
-            let Ok(line) = line else { break };
-            if line.trim().is_empty() {
-                continue;
-            }
-            let reply = server.handle_line(&line);
-            // A reply per request, flushed eagerly: clients drive the
-            // protocol request/reply lockstep. `watch` notifications ride
-            // after the reply that triggered them.
-            if writeln!(out, "{reply}").is_err() || out.flush().is_err() {
-                break;
-            }
-            for note in server.take_notifications() {
-                if writeln!(out, "{note}").is_err() || out.flush().is_err() {
+    if stdio {
+        let stdin = std::io::stdin();
+        let mut out = std::io::stdout().lock();
+        if batch {
+            let lines: Vec<String> = stdin.lock().lines().map_while(Result::ok).collect();
+            for reply in server.handle_batch(&lines) {
+                if writeln!(out, "{reply}").is_err() {
                     break;
                 }
             }
+        } else {
+            // The same framer the socket transport uses: LF or CRLF, a
+            // final unterminated line still answered, oversized lines
+            // refused without killing the stream.
+            let mut reader = LineReader::new(stdin.lock(), config.max_line_bytes);
+            loop {
+                let line = match reader.next_line() {
+                    Ok(Some(line)) => line,
+                    Ok(None) => break,
+                    Err(FrameError::TooLong { limit }) => {
+                        let refusal =
+                            transport_error_line(format!("request line exceeds {limit} bytes"));
+                        if writeln!(out, "{refusal}").is_err() || out.flush().is_err() {
+                            break;
+                        }
+                        continue;
+                    }
+                    Err(FrameError::Io(_)) => break,
+                };
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let reply = server.handle_line(&line);
+                // A reply per request, flushed eagerly: clients drive the
+                // protocol request/reply lockstep. `watch` notifications
+                // ride after the reply that triggered them.
+                if writeln!(out, "{reply}").is_err() || out.flush().is_err() {
+                    break;
+                }
+                for note in server.take_notifications() {
+                    if writeln!(out, "{note}").is_err() || out.flush().is_err() {
+                        break;
+                    }
+                }
+                if server.shutdown_requested() {
+                    break;
+                }
+            }
+        }
+        let _ = server.sync_snapshots();
+    } else {
+        let bind_to = match (&listen, &uds) {
+            (Some(addr), _) => BindTo::Tcp(addr.clone()),
+            #[cfg(unix)]
+            (None, Some(path)) => BindTo::Unix(std::path::PathBuf::from(path)),
+            #[cfg(not(unix))]
+            (None, Some(_)) => {
+                eprintln!("hazel: --uds needs a Unix platform");
+                return ExitCode::from(2);
+            }
+            (None, None) => unreachable!("transport count checked above"),
+        };
+        // Drain instead of dying on SIGTERM/SIGINT: finish in-flight
+        // requests, sync journals, then exit 0.
+        signal::install_term_handler();
+        let transport = match Transport::bind(&bind_to, server, config) {
+            Ok(t) => t,
+            Err(e) => {
+                let target = listen.as_deref().or(uds.as_deref()).unwrap_or("?");
+                eprintln!("hazel: cannot bind {target}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        match (transport.tcp_addr(), &uds) {
+            (Some(addr), _) => eprintln!("hazel serve: listening on {addr}"),
+            (None, Some(path)) => eprintln!("hazel serve: listening on {path}"),
+            (None, None) => {}
+        }
+        let summary = transport.run();
+        eprintln!(
+            "hazel serve: drained ({} conn(s) accepted, {} dropped, {} stranded)",
+            summary.accepted, summary.dropped, summary.stranded
+        );
+        #[cfg(unix)]
+        if let Some(path) = &uds {
+            let _ = std::fs::remove_file(path);
         }
     }
 

@@ -178,7 +178,11 @@ fn usage_documents_the_livelit_threads_range() {
     let usage = String::from_utf8(out.stderr).unwrap();
     assert!(usage.contains("LIVELIT_THREADS"), "{usage}");
     assert!(usage.contains("integer >= 1"), "{usage}");
-    assert!(usage.contains("serve --stdio"), "{usage}");
+    assert!(
+        usage.contains("serve (--stdio | --listen ADDR | --uds PATH)"),
+        "{usage}"
+    );
+    assert!(usage.contains("--snapshot-dir"), "{usage}");
 }
 
 /// The satellite-4 regression: `LIVELIT_THREADS=0` (and other invalid

@@ -336,19 +336,38 @@ impl<'a> Parser<'a> {
 
     /// Parses the `XXXX` of a `\uXXXX` escape (the `\u` is consumed),
     /// joining surrogate pairs.
+    ///
+    /// Unpaired surrogates — a high surrogate not followed by a `\uXXXX`
+    /// low surrogate, or a lone low surrogate — are rejected with the
+    /// `unpaired surrogate` error positioned at the offending escape's
+    /// backslash. When the bytes after a high surrogate start with `\u`
+    /// but do not form a low surrogate, the parser rewinds to just past
+    /// the high surrogate's hex digits so nothing is half-consumed.
     fn unicode_escape(&mut self) -> Result<char, JsonError> {
+        // `string()` consumed the `\u` before calling us.
+        let escape_at = self.pos.saturating_sub(2);
+        let unpaired = || JsonError {
+            at: escape_at,
+            message: "unpaired surrogate",
+        };
         let hi = self.hex4()?;
+        if (0xDC00..0xE000).contains(&hi) {
+            return Err(unpaired());
+        }
         if (0xD800..0xDC00).contains(&hi) {
             // High surrogate: require a following \uXXXX low surrogate.
+            let after_hi = self.pos;
             if self.bytes[self.pos..].starts_with(b"\\u") {
                 self.pos += 2;
-                let lo = self.hex4()?;
-                if (0xDC00..0xE000).contains(&lo) {
-                    let c = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
-                    return char::from_u32(c).ok_or_else(|| self.err("invalid surrogate pair"));
+                if let Ok(lo) = self.hex4() {
+                    if (0xDC00..0xE000).contains(&lo) {
+                        let c = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                        return char::from_u32(c).ok_or_else(|| self.err("invalid surrogate pair"));
+                    }
                 }
+                self.pos = after_hi;
             }
-            return Err(self.err("unpaired surrogate"));
+            return Err(unpaired());
         }
         char::from_u32(hi).ok_or_else(|| self.err("invalid unicode escape"))
     }
@@ -424,6 +443,32 @@ mod tests {
     fn unicode_escapes_round_trip() {
         let v = parse("\"\\u00e9 \\ud83d\\ude00\"").unwrap();
         assert_eq!(v, Json::Str("é 😀".into()));
+    }
+
+    #[test]
+    fn unpaired_surrogates_error_at_the_offending_escape() {
+        // A lone high surrogate, whether followed by nothing, a plain
+        // escape, a non-surrogate \u escape, or EOF, reports `unpaired
+        // surrogate` at its own backslash (byte 1: just past the quote).
+        for bad in [
+            "\"\\ud800\"",
+            "\"\\ud800\\n\"",
+            "\"\\ud800\\u0041\"",
+            "\"\\ud800\\uZZZZ\"",
+            "\"\\ud800",
+            "\"\\ud800\\ud800\"",
+        ] {
+            let err = parse(bad).unwrap_err();
+            assert_eq!(err.message, "unpaired surrogate", "for {bad:?}");
+            assert_eq!(err.at, 1, "for {bad:?}");
+        }
+        // A lone *low* surrogate is just as unpaired as a lone high one.
+        let err = parse("\"\\udc00\"").unwrap_err();
+        assert_eq!(err.message, "unpaired surrogate");
+        assert_eq!(err.at, 1);
+        let err = parse("\"ab\\udfff cd\"").unwrap_err();
+        assert_eq!(err.message, "unpaired surrogate");
+        assert_eq!(err.at, 3);
     }
 
     #[test]

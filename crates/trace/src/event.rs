@@ -111,11 +111,24 @@ pub enum Counter {
     /// Environment extensions that shared an existing (non-empty) parent
     /// chain — persistent environment reuse instead of substitution.
     MachineEnvReuse,
+    /// Socket connections accepted by the serve transport.
+    ServeConns,
+    /// Connections the transport closed early: over the connection cap,
+    /// idle past the timeout, or stalled on write backpressure.
+    ServeConnsDropped,
+    /// Graceful drains begun (SIGTERM or a `shutdown` op).
+    ServeDrains,
+    /// Request records appended to session snapshot journals.
+    SnapshotRecords,
+    /// Bytes appended to session snapshot journals (headers + records).
+    SnapshotBytes,
+    /// Sessions restored from snapshot journals at startup.
+    SnapshotsRestored,
 }
 
 impl Counter {
     /// Every counter, in serialization order.
-    pub const ALL: [Counter; 38] = [
+    pub const ALL: [Counter; 44] = [
         Counter::HolesRemaining,
         Counter::ExpansionsPerformed,
         Counter::SplicesEvaluated,
@@ -154,6 +167,12 @@ impl Counter {
         Counter::MachineSteps,
         Counter::MachineAllocs,
         Counter::MachineEnvReuse,
+        Counter::ServeConns,
+        Counter::ServeConnsDropped,
+        Counter::ServeDrains,
+        Counter::SnapshotRecords,
+        Counter::SnapshotBytes,
+        Counter::SnapshotsRestored,
     ];
 
     /// This counter's position in [`Counter::ALL`] — a dense index for
@@ -203,6 +222,12 @@ impl Counter {
             Counter::MachineSteps => "machine_steps",
             Counter::MachineAllocs => "machine_allocs",
             Counter::MachineEnvReuse => "machine_env_reuse",
+            Counter::ServeConns => "serve_conns",
+            Counter::ServeConnsDropped => "serve_conns_dropped",
+            Counter::ServeDrains => "serve_drains",
+            Counter::SnapshotRecords => "snapshot_records",
+            Counter::SnapshotBytes => "snapshot_bytes",
+            Counter::SnapshotsRestored => "snapshots_restored",
         }
     }
 }

@@ -131,6 +131,108 @@ fn mutated_valid_requests_always_get_a_structured_reply() {
     }
 }
 
+/// The surrogate-handling contract from the transport PR: lone UTF-16
+/// surrogate escapes anywhere in a request are a structured parse error
+/// that names the unpaired surrogate (never a panic, never silent
+/// acceptance), while well-formed pairs decode to their supplementary
+/// character.
+#[test]
+fn lone_surrogate_escapes_are_structured_parse_errors() {
+    let mut server = Server::new();
+    for line in [
+        // A lone high surrogate: closing quote, other text, a BMP
+        // escape, a malformed escape, EOF, or a second high after it.
+        "{\"op\":\"open\",\"session\":\"\\ud800\",\"source\":\"1\"}",
+        "{\"op\":\"open\",\"session\":\"\\ud800 x\",\"source\":\"1\"}",
+        "{\"op\":\"open\",\"session\":\"\\ud800\\u0041\",\"source\":\"1\"}",
+        "{\"op\":\"open\",\"session\":\"\\ud800\\uZZZZ\",\"source\":\"1\"}",
+        "{\"op\":\"open\",\"session\":\"\\ud800",
+        "{\"op\":\"open\",\"session\":\"\\ud83d\\ud83d\",\"source\":\"1\"}",
+        // A lone low surrogate is just as unpaired.
+        "{\"op\":\"open\",\"session\":\"\\udc00\",\"source\":\"1\"}",
+        "{\"op\":\"open\",\"session\":\"ab\\udfff\",\"source\":\"1\"}",
+    ] {
+        let reply = check_reply(&mut server, line);
+        assert_eq!(reply.get("ok"), Some(&Json::Bool(false)), "{line}");
+        let message = reply
+            .get("error")
+            .and_then(|e| e.get("message"))
+            .and_then(Json::as_str)
+            .expect("parse errors carry a message");
+        assert!(
+            message.contains("unpaired surrogate"),
+            "{line} -> {message}"
+        );
+    }
+    assert_eq!(server.session_count(), 0, "no session opened by accident");
+}
+
+/// Randomized surrogate fuzz: request lines whose session name is a
+/// random run of `\uXXXX` escapes — valid pairs, lone highs, lone lows,
+/// plain BMP scalars. The reply is structured either way, and it is a
+/// parse error naming the unpaired surrogate exactly when the run has
+/// one.
+#[test]
+fn random_surrogate_runs_parse_or_fail_predictably() {
+    let mut server = Server::new();
+    for seed in 0..CASES {
+        let mut g = XorShift::new(seed);
+        let mut escapes = String::new();
+        let mut units: Vec<u32> = Vec::new();
+        for _ in 0..=g.below(6) {
+            let unit = match g.below(4) {
+                0 => 0xD800 + (g.below(0x400) as u32), // high surrogate
+                1 => 0xDC00 + (g.below(0x400) as u32), // low surrogate
+                _ => {
+                    // BMP scalar, steered clear of the surrogate block.
+                    let c = g.below(0xD800) as u32;
+                    c.max(0x20)
+                }
+            };
+            escapes.push_str(&format!("\\u{unit:04x}"));
+            units.push(unit);
+        }
+        // The run is well-formed iff every high is immediately followed
+        // by a low that it consumes, and no low appears on its own.
+        let mut well_formed = true;
+        let mut i = 0;
+        while i < units.len() {
+            let u = units[i];
+            if (0xD800..0xDC00).contains(&u) {
+                if i + 1 < units.len() && (0xDC00..0xE000).contains(&units[i + 1]) {
+                    i += 2;
+                    continue;
+                }
+                well_formed = false;
+                break;
+            }
+            if (0xDC00..0xE000).contains(&u) {
+                well_formed = false;
+                break;
+            }
+            i += 1;
+        }
+        let line = format!("{{\"op\":\"stats\",\"session\":\"{escapes}\"}}");
+        let reply = check_reply(&mut server, &line);
+        if well_formed {
+            // Decodes fine; `stats` on an unknown session is a session
+            // error, not a parse error.
+            let kind = reply
+                .get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(Json::as_str);
+            assert_ne!(kind, Some("parse"), "{line} -> {reply}");
+        } else {
+            let message = reply
+                .get("error")
+                .and_then(|e| e.get("message"))
+                .and_then(Json::as_str)
+                .unwrap_or_default();
+            assert!(message.contains("unpaired surrogate"), "{line} -> {reply}");
+        }
+    }
+}
+
 /// The observability-PR contract: interleaving `metrics` and `watch`
 /// requests into arbitrary traffic never breaks the one-line-in /
 /// one-reply-out protocol, and every queued watch notification is itself
